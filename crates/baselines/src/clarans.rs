@@ -1,0 +1,374 @@
+//! CLARANS — Clustering Large Applications based on RANdomized Search
+//! (Ng & Han, VLDB 1994), the paper's §6.7 comparison baseline.
+//!
+//! CLARANS views the space of k-medoid solutions as a graph whose nodes are
+//! K-subsets of the data and whose neighbours differ in one medoid. It
+//! performs `numlocal` randomized hill-climbs: from a random node, examine
+//! up to `maxneighbor` random neighbours; move to the first improving one
+//! (resetting the counter); declare a local minimum after `maxneighbor`
+//! consecutive non-improvements. The best local minimum wins.
+//!
+//! Defaults follow the BIRCH paper's comparison setup: `numlocal = 2` and
+//! `maxneighbor = max(250, 1.25% · K(N−K))`.
+//!
+//! Swap evaluation uses the standard PAM-style O(N) differential with
+//! cached nearest/second-nearest medoid distances, so a full run costs
+//! `O(numlocal · climbs · maxneighbor · N)` — still orders of magnitude
+//! slower than BIRCH on large `N`, which is exactly the paper's point.
+
+use birch_core::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CLARANS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clarans {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Number of local searches (paper default 2).
+    pub numlocal: usize,
+    /// Max consecutive non-improving neighbours before declaring a local
+    /// minimum; `None` uses the paper's `max(250, 1.25%·K(N−K))`.
+    pub maxneighbor: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A fitted CLARANS model.
+#[derive(Debug, Clone)]
+pub struct ClaransModel {
+    /// Indices (into the input) of the chosen medoids.
+    pub medoids: Vec<usize>,
+    /// Per-point label: index into `medoids` of the nearest medoid.
+    pub labels: Vec<usize>,
+    /// Total cost: sum of Euclidean distances to the nearest medoid.
+    pub cost: f64,
+    /// Number of neighbour evaluations performed (work measure).
+    pub evaluations: u64,
+}
+
+impl Clarans {
+    /// Creates a configuration with the paper's defaults
+    /// (`numlocal = 2`, automatic `maxneighbor`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        Self {
+            k,
+            numlocal: 2,
+            maxneighbor: None,
+            seed,
+        }
+    }
+
+    /// The effective `maxneighbor` for a dataset of `n` points.
+    #[must_use]
+    pub fn effective_maxneighbor(&self, n: usize) -> usize {
+        self.maxneighbor.unwrap_or_else(|| {
+            let frac = 0.0125 * (self.k as f64) * ((n - self.k.min(n)) as f64);
+            250usize.max(frac.round() as usize)
+        })
+    }
+
+    /// Runs the randomized search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() < k`.
+    #[must_use]
+    pub fn fit(&self, points: &[Point]) -> ClaransModel {
+        let n = points.len();
+        assert!(n >= self.k, "need at least k={} points, got {n}", self.k);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let maxneighbor = self.effective_maxneighbor(n);
+
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut evaluations = 0u64;
+
+        for _ in 0..self.numlocal {
+            let mut state = State::random(points, self.k, &mut rng);
+            let mut j = 0usize;
+            // With k == n every point is a medoid: the solution graph has a
+            // single node and no neighbours to examine.
+            while self.k < n && j < maxneighbor {
+                // Random neighbour: replace a random medoid slot with a
+                // random non-medoid point.
+                let slot = rng.gen_range(0..self.k);
+                let candidate = loop {
+                    let c = rng.gen_range(0..n);
+                    if !state.is_medoid[c] {
+                        break c;
+                    }
+                };
+                evaluations += 1;
+                let delta = state.swap_delta(points, slot, candidate);
+                if delta < -1e-12 {
+                    state.apply_swap(points, slot, candidate);
+                    j = 0;
+                } else {
+                    j += 1;
+                }
+            }
+            if best.as_ref().is_none_or(|(_, c)| state.cost < *c) {
+                best = Some((state.medoids.clone(), state.cost));
+            }
+        }
+
+        let (medoids, cost) = best.expect("numlocal >= 1 produces a solution");
+        // Final labeling against the winning medoids.
+        let (labels, _) = assign_to_medoids(points, &medoids);
+
+        ClaransModel {
+            medoids,
+            labels,
+            cost,
+            evaluations,
+        }
+    }
+}
+
+/// Assigns every point to its nearest medoid (indices into `points`);
+/// returns the labels (indices into `medoids`) and the total cost (sum of
+/// Euclidean distances). Shared by CLARANS, PAM and CLARA.
+///
+/// # Panics
+///
+/// Panics if `medoids` is empty or contains an out-of-range index.
+#[must_use]
+pub fn assign_to_medoids(points: &[Point], medoids: &[usize]) -> (Vec<usize>, f64) {
+    assert!(!medoids.is_empty(), "need at least one medoid");
+    let mut cost = 0.0;
+    let labels = points
+        .iter()
+        .map(|p| {
+            let mut bi = 0;
+            let mut bd = f64::INFINITY;
+            for (i, &m) in medoids.iter().enumerate() {
+                let d = p.dist(&points[m]);
+                if d < bd {
+                    bd = d;
+                    bi = i;
+                }
+            }
+            cost += bd;
+            bi
+        })
+        .collect();
+    (labels, cost)
+}
+
+/// Current node of the search: medoid set plus cached assignment state.
+struct State {
+    medoids: Vec<usize>,
+    is_medoid: Vec<bool>,
+    /// Index into `medoids` of each point's nearest medoid.
+    nearest: Vec<usize>,
+    /// Distance to the nearest medoid.
+    d1: Vec<f64>,
+    /// Distance to the second-nearest medoid.
+    d2: Vec<f64>,
+    cost: f64,
+}
+
+impl State {
+    fn random(points: &[Point], k: usize, rng: &mut StdRng) -> Self {
+        let n = points.len();
+        // Floyd-style sample of k distinct indices.
+        let mut medoids = Vec::with_capacity(k);
+        let mut is_medoid = vec![false; n];
+        while medoids.len() < k {
+            let c = rng.gen_range(0..n);
+            if !is_medoid[c] {
+                is_medoid[c] = true;
+                medoids.push(c);
+            }
+        }
+        let mut s = Self {
+            medoids,
+            is_medoid,
+            nearest: vec![0; n],
+            d1: vec![0.0; n],
+            d2: vec![0.0; n],
+            cost: 0.0,
+        };
+        s.recompute(points);
+        s
+    }
+
+    /// Full O(N·K) recomputation of the assignment cache.
+    fn recompute(&mut self, points: &[Point]) {
+        self.cost = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let mut b1 = f64::INFINITY;
+            let mut b2 = f64::INFINITY;
+            let mut bi = 0;
+            for (s, &m) in self.medoids.iter().enumerate() {
+                let d = p.dist(&points[m]);
+                if d < b1 {
+                    b2 = b1;
+                    b1 = d;
+                    bi = s;
+                } else if d < b2 {
+                    b2 = d;
+                }
+            }
+            self.nearest[i] = bi;
+            self.d1[i] = b1;
+            self.d2[i] = b2;
+            self.cost += b1;
+        }
+    }
+
+    /// Cost change of replacing medoid slot `slot` with point `candidate`
+    /// (PAM's O(N) differential using the cached first/second distances).
+    fn swap_delta(&self, points: &[Point], slot: usize, candidate: usize) -> f64 {
+        let cand = &points[candidate];
+        let mut delta = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let d_c = p.dist(cand);
+            if self.nearest[i] == slot {
+                // Loses its medoid: goes to the candidate or its old
+                // second-best, whichever is closer.
+                delta += d_c.min(self.d2[i]) - self.d1[i];
+            } else if d_c < self.d1[i] {
+                // Strictly improves by switching to the candidate.
+                delta += d_c - self.d1[i];
+            }
+        }
+        delta
+    }
+
+    fn apply_swap(&mut self, points: &[Point], slot: usize, candidate: usize) {
+        self.is_medoid[self.medoids[slot]] = false;
+        self.is_medoid[candidate] = true;
+        self.medoids[slot] = candidate;
+        self.recompute(points);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(k: usize, per: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for c in 0..k {
+            let cx = (c as f64) * 30.0;
+            for i in 0..per {
+                let a = i as f64 * 2.399_963;
+                let r = (i as f64 / per as f64).sqrt();
+                pts.push(Point::xy(cx + r * a.cos(), r * a.sin()));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn finds_three_blobs() {
+        let pts = blobs(3, 60);
+        let model = Clarans::new(3, 5).fit(&pts);
+        assert_eq!(model.medoids.len(), 3);
+        // Medoids land in distinct blobs.
+        let mut blobs_hit: Vec<usize> = model
+            .medoids
+            .iter()
+            .map(|&m| (pts[m][0] / 30.0).round() as usize)
+            .collect();
+        blobs_hit.sort_unstable();
+        assert_eq!(blobs_hit, vec![0, 1, 2]);
+        // Cost is near-optimal: each point within ~1 of its medoid.
+        assert!(model.cost < pts.len() as f64 * 1.5, "cost {}", model.cost);
+    }
+
+    #[test]
+    fn labels_partition_blobs() {
+        let pts = blobs(2, 40);
+        let model = Clarans::new(2, 9).fit(&pts);
+        let first = model.labels[0];
+        assert!(model.labels[..40].iter().all(|&l| l == first));
+        assert!(model.labels[40..].iter().all(|&l| l != first));
+    }
+
+    #[test]
+    fn swap_delta_matches_recompute() {
+        let pts = blobs(3, 20);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut state = State::random(&pts, 3, &mut rng);
+        for _ in 0..50 {
+            let slot = rng.gen_range(0..3);
+            let candidate = loop {
+                let c = rng.gen_range(0..pts.len());
+                if !state.is_medoid[c] {
+                    break c;
+                }
+            };
+            let predicted = state.swap_delta(&pts, slot, candidate);
+            let before = state.cost;
+            let saved = state.medoids.clone();
+            state.apply_swap(&pts, slot, candidate);
+            let actual = state.cost - before;
+            assert!(
+                (predicted - actual).abs() < 1e-9,
+                "delta mismatch: predicted {predicted}, actual {actual}"
+            );
+            // Restore for the next round.
+            let back = saved[slot];
+            state.apply_swap(&pts, slot, back);
+        }
+    }
+
+    #[test]
+    fn effective_maxneighbor_floor_and_fraction() {
+        let c = Clarans::new(10, 0);
+        // Small n: floor of 250 applies.
+        assert_eq!(c.effective_maxneighbor(100), 250);
+        // Large n: 1.25% of K(N-K) dominates.
+        let n = 100_000;
+        let expect = (0.0125 * 10.0 * ((n - 10) as f64)).round() as usize;
+        assert_eq!(c.effective_maxneighbor(n), expect);
+        // Explicit override wins.
+        let c2 = Clarans {
+            maxneighbor: Some(17),
+            ..c
+        };
+        assert_eq!(c2.effective_maxneighbor(n), 17);
+    }
+
+    #[test]
+    fn k_equals_n_is_zero_cost() {
+        let pts = blobs(1, 5);
+        let model = Clarans::new(5, 1).fit(&pts);
+        assert!(model.cost < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = blobs(2, 30);
+        let a = Clarans::new(2, 42).fit(&pts);
+        let b = Clarans::new(2, 42).fit(&pts);
+        assert_eq!(a.medoids, b.medoids);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn evaluations_counted() {
+        let pts = blobs(2, 30);
+        let model = Clarans {
+            maxneighbor: Some(50),
+            ..Clarans::new(2, 3)
+        }
+        .fit(&pts);
+        assert!(model.evaluations >= 100, "evals {}", model.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k")]
+    fn too_few_points_panics() {
+        let pts = blobs(1, 3);
+        let _ = Clarans::new(10, 0).fit(&pts);
+    }
+}

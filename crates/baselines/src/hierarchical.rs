@@ -1,0 +1,77 @@
+//! Exact agglomerative hierarchical clustering on raw points.
+//!
+//! The O(N²)-space global method of the paper's §2 lineage (\[Mur83\],
+//! \[KR90\]) — infeasible on very large `N`, which is why BIRCH applies it
+//! to CF summaries instead (Phase 3). Here it serves as the *reference*:
+//! running it on a dataset small enough to afford gives the quality
+//! ceiling BIRCH's summary-based variant approximates.
+//!
+//! Implementation: each point becomes a singleton CF and the run is
+//! delegated to `birch_core::hierarchical` — by the Additivity Theorem
+//! this computes exactly centroid-family linkage (D0–D4) on the raw data.
+
+use birch_core::hierarchical::{agglomerate, StopRule};
+use birch_core::{Cf, DistanceMetric, Point};
+
+/// Result of an exact hierarchical run on raw points.
+#[derive(Debug, Clone)]
+pub struct HierarchicalModel {
+    /// Per-point cluster labels.
+    pub labels: Vec<usize>,
+    /// Cluster CFs (exact statistics of each final cluster).
+    pub clusters: Vec<Cf>,
+}
+
+/// Clusters `points` into `k` clusters under `metric`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k` is 0 or exceeds the point count.
+#[must_use]
+pub fn agglomerative(points: &[Point], k: usize, metric: DistanceMetric) -> HierarchicalModel {
+    let entries: Vec<Cf> = points.iter().map(Cf::from_point).collect();
+    let result = agglomerate(&entries, metric, StopRule::ClusterCount(k));
+    HierarchicalModel {
+        labels: result.labels,
+        clusters: result.clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hc_on_two_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let o = f64::from(i) * 0.01;
+            pts.push(Point::xy(o, o));
+            pts.push(Point::xy(100.0 + o, 100.0 - o));
+        }
+        let model = agglomerative(&pts, 2, DistanceMetric::D2);
+        assert_eq!(model.clusters.len(), 2);
+        assert_eq!(model.labels[0], model.labels[2]);
+        assert_ne!(model.labels[0], model.labels[1]);
+        for c in &model.clusters {
+            assert_eq!(c.n(), 20.0);
+        }
+    }
+
+    #[test]
+    fn all_metrics_work() {
+        let pts: Vec<Point> = (0..12)
+            .map(|i| Point::xy(f64::from(i % 4) * 10.0, f64::from(i / 4)))
+            .collect();
+        for m in DistanceMetric::ALL {
+            let model = agglomerative(&pts, 4, m);
+            assert_eq!(model.clusters.len(), 4, "metric {m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cluster zero entries")]
+    fn empty_points_panic() {
+        let _ = agglomerative(&[], 1, DistanceMetric::D0);
+    }
+}

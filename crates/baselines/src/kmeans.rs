@@ -1,0 +1,315 @@
+//! Lloyd's k-means with k-means++ initialization.
+//!
+//! The classic iterative partitioning method of the paper's §2 lineage
+//! (\[DH73\], \[KR90\]): assign each point to its nearest centroid, recompute
+//! centroids, repeat until the assignment stabilizes — converging to a
+//! local minimum of the within-cluster sum of squares. BIRCH's Phase 4 is
+//! one-or-more steps of exactly this loop seeded from Phase 3.
+//!
+//! Also provided: [`KMeans::fit_cfs`], the weighted variant over CF
+//! entries, which is the "adapted k-means over subclusters" option the
+//! paper mentions for the global phase.
+
+use birch_core::{Cf, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap (convergence usually comes much earlier).
+    pub max_iters: usize,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Final centroids (≤ k: empty clusters are dropped).
+    pub centroids: Vec<Point>,
+    /// Per-input labels into `centroids`.
+    pub labels: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Creates a configuration with `max_iters = 100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        Self {
+            k,
+            max_iters: 100,
+            seed,
+        }
+    }
+
+    /// Clusters raw points (all weight 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn fit(&self, points: &[Point]) -> KMeansModel {
+        assert!(!points.is_empty(), "cannot fit zero points");
+        let weights = vec![1.0; points.len()];
+        self.fit_weighted(points, &weights)
+    }
+
+    /// Clusters weighted CF entries by their centroids, weighting each by
+    /// its point count — the exact reduction BIRCH's Phase-3-as-k-means
+    /// variant uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any entry is empty.
+    #[must_use]
+    pub fn fit_cfs(&self, entries: &[Cf]) -> KMeansModel {
+        assert!(!entries.is_empty(), "cannot fit zero entries");
+        let points: Vec<Point> = entries.iter().map(Cf::centroid).collect();
+        let weights: Vec<f64> = entries.iter().map(Cf::n).collect();
+        self.fit_weighted(&points, &weights)
+    }
+
+    /// The weighted Lloyd loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or length mismatch.
+    #[must_use]
+    pub fn fit_weighted(&self, points: &[Point], weights: &[f64]) -> KMeansModel {
+        assert!(!points.is_empty(), "cannot fit zero points");
+        assert_eq!(points.len(), weights.len(), "weights/points length mismatch");
+        let k = self.k.min(points.len());
+        let dim = points[0].dim();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut centroids = plus_plus_init(points, weights, k, &mut rng);
+        let mut labels = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let (best, _) = nearest(p, &centroids);
+                if labels[i] != best {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
+            let mut totals = vec![0.0f64; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                let w = weights[i];
+                totals[labels[i]] += w;
+                for (s, &c) in sums[labels[i]].iter_mut().zip(p.iter()) {
+                    *s += w * c;
+                }
+            }
+            for (j, c) in centroids.iter_mut().enumerate() {
+                if totals[j] > 0.0 {
+                    *c = Point::new(sums[j].iter().map(|s| s / totals[j]).collect());
+                }
+                // Empty clusters keep their old centroid.
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+        }
+
+        // Drop empty clusters and relabel compactly.
+        let mut occupied = vec![false; centroids.len()];
+        for &l in &labels {
+            occupied[l] = true;
+        }
+        let mut remap = vec![usize::MAX; centroids.len()];
+        let mut compact = Vec::new();
+        for (j, c) in centroids.into_iter().enumerate() {
+            if occupied[j] {
+                remap[j] = compact.len();
+                compact.push(c);
+            }
+        }
+        for l in &mut labels {
+            *l = remap[*l];
+        }
+
+        let inertia = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| weights[i] * p.sq_dist(&compact[labels[i]]))
+            .sum();
+
+        KMeansModel {
+            centroids: compact,
+            labels,
+            inertia,
+            iterations,
+        }
+    }
+}
+
+/// k-means++ seeding: first seed weighted-uniform, then each next seed
+/// with probability proportional to its weighted squared distance to the
+/// nearest chosen seed.
+fn plus_plus_init(
+    points: &[Point],
+    weights: &[f64],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Point> {
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    let total_w: f64 = weights.iter().sum();
+    let first = weighted_pick(weights, total_w, rng);
+    centroids.push(points[first].clone());
+
+    let mut sq_d: Vec<f64> = points
+        .iter()
+        .map(|p| p.sq_dist(&centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let scores: Vec<f64> = sq_d
+            .iter()
+            .zip(weights)
+            .map(|(&d, &w)| d * w)
+            .collect();
+        let total: f64 = scores.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a seed: pick anything.
+            rng.gen_range(0..points.len())
+        } else {
+            weighted_pick(&scores, total, rng)
+        };
+        centroids.push(points[next].clone());
+        for (d, p) in sq_d.iter_mut().zip(points) {
+            *d = d.min(p.sq_dist(centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+fn weighted_pick(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let mut u = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+fn nearest(p: &Point, centroids: &[Point]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = p.sq_dist(c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            let o = f64::from(i % 10) * 0.05;
+            pts.push(Point::xy(o, o));
+            pts.push(Point::xy(20.0 + o, 20.0 - o));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let model = KMeans::new(2, 1).fit(&two_blobs());
+        assert_eq!(model.centroids.len(), 2);
+        let mut counts = [0usize; 2];
+        for &l in &model.labels {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [50, 50]);
+        assert!(model.inertia < 50.0, "inertia {}", model.inertia);
+        assert!(model.iterations >= 1);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let model = KMeans::new(1, 3).fit(&two_blobs());
+        assert_eq!(model.centroids.len(), 1);
+        let c = &model.centroids[0];
+        assert!((c[0] - 10.1125).abs() < 0.5, "centroid {c:?}");
+    }
+
+    #[test]
+    fn k_larger_than_points_saturates() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)];
+        let model = KMeans::new(10, 5).fit(&pts);
+        assert!(model.centroids.len() <= 2);
+        assert!(model.inertia < 1e-9);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_with_more_clusters() {
+        let pts = two_blobs();
+        let i2 = KMeans::new(2, 7).fit(&pts).inertia;
+        let i4 = KMeans::new(4, 7).fit(&pts).inertia;
+        assert!(i4 <= i2 + 1e-9, "i4={i4} i2={i2}");
+    }
+
+    #[test]
+    fn weighted_cf_fit_matches_point_fit_for_singletons() {
+        let pts = two_blobs();
+        let entries: Vec<Cf> = pts.iter().map(Cf::from_point).collect();
+        let mp = KMeans::new(2, 11).fit(&pts);
+        let mc = KMeans::new(2, 11).fit_cfs(&entries);
+        let mut a: Vec<f64> = mp.centroids.iter().map(|c| c[0] + c[1]).collect();
+        let mut b: Vec<f64> = mc.centroids.iter().map(|c| c[0] + c[1]).collect();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![Point::xy(1.0, 1.0); 20];
+        let model = KMeans::new(3, 2).fit(&pts);
+        assert!(model.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = two_blobs();
+        let a = KMeans::new(3, 9).fit(&pts);
+        let b = KMeans::new(3, 9).fit(&pts);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit zero points")]
+    fn empty_input_panics() {
+        let _ = KMeans::new(2, 0).fit(&[]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline clustering algorithms the BIRCH paper compares against or
+//! builds on.
+//!
+//! * [`clarans`] — CLARANS (Ng & Han, VLDB 1994), the best database
+//!   clustering algorithm prior to BIRCH and the paper's §6.7 comparison
+//!   target: randomized search over k-medoid solutions.
+//! * [`kmeans`] — Lloyd's algorithm, the classic iterative partitioning
+//!   method (§2's "moving to a local minimum" family); also the engine
+//!   behind BIRCH's Phase-4 refinement.
+//! * [`hierarchical`] — exact agglomerative clustering on raw points
+//!   (the O(N²) global method whose CF-adapted form is BIRCH's Phase 3).
+//! * [`pam`] — PAM and CLARA (Kaufman & Rousseeuw 1990), the k-medoid
+//!   ancestors CLARANS improves on (§2's "distance-based approaches").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clarans;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod pam;
+
+pub use clarans::{Clarans, ClaransModel};
+pub use kmeans::{KMeans, KMeansModel};
+pub use pam::{Clara, MedoidModel, Pam};

@@ -1,0 +1,304 @@
+//! PAM — Partitioning Around Medoids (Kaufman & Rousseeuw 1990), and
+//! CLARA, its sampling wrapper for larger datasets.
+//!
+//! These are the k-medoid methods of the paper's §2 lineage (\[KR90\])
+//! that CLARANS (§2.1) reformulates as graph search: PAM examines *every*
+//! medoid/non-medoid swap each round (`O(K(N−K)²)` per iteration — fine
+//! for small N, hopeless for large); CLARA runs PAM on random samples and
+//! keeps the medoid set that costs least over the *full* data
+//! (`O(K³ + N)`-ish per sample). BIRCH's §6.7 comparison uses CLARANS as
+//! the strongest member of this family; having PAM/CLARA here lets the
+//! benches show the whole quality/cost ladder.
+
+use crate::clarans::assign_to_medoids;
+use birch_core::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PAM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pam {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Cap on SWAP iterations (each examines all K(N−K) swaps).
+    pub max_iters: usize,
+}
+
+/// A fitted k-medoids model (shared by PAM and CLARA).
+#[derive(Debug, Clone)]
+pub struct MedoidModel {
+    /// Indices (into the input) of the chosen medoids.
+    pub medoids: Vec<usize>,
+    /// Per-point label: index into `medoids` of the nearest medoid.
+    pub labels: Vec<usize>,
+    /// Total cost: sum of Euclidean distances to the nearest medoid.
+    pub cost: f64,
+}
+
+impl Pam {
+    /// Creates a PAM configuration with `max_iters = 100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        Self { k, max_iters: 100 }
+    }
+
+    /// Runs BUILD + SWAP on `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() < k`.
+    #[must_use]
+    pub fn fit(&self, points: &[Point]) -> MedoidModel {
+        let n = points.len();
+        assert!(n >= self.k, "need at least k={} points, got {n}", self.k);
+
+        // BUILD: greedily pick the medoid that most reduces total cost.
+        let mut medoids: Vec<usize> = Vec::with_capacity(self.k);
+        let mut d_near = vec![f64::INFINITY; n];
+        for _ in 0..self.k {
+            let mut best = usize::MAX;
+            let mut best_gain = f64::NEG_INFINITY;
+            for c in 0..n {
+                if medoids.contains(&c) {
+                    continue;
+                }
+                // First medoid: minimize total distance; afterwards:
+                // maximize the cost reduction the candidate brings.
+                let gain = if medoids.is_empty() {
+                    -points.iter().map(|p| p.dist(&points[c])).sum::<f64>()
+                } else {
+                    points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (d_near[i] - p.dist(&points[c])).max(0.0))
+                        .sum::<f64>()
+                };
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = c;
+                }
+            }
+            medoids.push(best);
+            for (i, p) in points.iter().enumerate() {
+                d_near[i] = d_near[i].min(p.dist(&points[best]));
+            }
+        }
+
+        // SWAP: steepest-descent over all (medoid, candidate) swaps.
+        for _ in 0..self.max_iters {
+            let mut best_delta = -1e-12;
+            let mut best_swap: Option<(usize, usize)> = None;
+            for slot in 0..self.k {
+                for cand in 0..n {
+                    if medoids.contains(&cand) {
+                        continue;
+                    }
+                    let delta = swap_delta(points, &medoids, slot, cand);
+                    if delta < best_delta {
+                        best_delta = delta;
+                        best_swap = Some((slot, cand));
+                    }
+                }
+            }
+            let Some((slot, cand)) = best_swap else { break };
+            medoids[slot] = cand;
+        }
+
+        let (labels, cost) = assign_to_medoids(points, &medoids);
+        MedoidModel {
+            medoids,
+            labels,
+            cost,
+        }
+    }
+}
+
+/// Exact cost change of replacing `medoids[slot]` with `cand`.
+fn swap_delta(points: &[Point], medoids: &[usize], slot: usize, cand: usize) -> f64 {
+    let mut delta = 0.0;
+    for p in points {
+        let d_c = p.dist(&points[cand]);
+        // Nearest and second-nearest among current medoids.
+        let mut d1 = f64::INFINITY;
+        let mut d2 = f64::INFINITY;
+        let mut n1 = 0usize;
+        for (s, &m) in medoids.iter().enumerate() {
+            let d = p.dist(&points[m]);
+            if d < d1 {
+                d2 = d1;
+                d1 = d;
+                n1 = s;
+            } else if d < d2 {
+                d2 = d;
+            }
+        }
+        if n1 == slot {
+            delta += d_c.min(d2) - d1;
+        } else if d_c < d1 {
+            delta += d_c - d1;
+        }
+    }
+    delta
+}
+
+/// CLARA configuration: PAM on `samples` random samples of `sample_size`,
+/// scored on the full dataset (Kaufman & Rousseeuw's defaults are 5
+/// samples of `40 + 2K`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clara {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Number of random samples to try.
+    pub samples: usize,
+    /// Points per sample; `None` uses `40 + 2K`.
+    pub sample_size: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Clara {
+    /// Creates a CLARA configuration with the classic defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        Self {
+            k,
+            samples: 5,
+            sample_size: None,
+            seed,
+        }
+    }
+
+    /// Runs CLARA on `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() < k`.
+    #[must_use]
+    pub fn fit(&self, points: &[Point]) -> MedoidModel {
+        let n = points.len();
+        assert!(n >= self.k, "need at least k={} points, got {n}", self.k);
+        let sample_size = self.sample_size.unwrap_or(40 + 2 * self.k).min(n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut best: Option<MedoidModel> = None;
+        for _ in 0..self.samples.max(1) {
+            // Sample without replacement.
+            let sample = rand::seq::index::sample(&mut rng, n, sample_size).into_vec();
+            let sample_points: Vec<Point> =
+                sample.iter().map(|&i| points[i].clone()).collect();
+            let local = Pam::new(self.k).fit(&sample_points);
+            // Map sample-local medoid indices back to the full dataset and
+            // score on everything.
+            let medoids: Vec<usize> = local.medoids.iter().map(|&m| sample[m]).collect();
+            let (labels, cost) = assign_to_medoids(points, &medoids);
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
+                best = Some(MedoidModel {
+                    medoids,
+                    labels,
+                    cost,
+                });
+            }
+        }
+        best.expect("samples >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(k: usize, per: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for c in 0..k {
+            let cx = (c as f64) * 40.0;
+            for i in 0..per {
+                let a = i as f64 * 2.399_963;
+                let r = (i as f64 / per as f64).sqrt() * 1.5;
+                pts.push(Point::xy(cx + r * a.cos(), r * a.sin()));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn pam_finds_blob_medoids() {
+        let pts = blobs(3, 25);
+        let model = Pam::new(3).fit(&pts);
+        assert_eq!(model.medoids.len(), 3);
+        let mut hit: Vec<usize> = model
+            .medoids
+            .iter()
+            .map(|&m| (pts[m][0] / 40.0).round() as usize)
+            .collect();
+        hit.sort_unstable();
+        assert_eq!(hit, vec![0, 1, 2]);
+        // Near-optimal cost: each point within ~1.5 of its medoid.
+        assert!(model.cost < pts.len() as f64 * 1.5, "cost {}", model.cost);
+    }
+
+    #[test]
+    fn pam_k1_picks_the_1_medoid_minimizer() {
+        // On a simple line, the optimal 1-medoid is the middle point.
+        let pts: Vec<Point> = (0..7).map(|i| Point::xy(f64::from(i), 0.0)).collect();
+        let model = Pam::new(1).fit(&pts);
+        assert_eq!(model.medoids, vec![3]);
+        assert_eq!(model.cost, 12.0); // 3+2+1+0+1+2+3
+    }
+
+    #[test]
+    fn pam_labels_partition() {
+        let pts = blobs(2, 20);
+        let model = Pam::new(2).fit(&pts);
+        let first = model.labels[0];
+        assert!(model.labels[..20].iter().all(|&l| l == first));
+        assert!(model.labels[20..].iter().all(|&l| l != first));
+    }
+
+    #[test]
+    fn clara_matches_pam_quality_on_blobs() {
+        let pts = blobs(3, 60);
+        let pam = Pam::new(3).fit(&pts);
+        let clara = Clara::new(3, 7).fit(&pts);
+        // CLARA works on samples; on well-separated blobs it should land
+        // within a few percent of PAM's cost.
+        assert!(
+            clara.cost <= pam.cost * 1.10,
+            "CLARA {} vs PAM {}",
+            clara.cost,
+            pam.cost
+        );
+        assert_eq!(clara.medoids.len(), 3);
+    }
+
+    #[test]
+    fn clara_deterministic_in_seed() {
+        let pts = blobs(2, 40);
+        let a = Clara::new(2, 11).fit(&pts);
+        let b = Clara::new(2, 11).fit(&pts);
+        assert_eq!(a.medoids, b.medoids);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn clara_small_dataset_sample_capped() {
+        let pts = blobs(2, 5); // 10 points < default sample size
+        let model = Clara::new(2, 3).fit(&pts);
+        assert_eq!(model.medoids.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k")]
+    fn pam_too_few_points_panics() {
+        let _ = Pam::new(5).fit(&blobs(1, 3));
+    }
+}

@@ -1,0 +1,63 @@
+//! End-to-end pipeline benchmarks: BIRCH vs k-means vs CLARANS on a small
+//! DS1-shaped workload — the headline §6.7 comparison, as a Criterion
+//! bench for regression tracking (the table5 binary reports the full-size
+//! numbers).
+
+use birch_baselines::{Clarans, KMeans};
+use birch_bench::paper_config;
+use birch_core::Birch;
+use birch_datagen::{presets, Dataset, DatasetSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn small_ds1() -> Dataset {
+    Dataset::generate(&DatasetSpec {
+        k: 25,
+        n_low: 80,
+        n_high: 80,
+        ..presets::ds1(7)
+    })
+}
+
+fn bench_birch(c: &mut Criterion) {
+    let ds = small_ds1();
+    c.bench_function("pipeline_birch_2k", |b| {
+        b.iter(|| {
+            let model = Birch::new(paper_config(25, ds.len()))
+                .fit(black_box(&ds.points))
+                .expect("fit");
+            black_box(model.clusters().len())
+        });
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let ds = small_ds1();
+    c.bench_function("pipeline_kmeans_2k", |b| {
+        b.iter(|| {
+            let model = KMeans::new(25, 7).fit(black_box(&ds.points));
+            black_box(model.inertia)
+        });
+    });
+}
+
+fn bench_clarans(c: &mut Criterion) {
+    let ds = small_ds1();
+    // Bounded maxneighbor keeps the bench stable-length; the relative
+    // magnitude vs BIRCH is the point.
+    let clarans = Clarans {
+        maxneighbor: Some(200),
+        ..Clarans::new(25, 7)
+    };
+    let mut group = c.benchmark_group("pipeline_clarans_2k");
+    group.sample_size(10);
+    group.bench_function("clarans", |b| {
+        b.iter(|| {
+            let model = clarans.fit(black_box(&ds.points));
+            black_box(model.cost)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_birch, bench_kmeans, bench_clarans);
+criterion_main!(benches);

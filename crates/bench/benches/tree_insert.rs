@@ -1,0 +1,78 @@
+//! CF-tree insertion throughput — the §6.1 complexity claim: per-point
+//! cost grows with the tree depth O(log_B(M/P)) and the per-node scan
+//! O(B), but *not* with N once the tree reaches its memory-bounded size.
+
+use birch_core::{CfTree, DistanceMetric, Point, ThresholdKind, TreeParams};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let i = i as f64;
+            Point::xy((i * 0.618).rem_euclid(100.0), (i * 0.414).rem_euclid(100.0))
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_insert");
+    let pts = points(10_000);
+    for threshold in [0.5f64, 2.0] {
+        group.throughput(Throughput::Elements(pts.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("threshold", threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    let mut tree = CfTree::new(TreeParams {
+                        dim: 2,
+                        branching: 25,
+                        leaf_capacity: 31,
+                        threshold: t,
+                        threshold_kind: ThresholdKind::Diameter,
+                        metric: DistanceMetric::D2,
+                        merge_refinement: true,
+                    });
+                    for p in &pts {
+                        tree.insert_point(black_box(p));
+                    }
+                    black_box(tree.leaf_entry_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_branching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_insert_branching");
+    let pts = points(5_000);
+    for b_factor in [4usize, 25, 64] {
+        group.throughput(Throughput::Elements(pts.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b_factor),
+            &b_factor,
+            |bench, &bf| {
+                bench.iter(|| {
+                    let mut tree = CfTree::new(TreeParams {
+                        dim: 2,
+                        branching: bf,
+                        leaf_capacity: bf,
+                        threshold: 1.0,
+                        threshold_kind: ThresholdKind::Diameter,
+                        metric: DistanceMetric::D2,
+                        merge_refinement: true,
+                    });
+                    for p in &pts {
+                        tree.insert_point(black_box(p));
+                    }
+                    black_box(tree.node_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_branching);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 4** — scalability as N grows by growing the
+//! cluster size `n` (§6.6, "Increasing the Number of Points per Cluster").
+//!
+//! The paper sweeps n so that N runs from 100k to 250k, for DS1/DS2/DS3,
+//! and plots running time of Phases 1–3 and Phases 1–4 against N; both
+//! series should be (close to) straight lines through the origin region —
+//! the linear-scan claim.
+//!
+//! Output is a TSV series per dataset, ready to plot.
+//!
+//! ```text
+//! cargo run --release -p birch-bench --bin fig4 [-- --scale 1.0]
+//! ```
+
+use birch_bench::{paper_config, Args};
+use birch_core::Birch;
+use birch_datagen::{presets, Dataset};
+
+fn main() {
+    let args = Args::parse();
+    // The paper's sweep: n from 1000 to 2500 per cluster, K = 100.
+    let steps = [1000usize, 1500, 2000, 2500];
+    println!(
+        "Fig 4: time vs N, growing points-per-cluster (scale {}, K=100)",
+        args.scale
+    );
+    println!("dataset\tN\tphase1-3_s\tphase1-4_s");
+
+    for name in ["DS1", "DS2", "DS3"] {
+        for &paper_n in &steps {
+            let n = args.n_per_cluster(paper_n);
+            let spec = match name {
+                "DS1" => presets::ds1_scaled_n(args.seed, n),
+                "DS2" => presets::ds2_scaled_n(args.seed, n),
+                "DS3" => presets::ds3_scaled_n(args.seed, n),
+                _ => unreachable!(),
+            };
+            let ds = Dataset::generate(&spec);
+            let model = Birch::new(paper_config(100, ds.len()))
+                .fit(&ds.points)
+                .expect("fit");
+            println!(
+                "{name}\t{}\t{:.3}\t{:.3}",
+                ds.len(),
+                model.stats().time_phases_1to3().as_secs_f64(),
+                model.stats().total_time().as_secs_f64(),
+            );
+        }
+    }
+    println!("# paper shape: both series linear in N for every dataset");
+}

@@ -1,0 +1,57 @@
+//! Regenerates **Figure 5** — scalability as N grows by growing the number
+//! of clusters `K` (§6.6, "Increasing the Number of Clusters").
+//!
+//! The paper sweeps K from 100 to 250 with n = 1000 fixed, and plots time
+//! for Phases 1–3 and 1–4. Phase 3's hierarchical step is O(K·N)-ish
+//! overall, so the curve stays near-linear — slightly steeper than Fig 4's.
+//!
+//! ```text
+//! cargo run --release -p birch-bench --bin fig5 [-- --scale 1.0]
+//! ```
+
+use birch_bench::{paper_config, Args};
+use birch_core::Birch;
+use birch_datagen::{presets, Dataset};
+
+fn main() {
+    let args = Args::parse();
+    let ks = [100usize, 150, 200, 250];
+    let n = args.n_per_cluster(1000);
+    println!(
+        "Fig 5: time vs N, growing cluster count (scale {}, n={n}/cluster)",
+        args.scale
+    );
+    println!("dataset\tK\tN\tphase1-3_s\tphase1-4_s");
+
+    for name in ["DS1", "DS2", "DS3"] {
+        for &k in &ks {
+            let mut spec = match name {
+                "DS1" => presets::ds1_scaled_k(args.seed, k),
+                "DS2" => presets::ds2_scaled_k(args.seed, k),
+                "DS3" => presets::ds3_scaled_k(args.seed, k),
+                _ => unreachable!(),
+            };
+            match name {
+                "DS3" => {
+                    spec.n_low = 0;
+                    spec.n_high = 2 * n;
+                }
+                _ => {
+                    spec.n_low = n;
+                    spec.n_high = n;
+                }
+            }
+            let ds = Dataset::generate(&spec);
+            let model = Birch::new(paper_config(k, ds.len()))
+                .fit(&ds.points)
+                .expect("fit");
+            println!(
+                "{name}\t{k}\t{}\t{:.3}\t{:.3}",
+                ds.len(),
+                model.stats().time_phases_1to3().as_secs_f64(),
+                model.stats().total_time().as_secs_f64(),
+            );
+        }
+    }
+    println!("# paper shape: near-linear in N; K only affects the (bounded) global phase");
+}

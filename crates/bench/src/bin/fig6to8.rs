@@ -1,0 +1,66 @@
+//! Regenerates **Figures 6–8** — the DS1 cluster visualizations:
+//! actual clusters (Fig 6), BIRCH clusters (Fig 7), CLARANS clusters
+//! (Fig 8) — plus the §6.4/§6.7 match statistics the paper reads off
+//! them ("BIRCH clusters differ from actual by < 4% in point count…",
+//! "CLARANS centroids displaced, radii up to 1.44 of actual").
+//!
+//! ```text
+//! cargo run --release -p birch-bench --bin fig6to8 [-- --scale 0.05]
+//! ```
+
+use birch_baselines::Clarans;
+use birch_bench::{base_workloads, model_cfs, Args};
+use birch_core::Cf;
+use birch_datagen::Dataset;
+use birch_eval::matching::match_clusters;
+use birch_eval::visualize::ascii_cluster_plot;
+
+fn main() {
+    let args = Args::parse();
+    let w = &base_workloads(&args)[0]; // DS1
+    let ds = Dataset::generate(&w.spec);
+    println!("DS1 at scale {} -> N = {}\n", args.scale, ds.len());
+
+    // Fig 6: the actual clusters.
+    let actual_cfs: Vec<Cf> = ds.clusters.iter().map(|c| c.cf.clone()).collect();
+    println!("Fig 6 — actual clusters of DS1 (o = radius ring, */# = centroid):");
+    println!("{}", ascii_cluster_plot(&actual_cfs, 72, 24));
+
+    // Fig 7: BIRCH clusters.
+    let model = birch_bench::run_birch(&ds, 100);
+    let birch_cfs = model_cfs(&model);
+    println!("Fig 7 — BIRCH clusters of DS1:");
+    println!("{}", ascii_cluster_plot(&birch_cfs, 72, 24));
+    let report = match_clusters(&birch_cfs, &ds.clusters);
+    println!(
+        "BIRCH vs actual: {} clusters, mean centroid displacement {:.3}, \
+         mean size error {:.1}%, well-located {:.0}%\n",
+        birch_cfs.len(),
+        report.mean_centroid_distance,
+        report.mean_size_rel_error * 100.0,
+        report.well_located_fraction * 100.0
+    );
+
+    // Fig 8: CLARANS clusters.
+    let clarans = Clarans::new(100, args.seed).fit(&ds.points);
+    let mut cfs: Vec<Cf> = (0..100).map(|_| Cf::empty(2)).collect();
+    for (p, &l) in ds.points.iter().zip(&clarans.labels) {
+        cfs[l].add_point(p);
+    }
+    cfs.retain(|c| !c.is_empty());
+    println!("Fig 8 — CLARANS clusters of DS1:");
+    println!("{}", ascii_cluster_plot(&cfs, 72, 24));
+    let report = match_clusters(&cfs, &ds.clusters);
+    println!(
+        "CLARANS vs actual: {} clusters, mean centroid displacement {:.3}, \
+         mean size error {:.1}%, well-located {:.0}%",
+        cfs.len(),
+        report.mean_centroid_distance,
+        report.mean_size_rel_error * 100.0,
+        report.well_located_fraction * 100.0
+    );
+    println!(
+        "\npaper shape: Fig 7 ~= Fig 6 (BIRCH recovers the grid); Fig 8 shows \
+         displaced/merged clusters (CLARANS splits dense regions, merges neighbours)"
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table 3** — the base workload definitions — by actually
+//! generating each dataset and reporting its realized statistics next to
+//! the nominal parameters.
+//!
+//! ```text
+//! cargo run --release -p birch-bench --bin table3 [-- --scale 1.0]
+//! ```
+
+use birch_bench::{base_workloads, print_header, print_row, Args};
+use birch_datagen::Dataset;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Table 3: base workload (scale {} of the paper's N=100k per dataset)\n",
+        args.scale
+    );
+    let widths = [6, 10, 8, 8, 8, 10, 10, 12];
+    print_header(
+        &[
+            "name", "pattern", "K", "N", "noise", "actual-D", "min-n", "ordering",
+        ],
+        &widths,
+    );
+    for w in base_workloads(&args) {
+        let ds = Dataset::generate(&w.spec);
+        let pattern = match w.spec.pattern {
+            birch_datagen::Pattern::Grid { .. } => "grid",
+            birch_datagen::Pattern::Sine { .. } => "sine",
+            birch_datagen::Pattern::Random { .. } => "random",
+        };
+        let min_n = ds.clusters.iter().map(|c| c.n).min().unwrap_or(0);
+        print_row(
+            &[
+                w.name.to_string(),
+                pattern.to_string(),
+                w.spec.k.to_string(),
+                ds.len().to_string(),
+                ds.noise_count().to_string(),
+                format!("{:.3}", ds.actual_weighted_diameter()),
+                min_n.to_string(),
+                w.spec.ordering.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\nactual-D = weighted average diameter of the generator's actual clusters");
+}

@@ -1,0 +1,680 @@
+//! The end-to-end BIRCH pipeline (paper Fig. 1).
+//!
+//! [`Birch::fit`] runs:
+//!
+//! 1. **Phase 1** — single scan, build the memory-bounded CF-tree;
+//! 2. **Phase 2** — (optional) condense the tree for the global algorithm;
+//! 3. **Phase 3** — agglomerative clustering of the leaf entries;
+//! 4. **Phase 4** — (optional) refinement passes that relabel the original
+//!    points against the Phase-3 centroids.
+//!
+//! The result is a [`BirchModel`]: cluster summaries (exact CFs, hence
+//! exact centroids/radii/diameters), optional per-point labels, and the
+//! run's resource statistics.
+
+use crate::cf::Cf;
+use crate::config::BirchConfig;
+use crate::phase1::{self, Phase1Output};
+use crate::phase2;
+use crate::phase3;
+use crate::phase4::{self, Phase4Config};
+use crate::point::Point;
+use birch_pager::IoStats;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BirchError {
+    /// `fit` was called with no points.
+    EmptyInput,
+    /// A point's dimensionality disagrees with the first point's.
+    DimensionMismatch {
+        /// Dimensionality of the first point.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        got: usize,
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BirchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BirchError::EmptyInput => write!(f, "cannot cluster an empty dataset"),
+            BirchError::DimensionMismatch {
+                expected,
+                got,
+                index,
+            } => write!(
+                f,
+                "point {index} has dimension {got}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BirchError {}
+
+/// One cluster of the final model.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Exact sufficient statistics of the cluster.
+    pub cf: Cf,
+    /// Cluster centroid.
+    pub centroid: Point,
+    /// Cluster radius `R` (eq. 2).
+    pub radius: f64,
+    /// Cluster diameter `D` (eq. 3).
+    pub diameter: f64,
+}
+
+impl ClusterSummary {
+    pub(crate) fn from_cf(cf: Cf) -> Self {
+        let centroid = cf.centroid();
+        let radius = cf.radius();
+        let diameter = cf.diameter();
+        Self {
+            cf,
+            centroid,
+            radius,
+            diameter,
+        }
+    }
+
+    /// Weighted point count of the cluster.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.cf.n()
+    }
+}
+
+/// Wall-clock and resource statistics of one `fit`.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Phase-1 duration.
+    pub phase1_time: Duration,
+    /// Phase-2 duration (zero when disabled or not needed).
+    pub phase2_time: Duration,
+    /// Phase-3 duration.
+    pub phase3_time: Duration,
+    /// Phase-4 duration (zero when disabled).
+    pub phase4_time: Duration,
+    /// Aggregate I/O & memory counters.
+    pub io: IoStats,
+    /// Threshold after each rebuild.
+    pub threshold_history: Vec<f64>,
+    /// Final tree threshold entering Phase 3.
+    pub final_threshold: f64,
+    /// Leaf entries after Phase 1.
+    pub leaf_entries_phase1: usize,
+    /// Leaf entries handed to Phase 3 (after Phase 2, if enabled).
+    pub leaf_entries_phase3: usize,
+    /// Input records scanned.
+    pub points_scanned: u64,
+}
+
+impl RunStats {
+    /// Total time across all phases.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.phase2_time + self.phase3_time + self.phase4_time
+    }
+
+    /// Time for phases 1–3 only (the paper's headline configuration).
+    #[must_use]
+    pub fn time_phases_1to3(&self) -> Duration {
+        self.phase1_time + self.phase2_time + self.phase3_time
+    }
+}
+
+/// A fitted BIRCH clustering.
+#[derive(Debug, Clone)]
+pub struct BirchModel {
+    clusters: Vec<ClusterSummary>,
+    labels: Option<Vec<Option<usize>>>,
+    stats: RunStats,
+}
+
+impl BirchModel {
+    /// The final clusters.
+    #[must_use]
+    pub fn clusters(&self) -> &[ClusterSummary] {
+        &self.clusters
+    }
+
+    /// Per-point labels from Phase 4 (`None` for the whole thing when
+    /// Phase 4 was disabled; inner `None` = point discarded as an outlier).
+    #[must_use]
+    pub fn labels(&self) -> Option<&[Option<usize>]> {
+        self.labels.as_deref()
+    }
+
+    /// Run statistics.
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Assigns an arbitrary point to its nearest cluster centroid
+    /// (Euclidean), like Phase 4 does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`'s dimension disagrees with the model's.
+    #[must_use]
+    pub fn predict(&self, p: &Point) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = p.sq_dist(&c.centroid);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Validates a point slice: non-empty, uniform dimensionality. Returns `d`.
+fn validate_points(points: &[Point]) -> Result<usize, BirchError> {
+    if points.is_empty() {
+        return Err(BirchError::EmptyInput);
+    }
+    let dim = points[0].dim();
+    for (index, p) in points.iter().enumerate() {
+        if p.dim() != dim {
+            return Err(BirchError::DimensionMismatch {
+                expected: dim,
+                got: p.dim(),
+                index,
+            });
+        }
+    }
+    Ok(dim)
+}
+
+/// The BIRCH clusterer: configuration plus `fit` entry points.
+#[derive(Debug, Clone)]
+pub struct Birch {
+    config: BirchConfig,
+}
+
+impl Birch {
+    /// Creates a clusterer with the given configuration.
+    #[must_use]
+    pub fn new(config: BirchConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &BirchConfig {
+        &self.config
+    }
+
+    /// Clusters `points`.
+    ///
+    /// # Errors
+    ///
+    /// [`BirchError::EmptyInput`] for an empty slice;
+    /// [`BirchError::DimensionMismatch`] if points disagree on `d`.
+    pub fn fit(&self, points: &[Point]) -> Result<BirchModel, BirchError> {
+        self.fit_impl(points, None)
+    }
+
+    /// Clusters weighted points: `(point, weight)` with `weight > 0`.
+    /// Weights flow through every phase (tree building, global clustering,
+    /// refinement) — this is how the paper's image application (§6.8)
+    /// weights its bands.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Birch::fit`].
+    pub fn fit_weighted(&self, points: &[(Point, f64)]) -> Result<BirchModel, BirchError> {
+        // Split into parallel arrays once; phases borrow both.
+        let pts: Vec<Point> = points.iter().map(|(p, _)| p.clone()).collect();
+        let weights: Vec<f64> = points.iter().map(|&(_, w)| w).collect();
+        self.fit_impl(&pts, Some(&weights))
+    }
+
+    /// Like [`Birch::fit`] but running Phase 1 across `threads` worker
+    /// threads — the paper's §7 "opportunities for parallelism". The data
+    /// is split into contiguous chunks, each thread builds a CF-tree under
+    /// `M/threads` memory, and the per-thread leaf entries are merged into
+    /// one final tree (exact, by the CF Additivity Theorem) before the
+    /// global phases run as usual.
+    ///
+    /// With `threads == 1` this is identical to [`Birch::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Birch::fit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn fit_parallel(
+        &self,
+        points: &[Point],
+        threads: usize,
+    ) -> Result<BirchModel, BirchError> {
+        assert!(threads >= 1, "need at least one thread");
+        let dim = validate_points(points)?;
+        let threads = threads.min(points.len());
+        if threads == 1 {
+            return self.fit(points);
+        }
+
+        let mut stats = RunStats {
+            points_scanned: points.len() as u64,
+            ..RunStats::default()
+        };
+        let config = self.effective_config(points.len());
+
+        // ---- Phase 1, parallel: one memory-share tree per chunk. ----
+        let t0 = Instant::now();
+        let chunk = points.len().div_ceil(threads);
+        let sub_config = config
+            .clone()
+            .memory((config.memory_bytes / threads).max(config.page_bytes))
+            .total_points(chunk as u64);
+        let outputs: Vec<Phase1Output> = std::thread::scope(|scope| {
+            let handles: Vec<_> = points
+                .chunks(chunk)
+                .map(|part| {
+                    let sub = &sub_config;
+                    scope.spawn(move || {
+                        phase1::run(sub, dim, part.iter().map(Cf::from_point))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("phase-1 worker panicked"))
+                .collect()
+        });
+
+        // Merge: feed every worker's leaf entries into one full-budget
+        // tree. CF additivity makes the combined summary exact.
+        let mut io = IoStats::default();
+        let mut entries: Vec<Cf> = Vec::new();
+        for out in outputs {
+            io.absorb(&out.io);
+            entries.extend(out.tree.into_leaf_entries());
+        }
+        let merged = phase1::run(&config, dim, entries);
+        io.absorb(&merged.io);
+        let tree = merged.tree;
+        let mut estimator = merged.estimator;
+        stats.phase1_time = t0.elapsed();
+        stats.io = io;
+        stats.threshold_history = merged.threshold_history;
+        stats.leaf_entries_phase1 = tree.leaf_entry_count();
+
+        self.finish_pipeline(points, None, tree, &mut estimator, config, stats)
+    }
+
+    fn fit_impl(
+        &self,
+        points: &[Point],
+        weights: Option<&[f64]>,
+    ) -> Result<BirchModel, BirchError> {
+        let dim = validate_points(points)?;
+
+        let mut stats = RunStats {
+            points_scanned: points.len() as u64,
+            ..RunStats::default()
+        };
+
+        // ---- Phase 1: build the CF-tree in one scan. ----
+        let t0 = Instant::now();
+        let config = self.effective_config(points.len());
+        let input = points.iter().enumerate().map(|(i, p)| match weights {
+            Some(w) => Cf::from_weighted_point(p, w[i]),
+            None => Cf::from_point(p),
+        });
+        let Phase1Output {
+            tree,
+            io,
+            threshold_history,
+            points_scanned: _,
+            outliers,
+            mut estimator,
+        } = phase1::run(&config, dim, input);
+        stats.phase1_time = t0.elapsed();
+        stats.io = io;
+        stats.threshold_history = threshold_history;
+        stats.leaf_entries_phase1 = tree.leaf_entry_count();
+        drop(outliers); // counters already folded into io by phase 1
+
+        self.finish_pipeline(points, weights, tree, &mut estimator, config, stats)
+    }
+
+    /// The configuration with the dataset-size hint filled in.
+    fn effective_config(&self, n: usize) -> BirchConfig {
+        let mut c = self.config.clone();
+        if c.total_points_hint.is_none() {
+            c = c.total_points(n as u64);
+        }
+        c
+    }
+
+    /// Phases 2–4 (shared by the sequential and parallel fits).
+    fn finish_pipeline(
+        &self,
+        points: &[Point],
+        weights: Option<&[f64]>,
+        tree: crate::tree::CfTree,
+        estimator: &mut crate::threshold::ThresholdEstimator,
+        config: BirchConfig,
+        mut stats: RunStats,
+    ) -> Result<BirchModel, BirchError> {
+        // ---- Phase 2: condense (optional). ----
+        let t0 = Instant::now();
+        let tree = if config.phase2 && tree.leaf_entry_count() > config.phase2_max_entries {
+            phase2::condense(
+                tree,
+                config.phase2_max_entries,
+                estimator,
+                None,
+                &mut stats.io,
+            )
+        } else {
+            tree
+        };
+        stats.phase2_time = t0.elapsed();
+        stats.final_threshold = tree.threshold();
+        stats.leaf_entries_phase3 = tree.leaf_entry_count();
+        stats.threshold_history = stats.threshold_history.clone();
+
+        // ---- Phase 3: global clustering of the leaf entries. ----
+        let t0 = Instant::now();
+        let entries = tree.into_leaf_entries();
+        // Outlier handling may have discarded *every* point in a pathological
+        // configuration; guard so Phase 3's contract holds.
+        if entries.is_empty() {
+            return Err(BirchError::EmptyInput);
+        }
+        let p3 = phase3::global_cluster_with(
+            entries,
+            config.metric,
+            config.clusters,
+            config.global_method,
+        );
+        stats.phase3_time = t0.elapsed();
+
+        // ---- Phase 4: refinement + labeling (optional). ----
+        let t0 = Instant::now();
+        let (clusters, labels) = if config.phase4_passes > 0 {
+            let p4 = phase4::refine(
+                points,
+                weights,
+                &p3.clusters,
+                Phase4Config {
+                    passes: config.phase4_passes,
+                    outlier_factor: config.phase4_outlier_factor,
+                },
+            );
+            stats.io.outliers_discarded += p4.discarded;
+            (p4.clusters, Some(p4.labels))
+        } else {
+            (p3.clusters, None)
+        };
+        stats.phase4_time = t0.elapsed();
+
+        let clusters = clusters
+            .into_iter()
+            .filter(|c| !c.is_empty())
+            .map(ClusterSummary::from_cf)
+            .collect();
+
+        Ok(BirchModel {
+            clusters,
+            labels,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMetric;
+
+    /// `k` well-separated grid blobs with `per` points each.
+    fn grid_blobs(k: usize, per: usize) -> Vec<Point> {
+        let side = (k as f64).sqrt().ceil() as usize;
+        let mut out = Vec::with_capacity(k * per);
+        for c in 0..k {
+            let cx = (c % side) as f64 * 50.0;
+            let cy = (c / side) as f64 * 50.0;
+            for i in 0..per {
+                let a = i as f64 * 2.399_963; // golden angle
+                let r = (i as f64 / per as f64).sqrt() * 2.0;
+                out.push(Point::xy(cx + r * a.cos(), cy + r * a.sin()));
+            }
+        }
+        out
+    }
+
+    /// Deterministic shuffle so blobs are interleaved.
+    fn shuffle(mut pts: Vec<Point>) -> Vec<Point> {
+        let n = pts.len();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            pts.swap(i, j);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_four_blobs() {
+        let pts = shuffle(grid_blobs(4, 500));
+        let model = Birch::new(BirchConfig::with_clusters(4)).fit(&pts).unwrap();
+        assert_eq!(model.clusters().len(), 4);
+        // Every cluster should hold ~500 points.
+        for c in model.clusters() {
+            assert!(
+                (c.weight() - 500.0).abs() < 50.0,
+                "cluster weight {}",
+                c.weight()
+            );
+            assert!(c.radius < 3.0, "radius {}", c.radius);
+        }
+        // Labels cover all points.
+        let labels = model.labels().unwrap();
+        assert_eq!(labels.len(), pts.len());
+        assert!(labels.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn predict_matches_blob_membership() {
+        let pts = shuffle(grid_blobs(2, 300));
+        let model = Birch::new(BirchConfig::with_clusters(2)).fit(&pts).unwrap();
+        let a = model.predict(&Point::xy(0.0, 0.0));
+        let b = model.predict(&Point::xy(50.0, 0.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn phases_1to3_only_no_labels() {
+        let pts = shuffle(grid_blobs(3, 200));
+        let model = Birch::new(BirchConfig::with_clusters(3).refinement_passes(0))
+            .fit(&pts)
+            .unwrap();
+        assert!(model.labels().is_none());
+        assert_eq!(model.clusters().len(), 3);
+    }
+
+    #[test]
+    fn tight_memory_still_finds_clusters() {
+        let pts = shuffle(grid_blobs(4, 2000));
+        let model = Birch::new(
+            BirchConfig::with_clusters(4)
+                .memory(8 * 1024)
+                .page_size(1024),
+        )
+        .fit(&pts)
+        .unwrap();
+        assert_eq!(model.clusters().len(), 4);
+        assert!(model.stats().io.rebuilds > 0);
+        // Weighted average radius stays close to the generated spread.
+        for c in model.clusters() {
+            assert!(c.radius < 5.0, "radius {}", c.radius);
+        }
+    }
+
+    #[test]
+    fn weighted_fit_equivalent_to_duplication() {
+        // Points with weight 3 vs the same points repeated 3x must give the
+        // same cluster CFs (Phase 1 order differs, but with ample memory
+        // the end CFs should agree).
+        let base = grid_blobs(2, 100);
+        let weighted: Vec<(Point, f64)> = base.iter().map(|p| (p.clone(), 3.0)).collect();
+        let tripled: Vec<Point> = base
+            .iter()
+            .flat_map(|p| std::iter::repeat_n(p.clone(), 3))
+            .collect();
+        let cfg = BirchConfig::with_clusters(2);
+        let mw = Birch::new(cfg.clone()).fit_weighted(&weighted).unwrap();
+        let md = Birch::new(cfg).fit(&tripled).unwrap();
+        let mut wa: Vec<f64> = mw.clusters().iter().map(ClusterSummary::weight).collect();
+        let mut da: Vec<f64> = md.clusters().iter().map(ClusterSummary::weight).collect();
+        wa.sort_by(f64::total_cmp);
+        da.sort_by(f64::total_cmp);
+        for (x, y) in wa.iter().zip(&da) {
+            assert!((x - y).abs() < 1e-6, "{wa:?} vs {da:?}");
+        }
+    }
+
+    #[test]
+    fn by_distance_discovers_cluster_count() {
+        let pts = shuffle(grid_blobs(4, 300));
+        // Blob spread ~2, separation 50: a 10.0 cut finds exactly the blobs.
+        let model = Birch::new(BirchConfig::by_distance(10.0).metric(DistanceMetric::D0))
+            .fit(&pts)
+            .unwrap();
+        assert_eq!(model.clusters().len(), 4);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let err = Birch::new(BirchConfig::with_clusters(1)).fit(&[]).unwrap_err();
+        assert_eq!(err, BirchError::EmptyInput);
+        assert!(err.to_string().contains("empty dataset"));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::new(vec![1.0, 2.0, 3.0])];
+        let err = Birch::new(BirchConfig::with_clusters(1)).fit(&pts).unwrap_err();
+        assert_eq!(
+            err,
+            BirchError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let pts = shuffle(grid_blobs(2, 500));
+        let model = Birch::new(BirchConfig::with_clusters(2)).fit(&pts).unwrap();
+        let s = model.stats();
+        assert_eq!(s.points_scanned, 1000);
+        assert!(s.leaf_entries_phase1 > 0);
+        assert!(s.leaf_entries_phase3 > 0);
+        assert!(s.total_time() >= s.time_phases_1to3());
+    }
+
+    #[test]
+    fn parallel_fit_recovers_blobs() {
+        let pts = shuffle(grid_blobs(4, 800));
+        let model = Birch::new(BirchConfig::with_clusters(4))
+            .fit_parallel(&pts, 4)
+            .unwrap();
+        assert_eq!(model.clusters().len(), 4);
+        for c in model.clusters() {
+            assert!((c.weight() - 800.0).abs() < 80.0, "weight {}", c.weight());
+            assert!(c.radius < 3.0);
+        }
+        // Every point labeled.
+        assert!(model.labels().unwrap().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn parallel_one_thread_equals_sequential() {
+        let pts = shuffle(grid_blobs(3, 300));
+        let cfg = BirchConfig::with_clusters(3);
+        let seq = Birch::new(cfg.clone()).fit(&pts).unwrap();
+        let par = Birch::new(cfg).fit_parallel(&pts, 1).unwrap();
+        let sizes = |m: &BirchModel| {
+            let mut v: Vec<f64> = m.clusters().iter().map(ClusterSummary::weight).collect();
+            v.sort_by(f64::total_cmp);
+            v
+        };
+        assert_eq!(sizes(&seq), sizes(&par));
+    }
+
+    #[test]
+    fn parallel_quality_close_to_sequential() {
+        let pts = shuffle(grid_blobs(9, 400));
+        let cfg = BirchConfig::with_clusters(9).memory(16 * 1024);
+        let seq = Birch::new(cfg.clone()).fit(&pts).unwrap();
+        let par = Birch::new(cfg).fit_parallel(&pts, 3).unwrap();
+        assert_eq!(par.clusters().len(), seq.clusters().len());
+        let rad = |m: &BirchModel| {
+            m.clusters().iter().map(|c| c.radius).sum::<f64>() / m.clusters().len() as f64
+        };
+        assert!(
+            (rad(&par) - rad(&seq)).abs() < 0.5,
+            "parallel {} vs sequential {}",
+            rad(&par),
+            rad(&seq)
+        );
+    }
+
+    #[test]
+    fn parallel_more_threads_than_points() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::xy(f64::from(i) * 20.0, 0.0)).collect();
+        let model = Birch::new(BirchConfig::with_clusters(2))
+            .fit_parallel(&pts, 64)
+            .unwrap();
+        assert_eq!(model.clusters().len(), 2);
+        let total: f64 = model.clusters().iter().map(ClusterSummary::weight).sum();
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn parallel_zero_threads_panics() {
+        let pts = vec![Point::xy(0.0, 0.0)];
+        let _ = Birch::new(BirchConfig::with_clusters(1)).fit_parallel(&pts, 0);
+    }
+
+    #[test]
+    fn phase4_outlier_discard_end_to_end() {
+        let mut pts = shuffle(grid_blobs(2, 400));
+        // An outlier closer to blob 0 than the blobs are to each other, so
+        // Phase 3 folds it into blob 0's cluster (a *very* far point would
+        // instead become its own Phase-3 cluster and never be discarded).
+        pts.push(Point::xy(0.0, 30.0));
+        let model = Birch::new(
+            BirchConfig::with_clusters(2)
+                .discard_refinement_outliers(4.0)
+                .refinement_passes(2),
+        )
+        .fit(&pts)
+        .unwrap();
+        let labels = model.labels().unwrap();
+        assert_eq!(labels[labels.len() - 1], None, "far point should be dropped");
+    }
+}

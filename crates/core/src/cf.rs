@@ -1,0 +1,418 @@
+//! The Clustering Feature (CF) — the paper's central data structure.
+//!
+//! **Definition 4.1**: for a cluster of `N` `d`-dimensional points `{Xᵢ}`,
+//! `CF = (N, LS, SS)` where `LS = Σ Xᵢ` is the linear sum and `SS = Σ Xᵢ·Xᵢ`
+//! is the (scalar) square sum.
+//!
+//! **CF Additivity Theorem (4.1)**: merging two disjoint clusters adds their
+//! CFs component-wise: `CF₁ + CF₂ = (N₁+N₂, LS₁+LS₂, SS₁+SS₂)`. This is what
+//! lets BIRCH cluster incrementally: all the statistics in §3 — centroid
+//! `X0` (eq. 1), radius `R` (eq. 2), diameter `D` (eq. 3) — and all the
+//! inter-cluster distances `D0…D4` (eqs. 4–8) are computable from CFs alone,
+//! *exactly*, without storing the points.
+//!
+//! Weights: the paper allows a weighted clustering function (§1) and the
+//! image application (§6.8) duplicates/weights pixels. We support a real
+//! weight per point: a point `x` with weight `w` contributes `(w, w·x,
+//! w·x·x)`. With all weights 1 this is exactly the paper's CF.
+
+use crate::point::{dot, Point};
+use std::fmt;
+
+/// A Clustering Feature: the exact sufficient statistics of a subcluster.
+#[derive(Clone, PartialEq)]
+pub struct Cf {
+    /// Total (weighted) number of points, `N`.
+    n: f64,
+    /// Linear sum `LS = Σ wᵢ·Xᵢ`.
+    ls: Box<[f64]>,
+    /// Scalar square sum `SS = Σ wᵢ·Xᵢ·Xᵢ`.
+    ss: f64,
+}
+
+impl Cf {
+    /// An empty CF of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self {
+            n: 0.0,
+            ls: vec![0.0; dim].into_boxed_slice(),
+            ss: 0.0,
+        }
+    }
+
+    /// The CF of a single unweighted point.
+    #[must_use]
+    pub fn from_point(p: &Point) -> Self {
+        Self::from_weighted_point(p, 1.0)
+    }
+
+    /// The CF of a single point with weight `w > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not finite and positive.
+    #[must_use]
+    pub fn from_weighted_point(p: &Point, w: f64) -> Self {
+        assert!(w.is_finite() && w > 0.0, "weight must be positive, got {w}");
+        let ls: Vec<f64> = p.iter().map(|c| c * w).collect();
+        Self {
+            n: w,
+            ls: ls.into_boxed_slice(),
+            ss: w * dot(p, p),
+        }
+    }
+
+    /// The CF of a batch of unweighted points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensions disagree.
+    #[must_use]
+    pub fn from_points<'a, I: IntoIterator<Item = &'a Point>>(points: I) -> Self {
+        let mut it = points.into_iter();
+        let first = it.next().expect("from_points needs at least one point");
+        let mut cf = Self::from_point(first);
+        for p in it {
+            cf.add_point(p);
+        }
+        cf
+    }
+
+    /// Dimensionality `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.ls.len()
+    }
+
+    /// Weighted point count `N`.
+    #[must_use]
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// Whether the CF summarizes no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0.0
+    }
+
+    /// Linear sum `LS`.
+    #[must_use]
+    pub fn ls(&self) -> &[f64] {
+        &self.ls
+    }
+
+    /// Scalar square sum `SS`.
+    #[must_use]
+    pub fn ss(&self) -> f64 {
+        self.ss
+    }
+
+    /// Adds one unweighted point (Additivity Theorem with a singleton).
+    pub fn add_point(&mut self, p: &Point) {
+        self.add_weighted_point(p, 1.0);
+    }
+
+    /// Adds one point with weight `w > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive weight.
+    pub fn add_weighted_point(&mut self, p: &Point, w: f64) {
+        assert!(w.is_finite() && w > 0.0, "weight must be positive, got {w}");
+        assert_eq!(
+            p.dim(),
+            self.dim(),
+            "dimension mismatch: point {} vs CF {}",
+            p.dim(),
+            self.dim()
+        );
+        self.n += w;
+        for (l, c) in self.ls.iter_mut().zip(p.iter()) {
+            *l += w * c;
+        }
+        self.ss += w * dot(p, p);
+    }
+
+    /// Merges another CF into this one (the Additivity Theorem).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &Cf) {
+        assert_eq!(
+            other.dim(),
+            self.dim(),
+            "dimension mismatch: {} vs {}",
+            other.dim(),
+            self.dim()
+        );
+        self.n += other.n;
+        for (l, o) in self.ls.iter_mut().zip(other.ls.iter()) {
+            *l += o;
+        }
+        self.ss += other.ss;
+    }
+
+    /// Returns the merge of two CFs without mutating either.
+    #[must_use]
+    pub fn merged(&self, other: &Cf) -> Cf {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Removes a previously merged CF (inverse of [`Cf::merge`]). Used when
+    /// a tentative absorption is rolled back and by Phase-4 reassignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `other` holds more weight than
+    /// `self` (the subtraction would not describe a real cluster).
+    pub fn subtract(&mut self, other: &Cf) {
+        assert_eq!(
+            other.dim(),
+            self.dim(),
+            "dimension mismatch: {} vs {}",
+            other.dim(),
+            self.dim()
+        );
+        assert!(
+            other.n <= self.n + 1e-9,
+            "cannot subtract CF with larger N ({} > {})",
+            other.n,
+            self.n
+        );
+        self.n = (self.n - other.n).max(0.0);
+        for (l, o) in self.ls.iter_mut().zip(other.ls.iter()) {
+            *l -= o;
+        }
+        self.ss = (self.ss - other.ss).max(0.0);
+        if self.n == 0.0 {
+            // Snap residual floating-point dust to the true empty CF.
+            self.ls.iter_mut().for_each(|l| *l = 0.0);
+            self.ss = 0.0;
+        }
+    }
+
+    /// Centroid `X0 = LS / N` (paper eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CF is empty.
+    #[must_use]
+    pub fn centroid(&self) -> Point {
+        assert!(!self.is_empty(), "centroid of an empty CF is undefined");
+        Point::new(self.ls.iter().map(|l| l / self.n).collect())
+    }
+
+    /// Sum of squared deviations from the centroid:
+    /// `Σ wᵢ‖Xᵢ − X0‖² = SS − ‖LS‖²/N`. Clamped at 0 against floating-point
+    /// cancellation. This is the quantity whose increase defines D4.
+    #[must_use]
+    pub fn sq_deviation(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.ss - dot(&self.ls, &self.ls) / self.n).max(0.0)
+    }
+
+    /// Radius `R = sqrt(Σ‖Xᵢ − X0‖² / N)` (paper eq. 2): average distance
+    /// from member points to the centroid. Zero for empty/singleton CFs.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.sq_deviation() / self.n).sqrt()
+    }
+
+    /// Diameter `D = sqrt(Σᵢⱼ‖Xᵢ−Xⱼ‖² / (N(N−1)))` (paper eq. 3): average
+    /// pairwise distance within the cluster. In CF terms the double sum over
+    /// ordered pairs is `2N·SS − 2‖LS‖²`. Zero when `N ≤ 1`.
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        if self.n <= 1.0 {
+            return 0.0;
+        }
+        let num = 2.0 * self.n * self.ss - 2.0 * dot(&self.ls, &self.ls);
+        (num.max(0.0) / (self.n * (self.n - 1.0))).sqrt()
+    }
+}
+
+impl fmt::Debug for Cf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CF(N={:.1}, LS=[", self.n)?;
+        for (i, l) in self.ls.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l:.3}")?;
+        }
+        write!(f, "], SS={:.3})", self.ss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[[f64; 2]]) -> Vec<Point> {
+        raw.iter().map(|&[x, y]| Point::xy(x, y)).collect()
+    }
+
+    #[test]
+    fn single_point_cf() {
+        let cf = Cf::from_point(&Point::xy(3.0, 4.0));
+        assert_eq!(cf.n(), 1.0);
+        assert_eq!(cf.ls(), &[3.0, 4.0]);
+        assert_eq!(cf.ss(), 25.0);
+        assert_eq!(cf.radius(), 0.0);
+        assert_eq!(cf.diameter(), 0.0);
+        assert_eq!(cf.centroid().coords(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn batch_matches_incremental() {
+        let points = pts(&[[0.0, 0.0], [2.0, 0.0], [1.0, 3.0], [-1.0, 1.0]]);
+        let batch = Cf::from_points(&points);
+        let mut inc = Cf::empty(2);
+        for p in &points {
+            inc.add_point(p);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn additivity_theorem() {
+        let a = pts(&[[0.0, 0.0], [1.0, 1.0]]);
+        let b = pts(&[[4.0, 0.0], [5.0, 5.0], [6.0, 2.0]]);
+        let cf_a = Cf::from_points(&a);
+        let cf_b = Cf::from_points(&b);
+        let merged = cf_a.merged(&cf_b);
+        let all: Vec<Point> = a.iter().chain(&b).cloned().collect();
+        let direct = Cf::from_points(&all);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn subtract_inverts_merge() {
+        let a = Cf::from_points(&pts(&[[1.0, 2.0], [3.0, 4.0]]));
+        let b = Cf::from_points(&pts(&[[10.0, 10.0]]));
+        let mut m = a.merged(&b);
+        m.subtract(&b);
+        assert!((m.n() - a.n()).abs() < 1e-12);
+        assert!((m.ss() - a.ss()).abs() < 1e-9);
+        for (x, y) in m.ls().iter().zip(a.ls()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let cf = Cf::from_points(&pts(&[[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [2.0, 2.0]]));
+        assert_eq!(cf.centroid().coords(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn radius_of_unit_square_corners() {
+        // Four corners of a 2x2 square centred at (1,1): every point is at
+        // distance sqrt(2) from the centroid, so R = sqrt(2).
+        let cf = Cf::from_points(&pts(&[[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [2.0, 2.0]]));
+        assert!((cf.radius() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_of_point_pair() {
+        // Two points at distance 6: average pairwise distance = 6.
+        let cf = Cf::from_points(&pts(&[[0.0, 0.0], [6.0, 0.0]]));
+        assert!((cf.diameter() - 6.0).abs() < 1e-12);
+        // And radius is half of it.
+        assert!((cf.radius() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_hand_computed_triangle() {
+        // Points (0,0), (2,0), (0,2): pairwise sq dists 4, 4, 8 -> mean over
+        // N(N-1)=6 *ordered* pairs = (2*(4+4+8))/6 = 16/3.
+        let cf = Cf::from_points(&pts(&[[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]]));
+        assert!((cf.diameter() - (16.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_point_equals_repeated_point() {
+        let p = Point::xy(2.0, -1.0);
+        let mut w = Cf::empty(2);
+        w.add_weighted_point(&p, 3.0);
+        let mut r = Cf::empty(2);
+        for _ in 0..3 {
+            r.add_point(&p);
+        }
+        assert_eq!(w, r);
+    }
+
+    #[test]
+    fn sq_deviation_never_negative_under_cancellation() {
+        // Identical far-away points: SS - |LS|^2/N cancels to ~0 and may go
+        // slightly negative in floating point; it must clamp.
+        let p = Point::xy(1e8, 1e8);
+        let mut cf = Cf::empty(2);
+        for _ in 0..1000 {
+            cf.add_point(&p);
+        }
+        assert!(cf.sq_deviation() >= 0.0);
+        assert!(cf.radius() >= 0.0);
+        assert!(cf.diameter() >= 0.0);
+    }
+
+    #[test]
+    fn empty_cf_behaviour() {
+        let cf = Cf::empty(3);
+        assert!(cf.is_empty());
+        assert_eq!(cf.radius(), 0.0);
+        assert_eq!(cf.diameter(), 0.0);
+        assert_eq!(cf.sq_deviation(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "centroid of an empty CF")]
+    fn empty_centroid_panics() {
+        let _ = Cf::empty(2).centroid();
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn merge_dimension_mismatch_panics() {
+        let mut a = Cf::empty(2);
+        let b = Cf::empty(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot subtract")]
+    fn oversubtraction_panics() {
+        let mut a = Cf::from_point(&Point::xy(0.0, 0.0));
+        let b = Cf::from_points(&pts(&[[0.0, 0.0], [1.0, 1.0]]));
+        a.subtract(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let mut cf = Cf::empty(2);
+        cf.add_weighted_point(&Point::xy(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let cf = Cf::from_point(&Point::xy(1.0, 2.0));
+        let s = format!("{cf:?}");
+        assert!(s.starts_with("CF(N=1.0"));
+    }
+}

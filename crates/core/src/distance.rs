@@ -1,0 +1,342 @@
+//! The five inter-cluster distance metrics of §3 (eqs. 4–8), computed
+//! exactly from CF vectors.
+//!
+//! Given clusters with features `CF₁ = (N₁, LS₁, SS₁)` and
+//! `CF₂ = (N₂, LS₂, SS₂)`:
+//!
+//! * **D0** — centroid Euclidean distance `‖X0₁ − X0₂‖` (eq. 4),
+//! * **D1** — centroid Manhattan distance `Σ|X0₁(t) − X0₂(t)|` (eq. 5),
+//! * **D2** — average inter-cluster distance
+//!   `sqrt(Σᵢ∈1 Σⱼ∈2 ‖Xᵢ−Xⱼ‖² / (N₁N₂))` (eq. 6),
+//! * **D3** — average intra-cluster distance of the *merged* cluster
+//!   (eq. 7) — i.e. the diameter of `CF₁ + CF₂`,
+//! * **D4** — variance-increase distance (eq. 8): the growth in total
+//!   squared deviation caused by merging.
+//!
+//! All five reduce to closed forms over `(N, LS, SS)`:
+//!
+//! ```text
+//! D2² = (N₂·SS₁ + N₁·SS₂ − 2·LS₁·LS₂) / (N₁·N₂)
+//! D3² = (2N·SSₘ − 2‖LSₘ‖²) / (N(N−1)),  N = N₁+N₂, subscript m = merged
+//! D4² = ‖LS₁‖²/N₁ + ‖LS₂‖²/N₂ − ‖LSₘ‖²/N
+//! ```
+//!
+//! (for D4, note `SSₘ = SS₁+SS₂` cancels out of the deviation difference).
+
+use crate::cf::Cf;
+use crate::point::dot;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which of the paper's five distance definitions to use when comparing
+/// clusters (choosing the closest child during descent, seeding splits,
+/// Phase-3 agglomeration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceMetric {
+    /// D0 — Euclidean distance between centroids (eq. 4).
+    D0,
+    /// D1 — Manhattan distance between centroids (eq. 5).
+    D1,
+    /// D2 — average inter-cluster distance (eq. 6). The paper's default
+    /// (Table 2: "Distance def. D2").
+    #[default]
+    D2,
+    /// D3 — average intra-cluster distance of the merged cluster (eq. 7).
+    D3,
+    /// D4 — variance increase distance (eq. 8).
+    D4,
+}
+
+impl DistanceMetric {
+    /// All five metrics, for sweeps and tests.
+    pub const ALL: [DistanceMetric; 5] = [
+        DistanceMetric::D0,
+        DistanceMetric::D1,
+        DistanceMetric::D2,
+        DistanceMetric::D3,
+        DistanceMetric::D4,
+    ];
+
+    /// Distance between two non-empty clusters under this metric.
+    ///
+    /// All metrics are symmetric and non-negative; all except D3 are zero
+    /// for identical singletons (D3 of two coincident singletons is also 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either CF is empty or dimensions disagree.
+    #[must_use]
+    pub fn distance(self, a: &Cf, b: &Cf) -> f64 {
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "distance between empty clusters is undefined"
+        );
+        assert_eq!(
+            a.dim(),
+            b.dim(),
+            "dimension mismatch: {} vs {}",
+            a.dim(),
+            b.dim()
+        );
+        match self {
+            DistanceMetric::D0 => d0(a, b),
+            DistanceMetric::D1 => d1(a, b),
+            DistanceMetric::D2 => d2(a, b),
+            DistanceMetric::D3 => d3(a, b),
+            DistanceMetric::D4 => d4(a, b),
+        }
+    }
+}
+
+impl fmt::Display for DistanceMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DistanceMetric::D0 => "D0",
+            DistanceMetric::D1 => "D1",
+            DistanceMetric::D2 => "D2",
+            DistanceMetric::D3 => "D3",
+            DistanceMetric::D4 => "D4",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for DistanceMetric {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_uppercase().as_str() {
+            "D0" => Ok(DistanceMetric::D0),
+            "D1" => Ok(DistanceMetric::D1),
+            "D2" => Ok(DistanceMetric::D2),
+            "D3" => Ok(DistanceMetric::D3),
+            "D4" => Ok(DistanceMetric::D4),
+            other => Err(format!("unknown distance metric {other:?} (want D0..D4)")),
+        }
+    }
+}
+
+// The four metric kernels below are closed forms over (N, LS, SS): no
+// centroid/merge materialization, hence no allocation. These run once per
+// child entry per tree level for *every* insertion (the §6.1 CPU cost
+// model's inner loop), so the allocation-free forms matter.
+
+fn d0(a: &Cf, b: &Cf) -> f64 {
+    let (na, nb) = (a.n(), b.n());
+    a.ls()
+        .iter()
+        .zip(b.ls())
+        .map(|(&x, &y)| {
+            let d = x / na - y / nb;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn d1(a: &Cf, b: &Cf) -> f64 {
+    let (na, nb) = (a.n(), b.n());
+    a.ls()
+        .iter()
+        .zip(b.ls())
+        .map(|(&x, &y)| (x / na - y / nb).abs())
+        .sum()
+}
+
+fn d2(a: &Cf, b: &Cf) -> f64 {
+    let num = b.n() * a.ss() + a.n() * b.ss() - 2.0 * dot(a.ls(), b.ls());
+    (num.max(0.0) / (a.n() * b.n())).sqrt()
+}
+
+/// ‖LS_a + LS_b‖² without materializing the merged vector.
+fn merged_ls_sq(a: &Cf, b: &Cf) -> f64 {
+    dot(a.ls(), a.ls()) + 2.0 * dot(a.ls(), b.ls()) + dot(b.ls(), b.ls())
+}
+
+fn d3(a: &Cf, b: &Cf) -> f64 {
+    let n = a.n() + b.n();
+    if n <= 1.0 {
+        return 0.0; // fractional weights: merged "cluster" of ≤ one point
+    }
+    let ss = a.ss() + b.ss();
+    let num = 2.0 * n * ss - 2.0 * merged_ls_sq(a, b);
+    (num.max(0.0) / (n * (n - 1.0))).sqrt()
+}
+
+fn d4(a: &Cf, b: &Cf) -> f64 {
+    let n = a.n() + b.n();
+    let inc =
+        dot(a.ls(), a.ls()) / a.n() + dot(b.ls(), b.ls()) / b.n() - merged_ls_sq(a, b) / n;
+    inc.max(0.0).sqrt()
+}
+
+/// What cluster statistic the CF-tree threshold `T` constrains (§4.2: the
+/// diameter *or radius* of each leaf entry has to be less than `T`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThresholdKind {
+    /// Constrain the leaf entry's diameter `D < T` (the paper's default
+    /// quality measure, Table 2).
+    #[default]
+    Diameter,
+    /// Constrain the leaf entry's radius `R < T`.
+    Radius,
+}
+
+impl ThresholdKind {
+    /// The constrained statistic of a CF.
+    #[must_use]
+    pub fn statistic(self, cf: &Cf) -> f64 {
+        match self {
+            ThresholdKind::Diameter => cf.diameter(),
+            ThresholdKind::Radius => cf.radius(),
+        }
+    }
+
+    /// Whether `cf` satisfies the threshold condition wrt `t`.
+    #[must_use]
+    pub fn satisfies(self, cf: &Cf, t: f64) -> bool {
+        self.statistic(cf) <= t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn cf_of(raw: &[[f64; 2]]) -> Cf {
+        let pts: Vec<Point> = raw.iter().map(|&[x, y]| Point::xy(x, y)).collect();
+        Cf::from_points(&pts)
+    }
+
+    /// Brute-force D2 straight from the definition for cross-checking.
+    fn d2_brute(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
+        let mut s = 0.0;
+        for p in a {
+            for q in b {
+                s += (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2);
+            }
+        }
+        (s / (a.len() * b.len()) as f64).sqrt()
+    }
+
+    #[test]
+    fn d0_between_singletons_is_euclidean() {
+        let a = cf_of(&[[0.0, 0.0]]);
+        let b = cf_of(&[[3.0, 4.0]]);
+        assert!((DistanceMetric::D0.distance(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d1_between_singletons_is_manhattan() {
+        let a = cf_of(&[[0.0, 0.0]]);
+        let b = cf_of(&[[3.0, 4.0]]);
+        assert!((DistanceMetric::D1.distance(&a, &b) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d2_matches_brute_force() {
+        let a = [[0.0, 0.0], [1.0, 1.0], [2.0, -1.0]];
+        let b = [[5.0, 5.0], [6.0, 4.0]];
+        let got = DistanceMetric::D2.distance(&cf_of(&a), &cf_of(&b));
+        assert!((got - d2_brute(&a, &b)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn d2_of_singletons_equals_d0() {
+        let a = cf_of(&[[1.0, 2.0]]);
+        let b = cf_of(&[[4.0, 6.0]]);
+        let d0 = DistanceMetric::D0.distance(&a, &b);
+        let d2 = DistanceMetric::D2.distance(&a, &b);
+        assert!((d0 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d3_is_merged_diameter() {
+        let a = [[0.0, 0.0], [1.0, 0.0]];
+        let b = [[10.0, 0.0]];
+        let merged = cf_of(&[[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]]);
+        let got = DistanceMetric::D3.distance(&cf_of(&a), &cf_of(&b));
+        assert!((got - merged.diameter()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d4_matches_deviation_increase() {
+        let a = [[0.0, 0.0], [2.0, 0.0]];
+        let b = [[10.0, 0.0], [12.0, 0.0]];
+        let (cfa, cfb) = (cf_of(&a), cf_of(&b));
+        let merged = cfa.merged(&cfb);
+        let expected = (merged.sq_deviation() - cfa.sq_deviation() - cfb.sq_deviation())
+            .max(0.0)
+            .sqrt();
+        let got = DistanceMetric::D4.distance(&cfa, &cfb);
+        assert!((got - expected).abs() < 1e-10, "got {got}, want {expected}");
+    }
+
+    #[test]
+    fn all_metrics_symmetric_and_nonnegative() {
+        let a = cf_of(&[[0.0, 1.0], [2.0, 3.0], [1.0, -2.0]]);
+        let b = cf_of(&[[7.0, 7.0], [8.0, 6.0]]);
+        for m in DistanceMetric::ALL {
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            assert!(ab >= 0.0, "{m} negative");
+            assert!((ab - ba).abs() < 1e-12, "{m} asymmetric");
+        }
+    }
+
+    #[test]
+    fn coincident_singletons_have_zero_distance() {
+        let a = cf_of(&[[5.0, 5.0]]);
+        let b = cf_of(&[[5.0, 5.0]]);
+        for m in DistanceMetric::ALL {
+            assert!(m.distance(&a, &b).abs() < 1e-12, "{m} nonzero");
+        }
+    }
+
+    #[test]
+    fn metric_ordering_on_separated_blobs() {
+        // Far-apart blobs: every metric should report a "large" distance
+        // comparable to the centroid separation (within a small factor).
+        let a = cf_of(&[[0.0, 0.0], [0.1, 0.1]]);
+        let b = cf_of(&[[100.0, 0.0], [100.1, 0.1]]);
+        for m in DistanceMetric::ALL {
+            let d = m.distance(&a, &b);
+            assert!(d > 50.0, "{m} too small: {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clusters")]
+    fn empty_cf_distance_panics() {
+        let a = Cf::empty(2);
+        let b = cf_of(&[[1.0, 1.0]]);
+        let _ = DistanceMetric::D0.distance(&a, &b);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for m in DistanceMetric::ALL {
+            let parsed: DistanceMetric = m.to_string().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!("D9".parse::<DistanceMetric>().is_err());
+        assert_eq!("d3".parse::<DistanceMetric>().unwrap(), DistanceMetric::D3);
+    }
+
+    #[test]
+    fn threshold_kind_statistics() {
+        let cf = cf_of(&[[0.0, 0.0], [6.0, 0.0]]);
+        assert!((ThresholdKind::Diameter.statistic(&cf) - 6.0).abs() < 1e-12);
+        assert!((ThresholdKind::Radius.statistic(&cf) - 3.0).abs() < 1e-12);
+        assert!(ThresholdKind::Diameter.satisfies(&cf, 6.0));
+        assert!(!ThresholdKind::Diameter.satisfies(&cf, 5.9));
+        assert!(ThresholdKind::Radius.satisfies(&cf, 3.5));
+    }
+
+    #[test]
+    fn default_metric_is_d2_and_default_threshold_is_diameter() {
+        assert_eq!(DistanceMetric::default(), DistanceMetric::D2);
+        assert_eq!(ThresholdKind::default(), ThresholdKind::Diameter);
+    }
+}

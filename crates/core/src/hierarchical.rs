@@ -1,0 +1,330 @@
+//! Agglomerative hierarchical clustering over Clustering Features.
+//!
+//! Phase 3 of BIRCH applies "an agglomerative hierarchical clustering
+//! algorithm … used directly to the subclusters represented by their CF
+//! vectors" (§5). Because CFs merge exactly (the Additivity Theorem), the
+//! distance between any two intermediate clusters under D0–D4 can be
+//! recomputed from their merged CFs — no Lance–Williams update formula or
+//! approximation is needed, which is precisely the "accuracy and
+//! flexibility" advantage the paper claims.
+//!
+//! The implementation keeps a binary heap of candidate pairs with lazy
+//! invalidation (each cluster carries a version stamp; stale pairs are
+//! skipped on pop), giving `O(m² log m)` time and `O(m²)` heap space for
+//! `m` input entries — fine for the condensed trees Phase 2 produces.
+
+use crate::cf::Cf;
+use crate::distance::DistanceMetric;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+/// When to stop merging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Stop when exactly `k` clusters remain (the usual BIRCH input `K`).
+    ClusterCount(usize),
+    /// Stop when the closest remaining pair is farther apart than this
+    /// distance (lets the data pick its own cluster count).
+    DistanceThreshold(f64),
+}
+
+/// Result of a hierarchical run: per-input labels and the cluster CFs.
+#[derive(Debug, Clone)]
+pub struct HierarchicalResult {
+    /// `labels[i]` is the cluster index (into `clusters`) of input entry `i`.
+    pub labels: Vec<usize>,
+    /// Final cluster summaries, in arbitrary but stable order.
+    pub clusters: Vec<Cf>,
+    /// Merge distances in the order merges happened (the dendrogram's
+    /// height sequence) — useful for picking a cut and for tests.
+    pub merge_distances: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct Candidate {
+    dist: f64,
+    a: usize,
+    b: usize,
+    ver_a: u32,
+    ver_b: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Min-heap on distance via reversed comparison; NaNs are rejected
+        // at construction so total_cmp is safe and total.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// Runs agglomerative clustering over `entries` with the given metric.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty, if any entry is empty, or if the stop rule
+/// asks for more clusters than there are entries (`k > m` is a caller bug;
+/// `k == 0` likewise).
+#[must_use]
+pub fn agglomerate(
+    entries: &[Cf],
+    metric: DistanceMetric,
+    stop: StopRule,
+) -> HierarchicalResult {
+    assert!(!entries.is_empty(), "cannot cluster zero entries");
+    assert!(
+        entries.iter().all(|e| !e.is_empty()),
+        "entries must be non-empty CFs"
+    );
+    if let StopRule::ClusterCount(k) = stop {
+        assert!(k >= 1, "cluster count must be >= 1");
+        assert!(
+            k <= entries.len(),
+            "asked for {k} clusters from {} entries",
+            entries.len()
+        );
+    }
+
+    let m = entries.len();
+    // Active clusters; None = merged away. Versions invalidate stale pairs.
+    let mut clusters: Vec<Option<Cf>> = entries.iter().cloned().map(Some).collect();
+    let mut version = vec![0u32; m];
+    // Union-find to map original entries to final clusters.
+    let mut parent: Vec<usize> = (0..m).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut heap = BinaryHeap::with_capacity(m * (m.saturating_sub(1)) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = metric.distance(&entries[i], &entries[j]);
+            heap.push(Candidate {
+                dist: d,
+                a: i,
+                b: j,
+                ver_a: 0,
+                ver_b: 0,
+            });
+        }
+    }
+
+    let mut active = m;
+    let mut merge_distances = Vec::new();
+    let target = match stop {
+        StopRule::ClusterCount(k) => k,
+        StopRule::DistanceThreshold(_) => 1,
+    };
+
+    while active > target {
+        let Some(c) = heap.pop() else { break };
+        if version[c.a] != c.ver_a || version[c.b] != c.ver_b {
+            continue; // stale pair
+        }
+        if let StopRule::DistanceThreshold(t) = stop {
+            if c.dist > t {
+                break;
+            }
+        }
+        // Merge b into a.
+        let cf_b = clusters[c.b].take().expect("versioned cluster alive");
+        let cf_a = clusters[c.a].as_mut().expect("versioned cluster alive");
+        cf_a.merge(&cf_b);
+        version[c.a] += 1;
+        version[c.b] = u32::MAX; // never valid again
+        let root_b = find(&mut parent, c.b);
+        let root_a = find(&mut parent, c.a);
+        parent[root_b] = root_a;
+        active -= 1;
+        merge_distances.push(c.dist);
+
+        // New candidate pairs from the merged cluster.
+        let merged_cf = clusters[c.a].clone().expect("just merged");
+        for (i, slot) in clusters.iter().enumerate() {
+            if i == c.a {
+                continue;
+            }
+            if let Some(other) = slot {
+                let d = metric.distance(&merged_cf, other);
+                heap.push(Candidate {
+                    dist: d,
+                    a: c.a,
+                    b: i,
+                    ver_a: version[c.a],
+                    ver_b: version[i],
+                });
+            }
+        }
+    }
+
+    // Compact the surviving clusters and relabel.
+    let mut cluster_index = vec![usize::MAX; m];
+    let mut out_clusters = Vec::with_capacity(active);
+    for (i, slot) in clusters.iter().enumerate() {
+        if let Some(cf) = slot {
+            cluster_index[i] = out_clusters.len();
+            out_clusters.push(cf.clone());
+        }
+    }
+    let mut labels = Vec::with_capacity(m);
+    for i in 0..m {
+        let root = find(&mut parent, i);
+        labels.push(cluster_index[root]);
+    }
+
+    HierarchicalResult {
+        labels,
+        clusters: out_clusters,
+        merge_distances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn singletons(raw: &[[f64; 2]]) -> Vec<Cf> {
+        raw.iter()
+            .map(|&[x, y]| Cf::from_point(&Point::xy(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn two_obvious_blobs() {
+        let entries = singletons(&[
+            [0.0, 0.0],
+            [0.5, 0.0],
+            [0.0, 0.5],
+            [50.0, 50.0],
+            [50.5, 50.0],
+            [50.0, 50.5],
+        ]);
+        let r = agglomerate(&entries, DistanceMetric::D2, StopRule::ClusterCount(2));
+        assert_eq!(r.clusters.len(), 2);
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[1], r.labels[2]);
+        assert_eq!(r.labels[3], r.labels[4]);
+        assert_eq!(r.labels[4], r.labels[5]);
+        assert_ne!(r.labels[0], r.labels[3]);
+        // Cluster CFs carry the right weights.
+        let mut ns: Vec<f64> = r.clusters.iter().map(Cf::n).collect();
+        ns.sort_by(f64::total_cmp);
+        assert_eq!(ns, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn k_equals_m_is_identity() {
+        let entries = singletons(&[[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]);
+        let r = agglomerate(&entries, DistanceMetric::D0, StopRule::ClusterCount(3));
+        assert_eq!(r.clusters.len(), 3);
+        let mut seen = r.labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+        assert!(r.merge_distances.is_empty());
+    }
+
+    #[test]
+    fn k_equals_one_merges_everything() {
+        let entries = singletons(&[[0.0, 0.0], [10.0, 0.0], [5.0, 8.0], [2.0, 2.0]]);
+        let r = agglomerate(&entries, DistanceMetric::D0, StopRule::ClusterCount(1));
+        assert_eq!(r.clusters.len(), 1);
+        assert_eq!(r.clusters[0].n(), 4.0);
+        assert!(r.labels.iter().all(|&l| l == 0));
+        assert_eq!(r.merge_distances.len(), 3);
+    }
+
+    #[test]
+    fn merge_distances_reflect_structure() {
+        // Tight pair + far singleton: the first merge is the tight pair at
+        // a small distance, the second at a large one.
+        let entries = singletons(&[[0.0, 0.0], [0.1, 0.0], [100.0, 0.0]]);
+        let r = agglomerate(&entries, DistanceMetric::D0, StopRule::ClusterCount(1));
+        assert_eq!(r.merge_distances.len(), 2);
+        assert!(r.merge_distances[0] < 1.0);
+        assert!(r.merge_distances[1] > 50.0);
+    }
+
+    #[test]
+    fn distance_threshold_stop() {
+        let entries = singletons(&[[0.0, 0.0], [0.1, 0.0], [100.0, 0.0], [100.1, 0.0]]);
+        let r = agglomerate(
+            &entries,
+            DistanceMetric::D0,
+            StopRule::DistanceThreshold(1.0),
+        );
+        assert_eq!(r.clusters.len(), 2);
+    }
+
+    #[test]
+    fn distance_threshold_zero_merges_nothing_distinct() {
+        let entries = singletons(&[[0.0, 0.0], [1.0, 0.0]]);
+        let r = agglomerate(
+            &entries,
+            DistanceMetric::D0,
+            StopRule::DistanceThreshold(0.5),
+        );
+        assert_eq!(r.clusters.len(), 2);
+    }
+
+    #[test]
+    fn weighted_entries_pull_merges() {
+        // A heavy subcluster and two singles; with D2 the singles near the
+        // heavy blob should join it rather than each other when k=2.
+        let blob: Vec<Point> = (0..50).map(|_| Point::xy(0.0, 0.0)).collect();
+        let entries = vec![
+            Cf::from_points(&blob),
+            Cf::from_point(&Point::xy(1.0, 0.0)),
+            Cf::from_point(&Point::xy(30.0, 0.0)),
+        ];
+        let r = agglomerate(&entries, DistanceMetric::D2, StopRule::ClusterCount(2));
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_ne!(r.labels[0], r.labels[2]);
+    }
+
+    #[test]
+    fn all_metrics_terminate_on_random_input() {
+        let raw: Vec<[f64; 2]> = (0..40)
+            .map(|i| {
+                let i = i as f64;
+                [(i * 0.61).rem_euclid(10.0), (i * 0.41).rem_euclid(10.0)]
+            })
+            .collect();
+        let entries = singletons(&raw);
+        for m in DistanceMetric::ALL {
+            let r = agglomerate(&entries, m, StopRule::ClusterCount(5));
+            assert_eq!(r.clusters.len(), 5, "metric {m}");
+            let total: f64 = r.clusters.iter().map(Cf::n).sum();
+            assert_eq!(total, 40.0, "metric {m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cluster zero entries")]
+    fn empty_input_panics() {
+        let _ = agglomerate(&[], DistanceMetric::D0, StopRule::ClusterCount(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "asked for")]
+    fn too_many_clusters_panics() {
+        let entries = singletons(&[[0.0, 0.0]]);
+        let _ = agglomerate(&entries, DistanceMetric::D0, StopRule::ClusterCount(2));
+    }
+}

@@ -1,0 +1,62 @@
+//! BIRCH — Balanced Iterative Reducing and Clustering using Hierarchies.
+//!
+//! A faithful implementation of the clustering method of Zhang,
+//! Ramakrishnan & Livny (SIGMOD 1996): cluster very large metric datasets
+//! in a single scan under a fixed memory budget, by incrementally
+//! maintaining a height-balanced tree of Clustering Features (CFs) and then
+//! clustering the leaf summaries globally.
+//!
+//! The pipeline has four phases (paper Fig. 1):
+//!
+//! 1. **Phase 1** ([`phase1`]) — scan the data once, building a CF-tree
+//!    within the memory budget, rebuilding with a larger threshold whenever
+//!    memory runs out, optionally spilling outliers to disk.
+//! 2. **Phase 2** ([`phase2`], optional) — condense the tree so the number
+//!    of leaf entries suits the global algorithm.
+//! 3. **Phase 3** ([`phase3`]) — cluster the leaf entries with an
+//!    agglomerative hierarchical algorithm adapted to weighted CFs.
+//! 4. **Phase 4** ([`phase4`], optional) — refine: reassign the original
+//!    points to the Phase-3 centroids, label them, and discard outliers.
+//!
+//! The one-stop entry point is [`Birch`]:
+//!
+//! ```
+//! use birch_core::{Birch, BirchConfig, Point};
+//!
+//! let pts: Vec<Point> = (0..200)
+//!     .map(|i| {
+//!         let c = f64::from(i % 2) * 20.0;
+//!         Point::xy(c + f64::from(i % 7) * 0.05, c - f64::from(i % 5) * 0.05)
+//!     })
+//!     .collect();
+//! let model = Birch::new(BirchConfig::with_clusters(2)).fit(&pts).unwrap();
+//! assert_eq!(model.clusters().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod birch;
+pub mod cf;
+pub mod config;
+pub mod distance;
+pub mod hierarchical;
+pub mod node;
+pub mod outlier;
+pub mod phase1;
+pub mod phase2;
+pub mod phase3;
+pub mod phase4;
+pub mod point;
+pub mod rebuild;
+pub mod stream;
+pub mod threshold;
+pub mod tree;
+
+pub use birch::{Birch, BirchModel, ClusterSummary};
+pub use cf::Cf;
+pub use config::BirchConfig;
+pub use distance::{DistanceMetric, ThresholdKind};
+pub use point::Point;
+pub use stream::StreamingBirch;
+pub use tree::{CfTree, InsertOutcome, TreeParams};

@@ -1,0 +1,209 @@
+//! Arena-allocated CF-tree nodes.
+//!
+//! §4.2: a CF-tree node is either a **nonleaf** holding at most `B` entries
+//! of the form `[CFᵢ, childᵢ]`, or a **leaf** holding at most `L` CF entries
+//! plus `prev`/`next` pointers chaining all leaves together. Each node
+//! occupies one page.
+//!
+//! Nodes live in a `Vec` arena indexed by [`NodeId`] — cache-friendly, no
+//! `Rc<RefCell<…>>`, and page accounting is just arena occupancy.
+
+use crate::cf::Cf;
+
+/// Index of a node in the tree's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena slot this id refers to.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One `[CFᵢ, childᵢ]` entry of a nonleaf node.
+#[derive(Debug, Clone)]
+pub struct ChildEntry {
+    /// Summary of the entire subtree rooted at `child`.
+    pub cf: Cf,
+    /// The subtree root.
+    pub child: NodeId,
+}
+
+/// Payload of a node: leaf or interior.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// A leaf node: CF entries (each a subcluster obeying the threshold
+    /// condition) plus its position in the doubly linked leaf chain.
+    Leaf {
+        /// The subcluster summaries stored in this leaf.
+        entries: Vec<Cf>,
+        /// Previous leaf in the chain (`None` at the head).
+        prev: Option<NodeId>,
+        /// Next leaf in the chain (`None` at the tail).
+        next: Option<NodeId>,
+    },
+    /// An interior (nonleaf) node: `[CF, child]` routing entries.
+    Interior {
+        /// The routing entries, in sibling order.
+        children: Vec<ChildEntry>,
+    },
+}
+
+/// A CF-tree node (one simulated page).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node payload.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// A fresh empty leaf, not yet linked into the chain.
+    #[must_use]
+    pub fn new_leaf() -> Self {
+        Self {
+            kind: NodeKind::Leaf {
+                entries: Vec::new(),
+                prev: None,
+                next: None,
+            },
+        }
+    }
+
+    /// A fresh interior node with no children.
+    #[must_use]
+    pub fn new_interior() -> Self {
+        Self {
+            kind: NodeKind::Interior {
+                children: Vec::new(),
+            },
+        }
+    }
+
+    /// Whether this node is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+
+    /// Number of entries (CF entries for a leaf, children for an interior).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf { entries, .. } => entries.len(),
+            NodeKind::Interior { children } => children.len(),
+        }
+    }
+
+    /// Leaf entries, panicking if this is an interior node.
+    #[must_use]
+    pub fn leaf_entries(&self) -> &[Cf] {
+        match &self.kind {
+            NodeKind::Leaf { entries, .. } => entries,
+            NodeKind::Interior { .. } => panic!("leaf_entries on interior node"),
+        }
+    }
+
+    /// Mutable leaf entries, panicking if this is an interior node.
+    pub fn leaf_entries_mut(&mut self) -> &mut Vec<Cf> {
+        match &mut self.kind {
+            NodeKind::Leaf { entries, .. } => entries,
+            NodeKind::Interior { .. } => panic!("leaf_entries_mut on interior node"),
+        }
+    }
+
+    /// Interior children, panicking if this is a leaf.
+    #[must_use]
+    pub fn children(&self) -> &[ChildEntry] {
+        match &self.kind {
+            NodeKind::Interior { children } => children,
+            NodeKind::Leaf { .. } => panic!("children on leaf node"),
+        }
+    }
+
+    /// Mutable interior children, panicking if this is a leaf.
+    pub fn children_mut(&mut self) -> &mut Vec<ChildEntry> {
+        match &mut self.kind {
+            NodeKind::Interior { children } => children,
+            NodeKind::Leaf { .. } => panic!("children_mut on leaf node"),
+        }
+    }
+
+    /// Exact CF summary of this node: the sum of its entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no entries (an empty node has no meaningful
+    /// summary and should never be summarized).
+    #[must_use]
+    pub fn summary(&self, dim: usize) -> Cf {
+        let mut cf = Cf::empty(dim);
+        match &self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                for e in entries {
+                    cf.merge(e);
+                }
+            }
+            NodeKind::Interior { children } => {
+                for c in children {
+                    cf.merge(&c.cf);
+                }
+            }
+        }
+        cf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    #[test]
+    fn leaf_basics() {
+        let mut n = Node::new_leaf();
+        assert!(n.is_leaf());
+        assert_eq!(n.entry_count(), 0);
+        n.leaf_entries_mut().push(Cf::from_point(&Point::xy(1.0, 2.0)));
+        assert_eq!(n.entry_count(), 1);
+        assert_eq!(n.leaf_entries().len(), 1);
+    }
+
+    #[test]
+    fn interior_basics() {
+        let mut n = Node::new_interior();
+        assert!(!n.is_leaf());
+        n.children_mut().push(ChildEntry {
+            cf: Cf::from_point(&Point::xy(0.0, 0.0)),
+            child: NodeId(7),
+        });
+        assert_eq!(n.entry_count(), 1);
+        assert_eq!(n.children()[0].child, NodeId(7));
+    }
+
+    #[test]
+    fn summary_sums_entries() {
+        let mut n = Node::new_leaf();
+        n.leaf_entries_mut().push(Cf::from_point(&Point::xy(1.0, 0.0)));
+        n.leaf_entries_mut().push(Cf::from_point(&Point::xy(3.0, 4.0)));
+        let s = n.summary(2);
+        assert_eq!(s.n(), 2.0);
+        assert_eq!(s.ls(), &[4.0, 4.0]);
+        assert_eq!(s.ss(), 26.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "children on leaf node")]
+    fn children_on_leaf_panics() {
+        let n = Node::new_leaf();
+        let _ = n.children();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_entries on interior node")]
+    fn leaf_entries_on_interior_panics() {
+        let n = Node::new_interior();
+        let _ = n.leaf_entries();
+    }
+}

@@ -1,0 +1,493 @@
+//! Phase 1: load the data into an in-memory CF-tree in a single scan.
+//!
+//! Paper §5 and Fig. 2. Starting from threshold `T0`, every incoming point
+//! is inserted into the CF-tree. When the tree outgrows the memory budget
+//! `M`, the threshold is increased (see [`crate::threshold`]) and the tree
+//! is rebuilt smaller from its own leaf entries (see [`crate::rebuild`]),
+//! optionally spilling low-density entries to the outlier disk. With the
+//! delay-split option, points that would force a split while memory is
+//! exhausted are parked on disk first, squeezing the most out of the
+//! current threshold before paying for a rebuild. After the last point,
+//! parked points are folded back in and the outlier disk gets a final
+//! re-absorption scan; what remains there is discarded as noise.
+
+use crate::cf::Cf;
+use crate::config::BirchConfig;
+use crate::outlier::{DelaySplitBuffer, OutlierConfig, OutlierStore};
+use crate::rebuild::rebuild;
+use crate::threshold::ThresholdEstimator;
+use crate::tree::{CfTree, TreeParams};
+use birch_pager::{IoStats, PageLayout};
+
+/// Hard cap on rebuilds per run: the threshold grows strictly every
+/// rebuild, so hitting this means a logic error, and failing loudly beats
+/// spinning.
+const MAX_REBUILDS: u64 = 10_000;
+
+/// Everything Phase 1 produces.
+#[derive(Debug)]
+pub struct Phase1Output {
+    /// The final CF-tree (fits the memory budget).
+    pub tree: CfTree,
+    /// Resource counters for the run.
+    pub io: IoStats,
+    /// The threshold after each rebuild, `T1, T2, …` (empty if no rebuild
+    /// was needed).
+    pub threshold_history: Vec<f64>,
+    /// Input records scanned.
+    pub points_scanned: u64,
+    /// The outlier store (already finalized — empty unless
+    /// `discard_at_end` was off), kept for its disk counters.
+    pub outliers: Option<OutlierStore>,
+    /// The threshold estimator, carrying its r–N history forward so Phase 2
+    /// can continue the same sequence.
+    pub estimator: ThresholdEstimator,
+}
+
+/// Incremental Phase-1 driver: feed CFs one at a time, inspect the live
+/// tree, and `finish()` when the scan ends. [`run`] wraps this for the
+/// whole-dataset case; [`crate::stream::StreamingBirch`] wraps it for
+/// open-ended streams.
+#[derive(Debug)]
+pub struct Phase1Builder {
+    max_pages: usize,
+    tree: CfTree,
+    estimator: ThresholdEstimator,
+    outliers: Option<OutlierStore>,
+    delay: Option<DelaySplitBuffer>,
+    delay_mode: bool,
+    io: IoStats,
+    threshold_history: Vec<f64>,
+    points_scanned: u64,
+    /// Tree stats accumulated across rebuilt (discarded) trees.
+    carried_splits: u64,
+    carried_refinements: u64,
+}
+
+/// Runs Phase 1 over a stream of singleton (or subcluster) CFs of
+/// dimensionality `dim`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`BirchConfig::validate`])
+/// or if an input CF has the wrong dimension.
+pub fn run<I>(config: &BirchConfig, dim: usize, input: I) -> Phase1Output
+where
+    I: IntoIterator<Item = Cf>,
+{
+    let mut b = builder(config, dim);
+    for cf in input {
+        b.feed(cf);
+    }
+    b.finish()
+}
+
+fn builder(config: &BirchConfig, dim: usize) -> Phase1Builder {
+    config.validate();
+    let layout = PageLayout::new(config.page_bytes, dim);
+    let max_pages = layout.pages_in_budget(config.memory_bytes).max(1);
+    let entry_bytes = layout.cf_entry_bytes();
+
+    let both = config.outlier_handling && config.delay_split;
+    let outliers = config.outlier_handling.then(|| {
+        let bytes = if both {
+            config.disk_bytes / 2
+        } else {
+            config.disk_bytes
+        };
+        OutlierStore::new(
+            bytes,
+            entry_bytes,
+            OutlierConfig {
+                enabled: true,
+                factor: config.outlier_factor,
+                discard_at_end: true,
+            },
+        )
+    });
+    let delay = config.delay_split.then(|| {
+        let bytes = if both {
+            config.disk_bytes - config.disk_bytes / 2
+        } else {
+            config.disk_bytes
+        };
+        DelaySplitBuffer::new(bytes, entry_bytes)
+    });
+
+    let params = TreeParams {
+        dim,
+        branching: layout.branching_factor(),
+        leaf_capacity: layout.leaf_capacity(),
+        threshold: config.initial_threshold,
+        threshold_kind: config.threshold_kind,
+        metric: config.metric,
+        merge_refinement: config.merge_refinement,
+    };
+
+    Phase1Builder {
+        max_pages,
+        tree: CfTree::new(params),
+        estimator: ThresholdEstimator::new(config.total_points_hint),
+        outliers,
+        delay,
+        delay_mode: false,
+        io: IoStats::default(),
+        threshold_history: Vec::new(),
+        points_scanned: 0,
+        carried_splits: 0,
+        carried_refinements: 0,
+    }
+}
+
+impl Phase1Builder {
+    /// Creates an incremental builder for `dim`-dimensional data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: &BirchConfig, dim: usize) -> Self {
+        builder(config, dim)
+    }
+
+    /// The live CF-tree (always within the memory budget between feeds).
+    #[must_use]
+    pub fn tree(&self) -> &CfTree {
+        &self.tree
+    }
+
+    /// Input records fed so far.
+    #[must_use]
+    pub fn points_scanned(&self) -> u64 {
+        self.points_scanned
+    }
+
+    /// Resource counters so far.
+    #[must_use]
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Clones everything currently parked on the simulated disk — the
+    /// delay-split buffer and the potential-outlier store (counts the disk
+    /// reads). Streaming snapshots fold these in so the anytime clustering
+    /// covers every point seen and not yet discarded.
+    #[must_use]
+    pub fn parked_cfs(&mut self) -> Vec<Cf> {
+        let mut out: Vec<Cf> = self
+            .delay
+            .as_mut()
+            .map_or_else(Vec::new, |b| b.scan().to_vec());
+        if let Some(store) = self.outliers.as_mut() {
+            out.extend_from_slice(store.scan());
+        }
+        out
+    }
+
+    /// Feeds one CF (a point or a pre-aggregated subcluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cf` is empty or of the wrong dimension.
+    pub fn feed(&mut self, cf: Cf) {
+        self.points_scanned += 1;
+        if self.delay_mode {
+            // §5.1.4: memory is exhausted — absorb what fits without
+            // growing the tree, park the rest on disk.
+            if self.tree.try_absorb(&cf) {
+                return;
+            }
+            let parked = self
+                .delay
+                .as_mut()
+                .expect("delay_mode implies a delay buffer")
+                .park(cf);
+            if let Err(cf) = parked {
+                // Buffer full: time to actually rebuild, then insert.
+                self.rebuild_cycle();
+                self.insert_checked(cf);
+            }
+        } else {
+            self.insert_checked(cf);
+        }
+    }
+
+    /// Inserts and reacts to memory pressure.
+    fn insert_checked(&mut self, cf: Cf) {
+        self.tree.insert_cf(cf);
+        self.io.peak_pages = self.io.peak_pages.max(self.tree.node_count());
+        if self.tree.node_count() > self.max_pages {
+            let can_delay = self
+                .delay
+                .as_ref()
+                .is_some_and(DelaySplitBuffer::has_space);
+            if can_delay {
+                self.delay_mode = true;
+            } else {
+                self.rebuild_cycle();
+            }
+        }
+    }
+
+    /// Rebuilds (possibly repeatedly) until the tree fits in memory, then
+    /// folds parked delay-split points back in — rebuilding again mid-drain
+    /// if they push the tree back over budget, so the page high-water mark
+    /// never exceeds `budget + h` (the Reducibility Theorem's transient).
+    fn rebuild_cycle(&mut self) {
+        self.rebuild_until_fits();
+        self.delay_mode = false;
+        if let Some(buf) = self.delay.as_mut() {
+            let parked = buf.drain();
+            for cf in parked {
+                self.tree.insert_cf(cf);
+                self.io.peak_pages = self.io.peak_pages.max(self.tree.node_count());
+                if self.tree.node_count() > self.max_pages {
+                    self.rebuild_until_fits();
+                }
+            }
+        }
+    }
+
+    /// The inner rebuild loop of Fig. 2: raise the threshold and rebuild
+    /// until the tree fits the page budget.
+    fn rebuild_until_fits(&mut self) {
+        while self.tree.node_count() > self.max_pages {
+            assert!(
+                self.io.rebuilds < MAX_REBUILDS,
+                "rebuild did not converge after {MAX_REBUILDS} attempts"
+            );
+            let t_next = self
+                .estimator
+                .next_threshold(&self.tree, self.points_scanned);
+            let (new_tree, report) = rebuild(&self.tree, t_next, self.outliers.as_mut());
+            self.io.rebuilds += 1;
+            self.io.peak_pages = self.io.peak_pages.max(report.peak_pages);
+            self.threshold_history.push(t_next);
+            self.carried_splits += self.tree.stats().splits;
+            self.carried_refinements += self.tree.stats().merge_refinements;
+            self.tree = new_tree;
+
+            // Outlier disk full? Scan it for re-absorption (§5.1.3).
+            if let Some(store) = self.outliers.as_mut() {
+                if !store.has_space() && !store.is_empty() {
+                    let mean = mean_entry_n(&self.tree);
+                    store.reabsorb(&mut self.tree, mean);
+                }
+            }
+        }
+    }
+
+    /// Ends the scan: flushes parked delay-split points, runs the final
+    /// outlier re-absorption/discard, and returns the Phase-1 output.
+    #[must_use]
+    pub fn finish(mut self) -> Phase1Output {
+        // Flush any parked points.
+        if self
+            .delay
+            .as_ref()
+            .is_some_and(|b| !b.is_empty())
+        {
+            self.rebuild_cycle();
+        }
+
+        // Final outlier disposition: one more absorption scan, then discard
+        // what remains (they are the actual noise).
+        if let Some(store) = self.outliers.as_mut() {
+            if !store.is_empty() {
+                let mean = mean_entry_n(&self.tree);
+                store.reabsorb(&mut self.tree, mean);
+            }
+            self.io.outliers_discarded += store.finalize(&mut self.tree);
+        }
+
+        // Assemble counters.
+        self.io.splits = self.carried_splits + self.tree.stats().splits;
+        self.io.merge_refinements =
+            self.carried_refinements + self.tree.stats().merge_refinements;
+        self.io.peak_pages = self.io.peak_pages.max(self.tree.node_count());
+        if let Some(store) = &self.outliers {
+            self.io.disk_writes += store.disk().writes();
+            self.io.disk_reads += store.disk().reads();
+            self.io.disk_bytes_written += store.disk().bytes_written();
+            self.io.disk_bytes_read += store.disk().bytes_read();
+        }
+        if let Some(buf) = &self.delay {
+            self.io.disk_writes += buf.disk().writes();
+            self.io.disk_reads += buf.disk().reads();
+            self.io.disk_bytes_written += buf.disk().bytes_written();
+            self.io.disk_bytes_read += buf.disk().bytes_read();
+        }
+
+        Phase1Output {
+            tree: self.tree,
+            io: self.io,
+            threshold_history: self.threshold_history,
+            points_scanned: self.points_scanned,
+            outliers: self.outliers,
+            estimator: self.estimator,
+        }
+    }
+}
+
+/// Mean (weighted) points per leaf entry — the outlier rule's baseline.
+pub(crate) fn mean_entry_n(tree: &CfTree) -> f64 {
+    if tree.leaf_entry_count() == 0 {
+        0.0
+    } else {
+        tree.total_cf().n() / tree.leaf_entry_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    /// Deterministic scatter of `n` points over `k` well-separated blobs.
+    fn blobs(n: usize, k: usize) -> Vec<Cf> {
+        (0..n)
+            .map(|i| {
+                let c = (i % k) as f64 * 100.0;
+                let j = i as f64;
+                Cf::from_point(&Point::xy(
+                    c + (j * 0.7).sin() * 2.0,
+                    c + (j * 1.3).cos() * 2.0,
+                ))
+            })
+            .collect()
+    }
+
+    fn tiny_config() -> BirchConfig {
+        // Small memory to force rebuilds on modest data.
+        BirchConfig::with_clusters(4)
+            .memory(8 * 1024)
+            .page_size(1024)
+    }
+
+    #[test]
+    fn small_data_no_rebuild() {
+        let cfg = BirchConfig::with_clusters(2);
+        let out = run(&cfg, 2, blobs(100, 2));
+        assert_eq!(out.points_scanned, 100);
+        assert_eq!(out.io.rebuilds, 0);
+        assert!(out.threshold_history.is_empty());
+        out.tree.check_invariants().unwrap();
+        assert!((out.tree.total_cf().n() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_pressure_triggers_rebuilds_and_fits_budget() {
+        let cfg = tiny_config();
+        let out = run(&cfg, 2, blobs(20_000, 4));
+        assert!(out.io.rebuilds >= 1, "expected rebuilds, io={:?}", out.io);
+        let max_pages = cfg.memory_bytes / cfg.page_bytes;
+        assert!(
+            out.tree.node_count() <= max_pages,
+            "tree {} pages > budget {}",
+            out.tree.node_count(),
+            max_pages
+        );
+        out.tree.check_invariants().unwrap();
+        // Thresholds strictly increase.
+        for w in out.threshold_history.windows(2) {
+            assert!(w[1] > w[0], "thresholds not increasing: {:?}", out.threshold_history);
+        }
+    }
+
+    #[test]
+    fn no_data_lost_without_outlier_handling() {
+        let cfg = tiny_config().outliers(false);
+        let n = 5000;
+        let out = run(&cfg, 2, blobs(n, 4));
+        assert!((out.tree.total_cf().n() - n as f64).abs() < 1e-6);
+        assert_eq!(out.io.outliers_discarded, 0);
+    }
+
+    #[test]
+    fn delay_split_defers_rebuilds() {
+        let with = run(&tiny_config().delay_split(true), 2, blobs(20_000, 4));
+        let without = run(&tiny_config().delay_split(false), 2, blobs(20_000, 4));
+        assert!(
+            with.io.rebuilds <= without.io.rebuilds,
+            "delay-split should not increase rebuilds: {} vs {}",
+            with.io.rebuilds,
+            without.io.rebuilds
+        );
+        // Both keep all the data (outlier handling may shave some off; use
+        // totals net of discards).
+        assert!(with.tree.total_cf().n() > 19_000.0);
+    }
+
+    #[test]
+    fn noise_points_discarded_as_outliers() {
+        // Two dense blobs plus isolated noise points far away. With
+        // outlier handling on and memory pressure forcing rebuilds, at
+        // least some noise should end up discarded.
+        let mut input = blobs(10_000, 2);
+        for i in 0..50 {
+            let j = f64::from(i);
+            input.push(Cf::from_point(&Point::xy(5_000.0 + j * 211.0, -7_000.0 - j * 173.0)));
+        }
+        let cfg = tiny_config();
+        let out = run(&cfg, 2, input);
+        assert!(
+            out.io.outliers_discarded > 0,
+            "expected discarded outliers, io={:?}",
+            out.io
+        );
+        // The blobs themselves survive.
+        assert!(out.tree.total_cf().n() >= 10_000.0 - 1.0);
+    }
+
+    #[test]
+    fn disk_counters_populate_under_pressure() {
+        let out = run(&tiny_config(), 2, blobs(20_000, 4));
+        // With both options on and rebuilds happening, the simulated disk
+        // must see traffic.
+        assert!(out.io.disk_writes > 0, "io={:?}", out.io);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_tree() {
+        let out = run(&BirchConfig::with_clusters(1), 2, Vec::new());
+        assert_eq!(out.points_scanned, 0);
+        assert_eq!(out.tree.leaf_entry_count(), 0);
+    }
+
+    #[test]
+    fn weighted_subclusters_accepted() {
+        let cfg = BirchConfig::with_clusters(2);
+        let mut input = Vec::new();
+        for i in 0..100 {
+            let p = Point::xy(f64::from(i % 10), 0.0);
+            input.push(Cf::from_weighted_point(&p, 2.5));
+        }
+        let out = run(&cfg, 2, input);
+        assert!((out.tree.total_cf().n() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_pages_recorded() {
+        let out = run(&tiny_config(), 2, blobs(20_000, 4));
+        assert!(out.io.peak_pages > 0);
+        assert!(out.io.peak_pages >= out.tree.node_count());
+    }
+
+    #[test]
+    fn peak_pages_bounded_by_budget_plus_height() {
+        // The memory budget is only ever exceeded by the one-page insert
+        // overshoot plus the rebuild transient (≤ h pages, Reducibility
+        // Theorem) — even with delay-split drains in the mix.
+        let cfg = tiny_config();
+        let out = run(&cfg, 2, blobs(30_000, 4));
+        let budget_pages = cfg.memory_bytes / cfg.page_bytes;
+        let slack = out.tree.height() + 1;
+        assert!(
+            out.io.peak_pages <= budget_pages + slack,
+            "peak {} > budget {} + slack {}",
+            out.io.peak_pages,
+            budget_pages,
+            slack
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Phase 2 (optional): condense the CF-tree into a desirable range.
+//!
+//! Paper §5: *"we observed that the existing global or semi-global
+//! clustering methods applied in Phase 3 have different input size ranges
+//! within which they perform well … Phase 2 serves as a cushion … it scans
+//! the leaf entries in the initial CF tree to rebuild a smaller CF tree,
+//! while removing more outliers and grouping crowded subclusters into
+//! larger ones."*
+//!
+//! Implementation: keep growing the threshold (continuing Phase 1's
+//! estimator sequence, so the r–N regression history carries over) and
+//! rebuilding until the leaf-entry count drops to the configured target.
+
+use crate::outlier::OutlierStore;
+use crate::phase1::mean_entry_n;
+use crate::rebuild::rebuild;
+use crate::threshold::ThresholdEstimator;
+use crate::tree::CfTree;
+use birch_pager::IoStats;
+
+/// Hard cap mirroring Phase 1's: condensation must converge because the
+/// threshold grows strictly each round.
+const MAX_ROUNDS: u64 = 10_000;
+
+/// Condenses `tree` until it has at most `max_entries` leaf entries.
+///
+/// Threshold growth uses the entry-count-targeted estimator (see
+/// [`ThresholdEstimator::next_threshold_for_target`]); `outliers`
+/// optionally continues spilling low-density entries; counters accumulate
+/// into `io`.
+///
+/// # Panics
+///
+/// Panics if `max_entries < 2` or if condensation fails to converge (a
+/// logic error, since the threshold grows strictly every round).
+pub fn condense(
+    mut tree: CfTree,
+    max_entries: usize,
+    estimator: &mut ThresholdEstimator,
+    mut outliers: Option<&mut OutlierStore>,
+    io: &mut IoStats,
+) -> CfTree {
+    assert!(max_entries >= 2, "phase 2 target must be >= 2 entries");
+    let mut rounds = 0u64;
+    while tree.leaf_entry_count() > max_entries {
+        assert!(
+            rounds < MAX_ROUNDS,
+            "phase 2 did not converge after {MAX_ROUNDS} rounds"
+        );
+        rounds += 1;
+        let t_next = estimator.next_threshold_for_target(&tree, max_entries);
+        let (new_tree, report) = rebuild(&tree, t_next, outliers.as_deref_mut());
+        io.rebuilds += 1;
+        io.peak_pages = io.peak_pages.max(report.peak_pages);
+        io.splits += new_tree.stats().splits;
+        io.merge_refinements += new_tree.stats().merge_refinements;
+        tree = new_tree;
+
+        if let Some(store) = outliers.as_deref_mut() {
+            if !store.has_space() && !store.is_empty() {
+                let mean = mean_entry_n(&tree);
+                store.reabsorb(&mut tree, mean);
+            }
+        }
+    }
+
+    // Final absorption attempt for anything still parked: entries may fit
+    // under the (much larger) condensed threshold now.
+    if let Some(store) = outliers {
+        if !store.is_empty() {
+            let mean = mean_entry_n(&tree);
+            store.reabsorb(&mut tree, mean);
+        }
+        io.outliers_discarded += store.finalize(&mut tree);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cf::Cf;
+    use crate::point::Point;
+    use crate::tree::TreeParams;
+
+    fn scatter_tree(n: usize) -> CfTree {
+        let mut t = CfTree::new(TreeParams::for_dim(2));
+        for i in 0..n {
+            let i = i as f64;
+            t.insert_point(&Point::xy(
+                (i * 0.618).rem_euclid(100.0),
+                (i * 0.414).rem_euclid(100.0),
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn condense_hits_target() {
+        let tree = scatter_tree(3000);
+        assert!(tree.leaf_entry_count() > 200);
+        let mut est = ThresholdEstimator::new(Some(3000));
+        let mut io = IoStats::default();
+        let condensed = condense(tree, 200, &mut est, None, &mut io);
+        assert!(condensed.leaf_entry_count() <= 200);
+        assert!(io.rebuilds >= 1);
+        condensed.check_invariants().unwrap();
+        assert!((condensed.total_cf().n() - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn already_small_tree_untouched() {
+        let mut t = CfTree::new(TreeParams::for_dim(2));
+        for i in 0..5 {
+            t.insert_point(&Point::xy(f64::from(i) * 10.0, 0.0));
+        }
+        let mut est = ThresholdEstimator::new(None);
+        let mut io = IoStats::default();
+        let out = condense(t, 100, &mut est, None, &mut io);
+        assert_eq!(out.leaf_entry_count(), 5);
+        assert_eq!(io.rebuilds, 0);
+    }
+
+    #[test]
+    fn condense_with_outlier_store_discards_thin_entries() {
+        use crate::outlier::OutlierConfig;
+        let mut t = CfTree::new(TreeParams {
+            threshold: 0.5,
+            ..TreeParams::for_dim(2)
+        });
+        // Dense blob of identical points + scattered singles.
+        for _ in 0..500 {
+            t.insert_point(&Point::xy(0.0, 0.0));
+        }
+        for i in 0..100 {
+            let i = f64::from(i);
+            t.insert_point(&Point::xy(200.0 + (i * 37.0).rem_euclid(500.0), 300.0 + (i * 53.0).rem_euclid(500.0)));
+        }
+        let mut est = ThresholdEstimator::new(Some(600));
+        let mut io = IoStats::default();
+        let mut store = OutlierStore::new(64 * 1024, 32, OutlierConfig::default());
+        let out = condense(t, 20, &mut est, Some(&mut store), &mut io);
+        assert!(out.leaf_entry_count() <= 20);
+        assert!(io.outliers_discarded > 0, "io={io:?}");
+    }
+
+    #[test]
+    fn condense_tiny_target() {
+        let tree = scatter_tree(500);
+        let mut est = ThresholdEstimator::new(Some(500));
+        let mut io = IoStats::default();
+        let out = condense(tree, 2, &mut est, None, &mut io);
+        assert!(out.leaf_entry_count() <= 2);
+        let total: f64 = out.leaf_entries().map(Cf::n).sum();
+        assert!((total - 500.0).abs() < 1e-6);
+    }
+}

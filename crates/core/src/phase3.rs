@@ -1,0 +1,331 @@
+//! Phase 3: global clustering of the leaf entries.
+//!
+//! Paper §5: the CF-tree's leaf entries form a fine, memory-sized summary
+//! of the data; Phase 3 clusters *them* with a standard global algorithm.
+//! The paper "adapted an agglomerative hierarchical clustering algorithm by
+//! applying it directly to the subclusters represented by their CF
+//! vectors", using any of the D0–D4 metrics, with O(m²) complexity on the
+//! m leaf entries.
+//!
+//! This module wraps [`crate::hierarchical`] and produces cluster CFs plus
+//! the per-entry assignment that Phase 4 (or labeling) consumes.
+
+use crate::cf::Cf;
+use crate::config::ClusterCount;
+use crate::distance::DistanceMetric;
+use crate::hierarchical::{agglomerate, StopRule};
+
+/// Which global algorithm Phase 3 applies to the leaf entries. The paper
+/// adapted agglomerative HC "because of its accuracy and flexibility" but
+/// notes any global/semi-global method can slot in here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlobalMethod {
+    /// Agglomerative hierarchical clustering over CF vectors (the paper's
+    /// choice; supports all of D0–D4 and the by-distance cut).
+    #[default]
+    Hierarchical,
+    /// Weighted Lloyd iterations over the entry centroids (each entry
+    /// weighted by its point count) with farthest-point seeding. Requires
+    /// an exact `K`; the by-distance stopping rule falls back to HC.
+    KMeans {
+        /// Lloyd iteration cap.
+        max_iters: usize,
+    },
+}
+
+/// Output of the global clustering pass.
+#[derive(Debug, Clone)]
+pub struct Phase3Result {
+    /// The final cluster summaries.
+    pub clusters: Vec<Cf>,
+    /// For each input leaf entry, the index of its cluster.
+    pub entry_labels: Vec<usize>,
+    /// The input leaf entries (kept so callers can map entries → clusters
+    /// without re-walking the tree).
+    pub entries: Vec<Cf>,
+}
+
+/// Clusters `entries` into the requested number of clusters (or by the
+/// dendrogram distance cut).
+///
+/// If `K` exceeds the number of entries, every entry becomes its own
+/// cluster — the data simply doesn't support more resolution, which is the
+/// paper's behaviour too (BIRCH clusters can be fewer than requested when
+/// the tree is coarse).
+///
+/// # Panics
+///
+/// Panics if `entries` is empty.
+#[must_use]
+pub fn global_cluster(
+    entries: Vec<Cf>,
+    metric: DistanceMetric,
+    clusters: ClusterCount,
+) -> Phase3Result {
+    global_cluster_with(entries, metric, clusters, GlobalMethod::Hierarchical)
+}
+
+/// Like [`global_cluster`] with an explicit algorithm choice.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty.
+#[must_use]
+pub fn global_cluster_with(
+    entries: Vec<Cf>,
+    metric: DistanceMetric,
+    clusters: ClusterCount,
+    method: GlobalMethod,
+) -> Phase3Result {
+    assert!(!entries.is_empty(), "phase 3 requires at least one entry");
+    match (method, clusters) {
+        (GlobalMethod::KMeans { max_iters }, ClusterCount::Exact(k)) => {
+            kmeans_cf(entries, k, max_iters)
+        }
+        _ => {
+            let stop = match clusters {
+                ClusterCount::Exact(k) => StopRule::ClusterCount(k.min(entries.len())),
+                ClusterCount::ByDistance(d) => StopRule::DistanceThreshold(d),
+            };
+            let result = agglomerate(&entries, metric, stop);
+            Phase3Result {
+                clusters: result.clusters,
+                entry_labels: result.labels,
+                entries,
+            }
+        }
+    }
+}
+
+/// Deterministic weighted k-means over entry centroids: farthest-point
+/// ("k-means‖-lite") seeding followed by weighted Lloyd iterations, all in
+/// CF space so cluster summaries stay exact.
+fn kmeans_cf(entries: Vec<Cf>, k: usize, max_iters: usize) -> Phase3Result {
+    let k = k.min(entries.len()).max(1);
+    let dim = entries[0].dim();
+    let centroids: Vec<Vec<f64>> = entries
+        .iter()
+        .map(|e| e.centroid().coords().to_vec())
+        .collect();
+    let weights: Vec<f64> = entries.iter().map(Cf::n).collect();
+
+    // Farthest-point seeding from the heaviest entry (deterministic).
+    let mut seeds: Vec<usize> = Vec::with_capacity(k);
+    let first = weights
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    seeds.push(first);
+    let mut min_sq: Vec<f64> = centroids
+        .iter()
+        .map(|c| crate::point::sq_dist(c, &centroids[first]))
+        .collect();
+    while seeds.len() < k {
+        let far = min_sq
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        seeds.push(far);
+        for (d, c) in min_sq.iter_mut().zip(&centroids) {
+            *d = d.min(crate::point::sq_dist(c, &centroids[far]));
+        }
+    }
+    let mut means: Vec<Vec<f64>> = seeds.iter().map(|&s| centroids[s].clone()).collect();
+
+    let mut labels = vec![0usize; entries.len()];
+    for _ in 0..max_iters.max(1) {
+        let mut changed = false;
+        for (i, c) in centroids.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (j, m) in means.iter().enumerate() {
+                let d = crate::point::sq_dist(c, m);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut totals = vec![0.0; k];
+        for (i, c) in centroids.iter().enumerate() {
+            totals[labels[i]] += weights[i];
+            for (s, &v) in sums[labels[i]].iter_mut().zip(c) {
+                *s += weights[i] * v;
+            }
+        }
+        for (j, m) in means.iter_mut().enumerate() {
+            if totals[j] > 0.0 {
+                for (mv, s) in m.iter_mut().zip(&sums[j]) {
+                    *mv = s / totals[j];
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build exact cluster CFs from the assignment; drop empty clusters.
+    let mut cluster_cfs: Vec<Cf> = (0..k).map(|_| Cf::empty(dim)).collect();
+    for (e, &l) in entries.iter().zip(&labels) {
+        cluster_cfs[l].merge(e);
+    }
+    let mut remap = vec![usize::MAX; k];
+    let mut compact = Vec::new();
+    for (j, cf) in cluster_cfs.into_iter().enumerate() {
+        if !cf.is_empty() {
+            remap[j] = compact.len();
+            compact.push(cf);
+        }
+    }
+    for l in &mut labels {
+        *l = remap[*l];
+    }
+    Phase3Result {
+        clusters: compact,
+        entry_labels: labels,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn blob_entries() -> Vec<Cf> {
+        // Six subclusters forming two groups of three.
+        let mut out = Vec::new();
+        for g in 0..2 {
+            for s in 0..3 {
+                let cx = f64::from(g) * 100.0 + f64::from(s);
+                let pts: Vec<Point> = (0..10)
+                    .map(|i| Point::xy(cx + f64::from(i) * 0.01, cx))
+                    .collect();
+                out.push(Cf::from_points(&pts));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn groups_subclusters_correctly() {
+        let r = global_cluster(blob_entries(), DistanceMetric::D2, ClusterCount::Exact(2));
+        assert_eq!(r.clusters.len(), 2);
+        assert_eq!(r.entry_labels.len(), 6);
+        assert_eq!(r.entry_labels[0], r.entry_labels[1]);
+        assert_eq!(r.entry_labels[1], r.entry_labels[2]);
+        assert_eq!(r.entry_labels[3], r.entry_labels[4]);
+        assert_ne!(r.entry_labels[0], r.entry_labels[3]);
+        // Each cluster holds 30 points.
+        for c in &r.clusters {
+            assert!((c.n() - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_entry_count_saturates() {
+        let entries = blob_entries();
+        let m = entries.len();
+        let r = global_cluster(entries, DistanceMetric::D0, ClusterCount::Exact(50));
+        assert_eq!(r.clusters.len(), m);
+    }
+
+    #[test]
+    fn by_distance_cut() {
+        let r = global_cluster(
+            blob_entries(),
+            DistanceMetric::D0,
+            ClusterCount::ByDistance(10.0),
+        );
+        // Within-group centroid gaps are ~1, across-group ~100.
+        assert_eq!(r.clusters.len(), 2);
+    }
+
+    #[test]
+    fn entries_preserved_in_result() {
+        let entries = blob_entries();
+        let r = global_cluster(entries.clone(), DistanceMetric::D2, ClusterCount::Exact(2));
+        assert_eq!(r.entries.len(), entries.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_entries_panics() {
+        let _ = global_cluster(Vec::new(), DistanceMetric::D2, ClusterCount::Exact(1));
+    }
+
+    #[test]
+    fn kmeans_method_groups_subclusters() {
+        let r = global_cluster_with(
+            blob_entries(),
+            DistanceMetric::D2,
+            ClusterCount::Exact(2),
+            GlobalMethod::KMeans { max_iters: 50 },
+        );
+        assert_eq!(r.clusters.len(), 2);
+        assert_eq!(r.entry_labels[0], r.entry_labels[1]);
+        assert_eq!(r.entry_labels[1], r.entry_labels[2]);
+        assert_ne!(r.entry_labels[0], r.entry_labels[3]);
+        for c in &r.clusters {
+            assert!((c.n() - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_method_weight_conserved() {
+        let entries = blob_entries();
+        let total: f64 = entries.iter().map(Cf::n).sum();
+        let r = global_cluster_with(
+            entries,
+            DistanceMetric::D0,
+            ClusterCount::Exact(4),
+            GlobalMethod::KMeans { max_iters: 20 },
+        );
+        let got: f64 = r.clusters.iter().map(Cf::n).sum();
+        assert!((got - total).abs() < 1e-9);
+        assert!(r.clusters.len() <= 4);
+        // Labels point at live clusters.
+        for &l in &r.entry_labels {
+            assert!(l < r.clusters.len());
+        }
+    }
+
+    #[test]
+    fn kmeans_method_k_saturates_at_entry_count() {
+        let entries = blob_entries();
+        let m = entries.len();
+        let r = global_cluster_with(
+            entries,
+            DistanceMetric::D2,
+            ClusterCount::Exact(100),
+            GlobalMethod::KMeans { max_iters: 10 },
+        );
+        assert!(r.clusters.len() <= m);
+    }
+
+    #[test]
+    fn kmeans_with_by_distance_falls_back_to_hc() {
+        let r = global_cluster_with(
+            blob_entries(),
+            DistanceMetric::D0,
+            ClusterCount::ByDistance(10.0),
+            GlobalMethod::KMeans { max_iters: 10 },
+        );
+        assert_eq!(r.clusters.len(), 2);
+    }
+
+    #[test]
+    fn default_method_is_hierarchical() {
+        assert_eq!(GlobalMethod::default(), GlobalMethod::Hierarchical);
+    }
+}

@@ -1,0 +1,247 @@
+//! Phase 4 (optional): refinement and labeling.
+//!
+//! Paper §5: Phase 3's clusters are built from summaries, so individual
+//! points can sit in the "wrong" cluster (copies of a point split across
+//! entries, misplacements from skewed input). Phase 4 fixes this with
+//! "additional passes over the data": using the Phase-3 centroids as
+//! seeds, each original data point is re-assigned to its closest seed —
+//! one pass of the classic centroid-refinement (k-means/Lloyd) step, which
+//! the paper notes "can be proved to converge to a minimum". It also
+//! labels every point with its cluster and can discard as outliers points
+//! too far from every seed.
+
+use crate::cf::Cf;
+use crate::point::Point;
+
+/// Configuration for the refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase4Config {
+    /// Number of reassignment passes (≥ 1 when Phase 4 runs at all).
+    pub passes: usize,
+    /// Discard a point whose distance to its closest seed exceeds
+    /// `factor ×` that seed cluster's radius (`None` keeps all points).
+    /// Seeds with zero radius fall back to the mean non-zero seed radius.
+    pub outlier_factor: Option<f64>,
+}
+
+impl Default for Phase4Config {
+    fn default() -> Self {
+        Self {
+            passes: 1,
+            outlier_factor: None,
+        }
+    }
+}
+
+/// Result of refinement.
+#[derive(Debug, Clone)]
+pub struct Phase4Result {
+    /// Per-point label: the cluster index, or `None` for discarded
+    /// outliers.
+    pub labels: Vec<Option<usize>>,
+    /// Refined cluster CFs (empty clusters retain their seed CF so indices
+    /// stay stable across passes).
+    pub clusters: Vec<Cf>,
+    /// Points discarded as outliers over the final pass.
+    pub discarded: u64,
+}
+
+/// Runs `config.passes` refinement passes of `points` (optionally
+/// weighted) against the `seeds` produced by Phase 3.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty, `config.passes == 0`, or (when provided)
+/// `weights.len() != points.len()`.
+#[must_use]
+pub fn refine(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    seeds: &[Cf],
+    config: Phase4Config,
+) -> Phase4Result {
+    assert!(!seeds.is_empty(), "phase 4 requires at least one seed");
+    assert!(config.passes >= 1, "phase 4 requires at least one pass");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), points.len(), "weights/points length mismatch");
+    }
+
+    let mut clusters: Vec<Cf> = seeds.to_vec();
+    let mut labels = vec![None; points.len()];
+    let mut discarded = 0u64;
+
+    for _ in 0..config.passes {
+        let centroids: Vec<Point> = clusters.iter().map(Cf::centroid).collect();
+        let radii: Vec<f64> = clusters.iter().map(Cf::radius).collect();
+        let mean_radius = {
+            let nz: Vec<f64> = radii.iter().copied().filter(|&r| r > 0.0).collect();
+            if nz.is_empty() {
+                0.0
+            } else {
+                nz.iter().sum::<f64>() / nz.len() as f64
+            }
+        };
+
+        let dim = centroids[0].dim();
+        let mut next: Vec<Cf> = (0..clusters.len()).map(|_| Cf::empty(dim)).collect();
+        discarded = 0;
+
+        for (i, p) in points.iter().enumerate() {
+            let (best, best_d) = nearest_seed(p, &centroids);
+            let keep = match config.outlier_factor {
+                None => true,
+                Some(f) => {
+                    let scale = if radii[best] > 0.0 {
+                        radii[best]
+                    } else {
+                        mean_radius
+                    };
+                    scale == 0.0 || best_d <= f * scale
+                }
+            };
+            if keep {
+                let w = weights.map_or(1.0, |w| w[i]);
+                next[best].add_weighted_point(p, w);
+                labels[i] = Some(best);
+            } else {
+                labels[i] = None;
+                discarded += 1;
+            }
+        }
+
+        // Keep empty clusters' previous CFs so seed indices stay stable.
+        for (c, n) in clusters.iter_mut().zip(next) {
+            if !n.is_empty() {
+                *c = n;
+            }
+        }
+    }
+
+    Phase4Result {
+        labels,
+        clusters,
+        discarded,
+    }
+}
+
+/// Index and distance of the seed centroid nearest to `p` (Euclidean, per
+/// the paper: "the Euclidian distance to the closest seed").
+fn nearest_seed(p: &Point, centroids: &[Point]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_sq = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = p.sq_dist(c);
+        if d < best_sq {
+            best_sq = d;
+            best = i;
+        }
+    }
+    (best, best_sq.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Point>, Vec<Cf>) {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let off = f64::from(i % 5) * 0.1;
+            pts.push(Point::xy(off, off));
+            pts.push(Point::xy(50.0 + off, 50.0 + off));
+        }
+        // Deliberately offset seeds: refinement should still capture the
+        // blobs.
+        let seeds = vec![
+            Cf::from_points(&[Point::xy(1.0, 1.0), Point::xy(2.0, 2.0)]),
+            Cf::from_points(&[Point::xy(48.0, 48.0), Point::xy(49.0, 49.0)]),
+        ];
+        (pts, seeds)
+    }
+
+    #[test]
+    fn one_pass_assigns_all_points() {
+        let (pts, seeds) = two_blobs();
+        let r = refine(&pts, None, &seeds, Phase4Config::default());
+        assert_eq!(r.labels.len(), pts.len());
+        assert!(r.labels.iter().all(Option::is_some));
+        assert_eq!(r.discarded, 0);
+        let total: f64 = r.clusters.iter().map(Cf::n).sum();
+        assert_eq!(total, 40.0);
+        // Each blob fully captured by one cluster.
+        let n0 = r.clusters[0].n();
+        let n1 = r.clusters[1].n();
+        assert_eq!(n0, 20.0);
+        assert_eq!(n1, 20.0);
+    }
+
+    #[test]
+    fn centroids_improve_after_refinement() {
+        let (pts, seeds) = two_blobs();
+        let r = refine(&pts, None, &seeds, Phase4Config::default());
+        // Blob 0's true centroid is (0.2, 0.2): the refined centroid must
+        // be much closer to it than the seed (1.5, 1.5) was.
+        let c = r.clusters[0].centroid();
+        assert!(c.dist(&Point::xy(0.2, 0.2)) < 0.01, "centroid {c:?}");
+    }
+
+    #[test]
+    fn multiple_passes_converge() {
+        let (pts, seeds) = two_blobs();
+        let one = refine(&pts, None, &seeds, Phase4Config { passes: 1, outlier_factor: None });
+        let five = refine(&pts, None, &seeds, Phase4Config { passes: 5, outlier_factor: None });
+        // With well-separated blobs one pass already lands the answer;
+        // more passes must not change it.
+        assert_eq!(one.labels, five.labels);
+    }
+
+    #[test]
+    fn outlier_discard_drops_far_points() {
+        let (mut pts, seeds) = two_blobs();
+        pts.push(Point::xy(500.0, -500.0));
+        let cfg = Phase4Config {
+            passes: 2,
+            outlier_factor: Some(3.0),
+        };
+        let r = refine(&pts, None, &seeds, cfg);
+        assert_eq!(r.discarded, 1);
+        assert_eq!(*r.labels.last().unwrap(), None);
+        // Regular points all kept.
+        assert_eq!(r.labels.iter().filter(|l| l.is_some()).count(), 40);
+    }
+
+    #[test]
+    fn weighted_points_shift_centroid() {
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)];
+        let weights = vec![9.0, 1.0];
+        let seeds = vec![Cf::from_points(&pts)];
+        let r = refine(&pts, Some(&weights), &seeds, Phase4Config::default());
+        let c = r.clusters[0].centroid();
+        assert!((c[0] - 1.0).abs() < 1e-12, "weighted centroid {c:?}");
+    }
+
+    #[test]
+    fn empty_cluster_keeps_seed_cf() {
+        // All points near seed 0; seed 1 receives nothing and must keep its
+        // original CF (stable indices).
+        let pts = vec![Point::xy(0.0, 0.0), Point::xy(0.1, 0.0)];
+        let lonely = Cf::from_points(&[Point::xy(99.0, 99.0)]);
+        let seeds = vec![Cf::from_points(&pts), lonely.clone()];
+        let r = refine(&pts, None, &seeds, Phase4Config::default());
+        assert_eq!(r.clusters[1], lonely);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn no_seeds_panics() {
+        let _ = refine(&[Point::xy(0.0, 0.0)], None, &[], Phase4Config::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weight_length_mismatch_panics() {
+        let pts = vec![Point::xy(0.0, 0.0)];
+        let seeds = vec![Cf::from_point(&pts[0])];
+        let _ = refine(&pts, Some(&[1.0, 2.0]), &seeds, Phase4Config::default());
+    }
+}

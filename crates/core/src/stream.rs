@@ -1,0 +1,202 @@
+//! Anytime/streaming clustering on top of Phase 1.
+//!
+//! BIRCH is "incremental … the clustering decisions are made without
+//! scanning all data points" (§1), which makes it a natural stream
+//! clusterer: keep feeding points, and at any moment run the global phase
+//! over the current CF-tree's leaf entries to get a clustering of
+//! everything seen so far — without storing a single raw point.
+//!
+//! [`StreamingBirch`] packages that: [`push`](StreamingBirch::push) points
+//! forever, [`snapshot`](StreamingBirch::snapshot) whenever a clustering
+//! is wanted, [`finish`](StreamingBirch::finish) to run the end-of-scan
+//! outlier disposition and take the final model. (Phase 4 needs the raw
+//! points, so streaming models carry no per-point labels — use
+//! [`crate::BirchModel::predict`]-style nearest-centroid assignment on the
+//! snapshot instead.)
+
+use crate::birch::ClusterSummary;
+use crate::cf::Cf;
+use crate::config::BirchConfig;
+use crate::phase1::{Phase1Builder, Phase1Output};
+use crate::phase3;
+use crate::point::Point;
+
+/// An incrementally fed BIRCH clusterer.
+#[derive(Debug)]
+pub struct StreamingBirch {
+    builder: Phase1Builder,
+    config: BirchConfig,
+    dim: usize,
+}
+
+impl StreamingBirch {
+    /// Creates a streaming clusterer for `dim`-dimensional points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `dim == 0`.
+    #[must_use]
+    pub fn new(config: BirchConfig, dim: usize) -> Self {
+        let builder = Phase1Builder::new(&config, dim);
+        Self {
+            builder,
+            config,
+            dim,
+        }
+    }
+
+    /// Dimensionality of the stream.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Points pushed so far.
+    #[must_use]
+    pub fn points_seen(&self) -> u64 {
+        self.builder.points_scanned()
+    }
+
+    /// Current number of leaf entries (the summary's resolution).
+    #[must_use]
+    pub fn summary_size(&self) -> usize {
+        self.builder.tree().leaf_entry_count()
+    }
+
+    /// Pushes one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn push(&mut self, p: &Point) {
+        self.builder.feed(Cf::from_point(p));
+    }
+
+    /// Pushes one weighted point (`w > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive weight.
+    pub fn push_weighted(&mut self, p: &Point, w: f64) {
+        self.builder.feed(Cf::from_weighted_point(p, w));
+    }
+
+    /// Pushes a pre-aggregated subcluster (e.g. another tree's leaf
+    /// entries — the CF Additivity Theorem makes this exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cf` is empty or of the wrong dimension.
+    pub fn push_cf(&mut self, cf: Cf) {
+        self.builder.feed(cf);
+    }
+
+    /// Clusters everything seen so far (Phase 3 over the live tree's leaf
+    /// entries plus any delay-split-parked points) without disturbing the
+    /// stream. Returns an empty vector before the first point. Takes
+    /// `&mut self` because scanning the parked points counts disk reads.
+    #[must_use]
+    pub fn snapshot(&mut self) -> Vec<ClusterSummary> {
+        let mut entries: Vec<Cf> = self.builder.tree().leaf_entries().cloned().collect();
+        entries.extend(self.builder.parked_cfs());
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        let p3 = phase3::global_cluster_with(
+            entries,
+            self.config.metric,
+            self.config.clusters,
+            self.config.global_method,
+        );
+        p3.clusters
+            .into_iter()
+            .map(ClusterSummary::from_cf)
+            .collect()
+    }
+
+    /// Ends the stream: runs the end-of-scan outlier disposition and
+    /// returns the final clusters plus the raw Phase-1 output (tree,
+    /// counters, threshold history).
+    #[must_use]
+    pub fn finish(self) -> (Vec<ClusterSummary>, Phase1Output) {
+        let out = self.builder.finish();
+        let entries: Vec<Cf> = out.tree.leaf_entries().cloned().collect();
+        let clusters = if entries.is_empty() {
+            Vec::new()
+        } else {
+            phase3::global_cluster_with(
+                entries,
+                self.config.metric,
+                self.config.clusters,
+                self.config.global_method,
+            )
+            .clusters
+            .into_iter()
+            .map(ClusterSummary::from_cf)
+            .collect()
+        };
+        (clusters, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_source_point(t: usize) -> Point {
+        let s = (t % 3) as f64 * 30.0;
+        Point::xy(s + (t as f64 * 0.61).sin(), s + (t as f64 * 0.37).cos())
+    }
+
+    #[test]
+    fn snapshots_track_the_stream() {
+        let mut s = StreamingBirch::new(BirchConfig::with_clusters(3).memory(8 * 1024), 2);
+        assert!(s.snapshot().is_empty());
+        for t in 0..600 {
+            s.push(&three_source_point(t));
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 3);
+        let total: f64 = snap.iter().map(ClusterSummary::weight).sum();
+        assert_eq!(total, 600.0);
+        // Stream continues after a snapshot.
+        for t in 600..1200 {
+            s.push(&three_source_point(t));
+        }
+        assert_eq!(s.points_seen(), 1200);
+        let snap = s.snapshot();
+        let total: f64 = snap.iter().map(ClusterSummary::weight).sum();
+        assert_eq!(total, 1200.0);
+    }
+
+    #[test]
+    fn memory_budget_enforced_across_stream() {
+        let mut s = StreamingBirch::new(BirchConfig::with_clusters(3).memory(8 * 1024), 2);
+        for t in 0..20_000 {
+            s.push(&three_source_point(t * 7));
+        }
+        assert!(s.summary_size() > 0);
+        let (clusters, out) = s.finish();
+        assert_eq!(clusters.len(), 3);
+        assert!(out.tree.node_count() <= 8);
+        out.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn weighted_and_cf_pushes() {
+        let mut s = StreamingBirch::new(BirchConfig::with_clusters(1), 2);
+        s.push_weighted(&Point::xy(1.0, 1.0), 5.0);
+        s.push_cf(Cf::from_points(&[Point::xy(2.0, 2.0), Point::xy(3.0, 3.0)]));
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].weight(), 7.0);
+    }
+
+    #[test]
+    fn finish_on_empty_stream() {
+        let s = StreamingBirch::new(BirchConfig::with_clusters(2), 2);
+        let (clusters, out) = s.finish();
+        assert!(clusters.is_empty());
+        assert_eq!(out.points_scanned, 0);
+    }
+}

@@ -1,0 +1,1123 @@
+//! The CF-tree (§4.2) and its insertion algorithm (§4.3).
+//!
+//! A CF-tree is a height-balanced tree with three parameters: branching
+//! factor `B` (max entries per nonleaf node), leaf capacity `L` (max entries
+//! per leaf node), and threshold `T` — every leaf entry's diameter (or
+//! radius) must stay below `T`. `B` and `L` are functions of the page size
+//! `P` (see `birch_pager::PageLayout`); each node occupies one page.
+//!
+//! Insertion of an entry `Ent` (§4.3):
+//!
+//! 1. **Identify the appropriate leaf** — descend from the root, at each
+//!    level following the child whose CF is closest to `Ent` under the
+//!    chosen distance metric D0–D4.
+//! 2. **Modify the leaf** — find the closest leaf entry; if it can absorb
+//!    `Ent` without violating the threshold condition, merge; otherwise add
+//!    `Ent` as a new entry, splitting the leaf if it overflows. Splitting
+//!    picks the *farthest pair* of entries as seeds and redistributes the
+//!    rest by proximity.
+//! 3. **Modify the path** — update the CF entries on the root-to-leaf path;
+//!    propagate splits upward; if the root splits the tree grows by one
+//!    level.
+//! 4. **Merging refinement** — when a split's upward propagation stops at
+//!    some nonleaf node, find that node's two closest entries; if they are
+//!    not the pair produced by the split, try to merge them (and their child
+//!    nodes); if the merged node overflows, split it again. This heals the
+//!    space-utilization damage done by skewed input order.
+
+use crate::cf::Cf;
+use crate::distance::{DistanceMetric, ThresholdKind};
+use crate::node::{ChildEntry, Node, NodeId, NodeKind};
+
+/// Static parameters of a CF-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Data dimensionality `d`.
+    pub dim: usize,
+    /// Branching factor `B`: max entries in a nonleaf node.
+    pub branching: usize,
+    /// Leaf capacity `L`: max entries in a leaf node.
+    pub leaf_capacity: usize,
+    /// Threshold `T` on each leaf entry's diameter/radius.
+    pub threshold: f64,
+    /// Whether `T` constrains diameter or radius.
+    pub threshold_kind: ThresholdKind,
+    /// Distance metric used to pick closest children/entries.
+    pub metric: DistanceMetric,
+    /// Whether to run the §4.3 merging refinement after splits.
+    pub merge_refinement: bool,
+}
+
+impl TreeParams {
+    /// Reasonable defaults for tests and examples: `B = 25`, `L = 31`
+    /// (the paper's `P = 1024`, `d = 2` layout), threshold 0, D2 metric.
+    #[must_use]
+    pub fn for_dim(dim: usize) -> Self {
+        Self {
+            dim,
+            branching: 25,
+            leaf_capacity: 31,
+            threshold: 0.0,
+            threshold_kind: ThresholdKind::default(),
+            metric: DistanceMetric::default(),
+            merge_refinement: true,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.dim > 0, "dimensionality must be positive");
+        assert!(self.branching >= 2, "branching factor must be >= 2");
+        assert!(self.leaf_capacity >= 2, "leaf capacity must be >= 2");
+        assert!(
+            self.threshold.is_finite() && self.threshold >= 0.0,
+            "threshold must be finite and non-negative"
+        );
+    }
+}
+
+/// What happened to an inserted entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Merged into an existing leaf entry within the threshold.
+    Absorbed,
+    /// Stored as a new leaf entry; no node overflowed.
+    Added,
+    /// Stored as a new leaf entry after one or more node splits.
+    AddedWithSplit,
+}
+
+/// Mutation counters for one tree's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Node splits (leaf and interior).
+    pub splits: u64,
+    /// Merging refinements performed (§4.3).
+    pub merge_refinements: u64,
+}
+
+/// A height-balanced tree of Clustering Features.
+#[derive(Debug, Clone)]
+pub struct CfTree {
+    pub(crate) params: TreeParams,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    pub(crate) first_leaf: NodeId,
+    pub(crate) height: usize,
+    pub(crate) leaf_entry_count: usize,
+    pub(crate) total: Cf,
+    pub(crate) stats: TreeStats,
+}
+
+impl CfTree {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are inconsistent (see [`TreeParams`] field docs).
+    #[must_use]
+    pub fn new(params: TreeParams) -> Self {
+        params.validate();
+        let root = Node::new_leaf();
+        Self {
+            params,
+            nodes: vec![root],
+            free: Vec::new(),
+            root: NodeId(0),
+            first_leaf: NodeId(0),
+            height: 1,
+            leaf_entry_count: 0,
+            total: Cf::empty(params.dim),
+            stats: TreeStats::default(),
+        }
+    }
+
+    /// The tree's static parameters.
+    #[must_use]
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    /// Current threshold `T`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.params.threshold
+    }
+
+    /// Data dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.params.dim
+    }
+
+    /// Tree height (1 = root is a leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of live nodes — under the paper's cost model, the number of
+    /// memory pages the tree occupies.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Total number of CF entries across all leaves.
+    #[must_use]
+    pub fn leaf_entry_count(&self) -> usize {
+        self.leaf_entry_count
+    }
+
+    /// The CF of everything ever inserted (and not rolled back).
+    #[must_use]
+    pub fn total_cf(&self) -> &Cf {
+        &self.total
+    }
+
+    /// Mutation counters.
+    #[must_use]
+    pub fn stats(&self) -> TreeStats {
+        self.stats
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Crate-internal read access to a node (used by the rebuild scan).
+    pub(crate) fn node_view(&self, id: NodeId) -> &Node {
+        self.node(id)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id.index()] = node;
+            id
+        } else {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    fn free_node(&mut self, id: NodeId) {
+        self.free.push(id);
+    }
+
+    fn summary(&self, id: NodeId) -> Cf {
+        self.node(id).summary(self.params.dim)
+    }
+
+    /// Inserts a single unweighted data point.
+    pub fn insert_point(&mut self, p: &crate::point::Point) -> InsertOutcome {
+        self.insert_cf(Cf::from_point(p))
+    }
+
+    /// Inserts a subcluster summary `ent` (used when re-inserting leaf
+    /// entries during rebuilds, and when re-absorbing outliers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ent` is empty or of the wrong dimension.
+    pub fn insert_cf(&mut self, ent: Cf) -> InsertOutcome {
+        assert!(!ent.is_empty(), "cannot insert an empty CF");
+        assert_eq!(ent.dim(), self.params.dim, "dimension mismatch");
+        self.total.merge(&ent);
+
+        let (leaf_id, path) = self.descend(&ent);
+
+        // Step 2: try to absorb into the closest leaf entry.
+        if let Some(idx) = self.closest_leaf_entry(leaf_id, &ent) {
+            let tentative = self.node(leaf_id).leaf_entries()[idx].merged(&ent);
+            if self
+                .params
+                .threshold_kind
+                .satisfies(&tentative, self.params.threshold)
+            {
+                self.node_mut(leaf_id).leaf_entries_mut()[idx] = tentative;
+                self.add_to_path(&path, &ent);
+                return InsertOutcome::Absorbed;
+            }
+        }
+
+        // New entry.
+        self.node_mut(leaf_id).leaf_entries_mut().push(ent.clone());
+        self.leaf_entry_count += 1;
+
+        if self.node(leaf_id).entry_count() <= self.params.leaf_capacity {
+            self.add_to_path(&path, &ent);
+            return InsertOutcome::Added;
+        }
+
+        // Step 3: the leaf overflowed — split and propagate upward.
+        let new_leaf = self.split_leaf(leaf_id);
+        self.propagate_split(&path, new_leaf);
+        InsertOutcome::AddedWithSplit
+    }
+
+    /// Attempts to merge `ent` into an existing leaf entry *without* adding
+    /// a new entry or splitting — the re-absorption test of §5.1.3 ("see if
+    /// they can be re-absorbed into the current tree without causing the
+    /// tree to grow in size"). Returns `true` on success.
+    pub fn try_absorb(&mut self, ent: &Cf) -> bool {
+        assert!(!ent.is_empty(), "cannot absorb an empty CF");
+        assert_eq!(ent.dim(), self.params.dim, "dimension mismatch");
+        let (leaf_id, path) = self.descend(ent);
+        let Some(idx) = self.closest_leaf_entry(leaf_id, ent) else {
+            return false;
+        };
+        let tentative = self.node(leaf_id).leaf_entries()[idx].merged(ent);
+        if !self
+            .params
+            .threshold_kind
+            .satisfies(&tentative, self.params.threshold)
+        {
+            return false;
+        }
+        self.node_mut(leaf_id).leaf_entries_mut()[idx] = tentative;
+        self.add_to_path(&path, ent);
+        self.total.merge(ent);
+        true
+    }
+
+    /// Like [`CfTree::try_absorb`] but additionally allowed to *add* `ent`
+    /// as a new entry when the target leaf has free space — the paper's
+    /// rebuild test "if it can fit in [the new tree] without splitting"
+    /// (§5.1.1). Never splits a node; returns `false` if neither
+    /// absorption nor a split-free add is possible.
+    pub(crate) fn try_add_no_split(&mut self, ent: &Cf) -> bool {
+        if self.try_absorb(ent) {
+            return true;
+        }
+        let (leaf_id, path) = self.descend(ent);
+        if self.node(leaf_id).entry_count() >= self.params.leaf_capacity {
+            return false;
+        }
+        self.node_mut(leaf_id).leaf_entries_mut().push(ent.clone());
+        self.leaf_entry_count += 1;
+        self.add_to_path(&path, ent);
+        self.total.merge(ent);
+        true
+    }
+
+    /// Root-to-leaf descent following the closest child at each level.
+    /// Returns the leaf id and the interior path as `(node, child_index)`
+    /// pairs from the root downward.
+    fn descend(&self, ent: &Cf) -> (NodeId, Vec<(NodeId, usize)>) {
+        let mut path = Vec::with_capacity(self.height.saturating_sub(1));
+        let mut cur = self.root;
+        while !self.node(cur).is_leaf() {
+            let children = self.node(cur).children();
+            debug_assert!(!children.is_empty(), "interior node with no children");
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (i, c) in children.iter().enumerate() {
+                let d = self.params.metric.distance(ent, &c.cf);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            path.push((cur, best));
+            cur = children[best].child;
+        }
+        (cur, path)
+    }
+
+    /// Index of the leaf entry closest to `ent`, or `None` if the leaf is
+    /// empty.
+    fn closest_leaf_entry(&self, leaf_id: NodeId, ent: &Cf) -> Option<usize> {
+        let entries = self.node(leaf_id).leaf_entries();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in entries.iter().enumerate() {
+            let d = self.params.metric.distance(ent, e);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Merges `ent` into every `[CF, child]` entry along the descent path —
+    /// the cheap CF update used when no split occurred.
+    fn add_to_path(&mut self, path: &[(NodeId, usize)], ent: &Cf) {
+        for &(nid, idx) in path {
+            self.node_mut(nid).children_mut()[idx].cf.merge(ent);
+        }
+    }
+
+    /// Splits an over-full leaf. The farthest pair of entries seeds two
+    /// groups; the original node keeps the first group, a freshly allocated
+    /// leaf (linked right after it in the chain) takes the second.
+    fn split_leaf(&mut self, leaf_id: NodeId) -> NodeId {
+        self.stats.splits += 1;
+        let entries = std::mem::take(self.node_mut(leaf_id).leaf_entries_mut());
+        let (g1, g2) = partition_by_farthest_pair(entries, |e| e, self.params.metric);
+        *self.node_mut(leaf_id).leaf_entries_mut() = g1;
+
+        let new_id = self.alloc(Node::new_leaf());
+        *self.node_mut(new_id).leaf_entries_mut() = g2;
+        self.link_after(leaf_id, new_id);
+        new_id
+    }
+
+    /// Splits an over-full interior node; returns the new sibling.
+    fn split_interior(&mut self, node_id: NodeId) -> NodeId {
+        self.stats.splits += 1;
+        let children = std::mem::take(self.node_mut(node_id).children_mut());
+        let (g1, g2) = partition_by_farthest_pair(children, |c| &c.cf, self.params.metric);
+        *self.node_mut(node_id).children_mut() = g1;
+
+        let new_id = self.alloc(Node::new_interior());
+        *self.node_mut(new_id).children_mut() = g2;
+        new_id
+    }
+
+    /// Walks the descent path bottom-up after a leaf split: recomputes the
+    /// changed child's CF entry, inserts the new sibling's entry, splits
+    /// overflowing interior nodes, applies the merging refinement where the
+    /// propagation stops, and grows a new root if the split reaches the top.
+    fn propagate_split(&mut self, path: &[(NodeId, usize)], new_child: NodeId) {
+        let mut pending = Some(new_child);
+        for &(nid, idx) in path.iter().rev() {
+            // The child at `idx` may have changed shape: recompute its CF.
+            let child_id = self.node(nid).children()[idx].child;
+            let child_cf = self.summary(child_id);
+            self.node_mut(nid).children_mut()[idx].cf = child_cf;
+
+            if let Some(new_id) = pending.take() {
+                let cf = self.summary(new_id);
+                self.node_mut(nid)
+                    .children_mut()
+                    .insert(idx + 1, ChildEntry { cf, child: new_id });
+                if self.node(nid).entry_count() > self.params.branching {
+                    pending = Some(self.split_interior(nid));
+                } else if self.params.merge_refinement {
+                    self.merge_refine(nid, idx, idx + 1);
+                }
+            }
+        }
+
+        if let Some(new_id) = pending {
+            // Root split: the tree grows one level.
+            let old_root = self.root;
+            let mut root = Node::new_interior();
+            root.children_mut().push(ChildEntry {
+                cf: self.summary(old_root),
+                child: old_root,
+            });
+            root.children_mut().push(ChildEntry {
+                cf: self.summary(new_id),
+                child: new_id,
+            });
+            self.root = self.alloc(root);
+            self.height += 1;
+        }
+    }
+
+    /// §4.3 merging refinement at node `nid`, where `(split_a, split_b)` are
+    /// the entry indices produced by the just-finished split. Finds the two
+    /// closest entries; if they are not the split pair, merges their child
+    /// nodes — resplitting if the merged node overflows its capacity.
+    fn merge_refine(&mut self, nid: NodeId, split_a: usize, split_b: usize) {
+        let children = self.node(nid).children();
+        if children.len() < 3 {
+            return; // The only pair is the split pair.
+        }
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..children.len() {
+            for j in (i + 1)..children.len() {
+                let d = self.params.metric.distance(&children[i].cf, &children[j].cf);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { return };
+        if (i, j) == (split_a.min(split_b), split_a.max(split_b)) {
+            return; // Closest pair is the freshly split pair: nothing to heal.
+        }
+
+        let a_id = self.node(nid).children()[i].child;
+        let b_id = self.node(nid).children()[j].child;
+        let a_is_leaf = self.node(a_id).is_leaf();
+        debug_assert_eq!(a_is_leaf, self.node(b_id).is_leaf(), "sibling level mismatch");
+        let capacity = if a_is_leaf {
+            self.params.leaf_capacity
+        } else {
+            self.params.branching
+        };
+        let combined = self.node(a_id).entry_count() + self.node(b_id).entry_count();
+
+        self.stats.merge_refinements += 1;
+        if combined <= capacity {
+            // Merge b into a; drop b's entry and node.
+            if a_is_leaf {
+                let mut moved = std::mem::take(self.node_mut(b_id).leaf_entries_mut());
+                self.node_mut(a_id).leaf_entries_mut().append(&mut moved);
+                self.unlink_leaf(b_id);
+            } else {
+                let mut moved = std::mem::take(self.node_mut(b_id).children_mut());
+                self.node_mut(a_id).children_mut().append(&mut moved);
+            }
+            self.free_node(b_id);
+            let a_cf = self.summary(a_id);
+            let kids = self.node_mut(nid).children_mut();
+            kids[i].cf = a_cf;
+            kids.remove(j);
+        } else {
+            // Merge + resplit: pool both nodes' items and redistribute by
+            // the farthest-pair rule to even out occupancy.
+            if a_is_leaf {
+                let mut pool = std::mem::take(self.node_mut(a_id).leaf_entries_mut());
+                pool.append(&mut std::mem::take(self.node_mut(b_id).leaf_entries_mut()));
+                let (mut g1, mut g2) = partition_by_farthest_pair(pool, |e| e, self.params.metric);
+                rebalance_to_capacity(&mut g1, &mut g2, |e| e, self.params.metric, capacity, self.params.dim);
+                *self.node_mut(a_id).leaf_entries_mut() = g1;
+                *self.node_mut(b_id).leaf_entries_mut() = g2;
+            } else {
+                let mut pool = std::mem::take(self.node_mut(a_id).children_mut());
+                pool.append(&mut std::mem::take(self.node_mut(b_id).children_mut()));
+                let (mut g1, mut g2) =
+                    partition_by_farthest_pair(pool, |c| &c.cf, self.params.metric);
+                rebalance_to_capacity(&mut g1, &mut g2, |c| &c.cf, self.params.metric, capacity, self.params.dim);
+                *self.node_mut(a_id).children_mut() = g1;
+                *self.node_mut(b_id).children_mut() = g2;
+            }
+            let a_cf = self.summary(a_id);
+            let b_cf = self.summary(b_id);
+            let kids = self.node_mut(nid).children_mut();
+            kids[i].cf = a_cf;
+            kids[j].cf = b_cf;
+        }
+    }
+
+    /// Links `new_id` into the leaf chain immediately after `after`.
+    fn link_after(&mut self, after: NodeId, new_id: NodeId) {
+        let old_next = match &self.node(after).kind {
+            NodeKind::Leaf { next, .. } => *next,
+            NodeKind::Interior { .. } => unreachable!("link_after on interior"),
+        };
+        if let NodeKind::Leaf { next, .. } = &mut self.node_mut(after).kind {
+            *next = Some(new_id);
+        }
+        if let NodeKind::Leaf { prev, next, .. } = &mut self.node_mut(new_id).kind {
+            *prev = Some(after);
+            *next = old_next;
+        }
+        if let Some(n) = old_next {
+            if let NodeKind::Leaf { prev, .. } = &mut self.node_mut(n).kind {
+                *prev = Some(new_id);
+            }
+        }
+    }
+
+    /// Removes a leaf from the chain (used when merging refinement fuses two
+    /// leaves into one).
+    fn unlink_leaf(&mut self, id: NodeId) {
+        let (p, n) = match &self.node(id).kind {
+            NodeKind::Leaf { prev, next, .. } => (*prev, *next),
+            NodeKind::Interior { .. } => unreachable!("unlink_leaf on interior"),
+        };
+        match p {
+            Some(p) => {
+                if let NodeKind::Leaf { next, .. } = &mut self.node_mut(p).kind {
+                    *next = n;
+                }
+            }
+            None => {
+                self.first_leaf = n.expect("unlinking the only leaf");
+            }
+        }
+        if let Some(n) = n {
+            if let NodeKind::Leaf { prev, .. } = &mut self.node_mut(n).kind {
+                *prev = p;
+            }
+        }
+    }
+
+    /// Leaf node ids in chain order (leftmost first).
+    pub fn leaf_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        LeafIter {
+            tree: self,
+            cur: if self.leaf_entry_count == 0 && self.node(self.first_leaf).entry_count() == 0
+            {
+                // Completely empty tree: still yield the root leaf so
+                // callers see a consistent (empty) chain.
+                Some(self.first_leaf)
+            } else {
+                Some(self.first_leaf)
+            },
+        }
+    }
+
+    /// All leaf entries in chain (path) order — the input order for tree
+    /// rebuilds and for Phase 3.
+    pub fn leaf_entries(&self) -> impl Iterator<Item = &Cf> + '_ {
+        self.leaf_ids()
+            .flat_map(move |id| self.node(id).leaf_entries().iter())
+    }
+
+    /// Consumes the tree, returning all leaf entries in chain order.
+    #[must_use]
+    pub fn into_leaf_entries(self) -> Vec<Cf> {
+        let mut out = Vec::with_capacity(self.leaf_entry_count);
+        for e in self.leaf_entries() {
+            out.push(e.clone());
+        }
+        out
+    }
+
+    /// Average statistic (diameter or radius, per the threshold kind) over
+    /// leaf entries with at least 2 points — the paper's measure of how
+    /// "full" entries are, used by the threshold heuristics.
+    #[must_use]
+    pub fn mean_entry_statistic(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for e in self.leaf_entries() {
+            if e.n() > 1.0 {
+                sum += self.params.threshold_kind.statistic(e);
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum / cnt as f64
+        }
+    }
+
+    /// Distance between the two closest entries in the most crowded leaf —
+    /// the paper's `Dmin` signal (§5.1.2): the smallest threshold that would
+    /// merge at least one pair of entries in the densest region.
+    #[must_use]
+    pub fn dmin_most_crowded_leaf(&self) -> Option<f64> {
+        let crowded = self
+            .leaf_ids()
+            .max_by_key(|&id| self.node(id).entry_count())?;
+        let entries = self.node(crowded).leaf_entries();
+        if entries.len() < 2 {
+            return None;
+        }
+        let mut best = f64::INFINITY;
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                // The threshold constrains the *merged entry's* statistic,
+                // so measure the candidate merge directly.
+                let merged = entries[i].merged(&entries[j]);
+                let stat = self.params.threshold_kind.statistic(&merged);
+                best = best.min(stat);
+            }
+        }
+        Some(best)
+    }
+
+    /// Verifies every structural invariant of the CF-tree; returns a
+    /// description of the first violation. Intended for tests and debugging
+    /// (cost is O(size of tree)).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut leaves_dfs = Vec::new();
+        self.check_node(self.root, 1, &mut seen, &mut leaves_dfs)?;
+
+        // Height: every leaf at the recorded height.
+        // (check_node already verified uniform depth == self.height.)
+
+        // The leaf chain must visit exactly the DFS leaves, each once.
+        // (Order can differ from DFS: an interior split redistributes
+        // children by proximity, not sibling order.)
+        let chain: Vec<NodeId> = self.leaf_ids().collect();
+        let mut chain_sorted = chain.clone();
+        chain_sorted.sort_unstable();
+        chain_sorted.dedup();
+        let mut dfs_sorted = leaves_dfs.clone();
+        dfs_sorted.sort_unstable();
+        if chain_sorted.len() != chain.len() {
+            return Err("leaf chain visits a node twice".to_string());
+        }
+        if chain_sorted != dfs_sorted {
+            return Err(format!(
+                "leaf chain {chain:?} is not a permutation of the DFS leaves {leaves_dfs:?}"
+            ));
+        }
+        // prev pointers consistent.
+        let mut prev = None;
+        for &id in &chain {
+            match &self.node(id).kind {
+                NodeKind::Leaf { prev: p, .. } => {
+                    if *p != prev {
+                        return Err(format!("leaf {id:?} has wrong prev pointer"));
+                    }
+                }
+                NodeKind::Interior { .. } => return Err(format!("{id:?} in chain not a leaf")),
+            }
+            prev = Some(id);
+        }
+
+        // Entry count bookkeeping.
+        let counted: usize = chain.iter().map(|&id| self.node(id).entry_count()).sum();
+        if counted != self.leaf_entry_count {
+            return Err(format!(
+                "leaf_entry_count {} != counted {}",
+                self.leaf_entry_count, counted
+            ));
+        }
+
+        // Total CF equals the root summary.
+        if self.leaf_entry_count > 0 {
+            let root_cf = self.summary(self.root);
+            if !cf_close(&root_cf, &self.total) {
+                return Err(format!(
+                    "total CF drifted: root {root_cf:?} vs tracked {:?}",
+                    self.total
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        depth: usize,
+        seen: &mut std::collections::HashSet<NodeId>,
+        leaves: &mut Vec<NodeId>,
+    ) -> Result<(), String> {
+        if !seen.insert(id) {
+            return Err(format!("node {id:?} reachable twice"));
+        }
+        match &self.node(id).kind {
+            NodeKind::Leaf { entries, .. } => {
+                if depth != self.height {
+                    return Err(format!(
+                        "leaf {id:?} at depth {depth}, expected height {}",
+                        self.height
+                    ));
+                }
+                if entries.len() > self.params.leaf_capacity {
+                    return Err(format!(
+                        "leaf {id:?} has {} entries > L={}",
+                        entries.len(),
+                        self.params.leaf_capacity
+                    ));
+                }
+                for (i, e) in entries.iter().enumerate() {
+                    if e.is_empty() {
+                        return Err(format!("leaf {id:?} entry {i} is empty"));
+                    }
+                    let stat = self.params.threshold_kind.statistic(e);
+                    if e.n() > 1.0 && stat > self.params.threshold * (1.0 + 1e-9) + 1e-12 {
+                        return Err(format!(
+                            "leaf {id:?} entry {i} violates threshold: {stat} > {}",
+                            self.params.threshold
+                        ));
+                    }
+                }
+                leaves.push(id);
+            }
+            NodeKind::Interior { children } => {
+                if children.is_empty() {
+                    return Err(format!("interior {id:?} has no children"));
+                }
+                if children.len() > self.params.branching {
+                    return Err(format!(
+                        "interior {id:?} has {} children > B={}",
+                        children.len(),
+                        self.params.branching
+                    ));
+                }
+                for (i, c) in children.iter().enumerate() {
+                    let child_cf = self.summary(c.child);
+                    if !cf_close(&child_cf, &c.cf) {
+                        return Err(format!(
+                            "interior {id:?} entry {i} CF {:?} != child summary {:?}",
+                            c.cf, child_cf
+                        ));
+                    }
+                    self.check_node(c.child, depth + 1, seen, leaves)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct LeafIter<'a> {
+    tree: &'a CfTree,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for LeafIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.cur?;
+        self.cur = match &self.tree.node(id).kind {
+            NodeKind::Leaf { next, .. } => *next,
+            NodeKind::Interior { .. } => unreachable!("interior node in leaf chain"),
+        };
+        Some(id)
+    }
+}
+
+/// Splits `items` into two non-empty groups: the farthest pair of items
+/// (under `metric`, comparing the CFs produced by `cf_of`) seed the groups
+/// and every other item joins the nearer seed. This is the paper's split
+/// rule ("choosing the farthest pair of entries as seeds, and redistributing
+/// the remaining entries based on the closest criteria").
+fn partition_by_farthest_pair<T>(
+    items: Vec<T>,
+    cf_of: impl Fn(&T) -> &Cf,
+    metric: DistanceMetric,
+) -> (Vec<T>, Vec<T>) {
+    assert!(items.len() >= 2, "cannot partition fewer than 2 items");
+    let mut far = (0usize, 1usize);
+    let mut far_d = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let d = metric.distance(cf_of(&items[i]), cf_of(&items[j]));
+            if d > far_d {
+                far_d = d;
+                far = (i, j);
+            }
+        }
+    }
+    let (s1, s2) = far;
+    let seed1 = cf_of(&items[s1]).clone();
+    let seed2 = cf_of(&items[s2]).clone();
+    let mut g1 = Vec::with_capacity(items.len() / 2 + 1);
+    let mut g2 = Vec::with_capacity(items.len() / 2 + 1);
+    for (k, item) in items.into_iter().enumerate() {
+        if k == s1 {
+            g1.push(item);
+        } else if k == s2 {
+            g2.push(item);
+        } else {
+            let d1 = metric.distance(cf_of(&item), &seed1);
+            let d2 = metric.distance(cf_of(&item), &seed2);
+            if d1 <= d2 {
+                g1.push(item);
+            } else {
+                g2.push(item);
+            }
+        }
+    }
+    (g1, g2)
+}
+
+/// Moves items from an over-full group to the other until both respect
+/// `capacity`. Proximity partitioning ignores capacity, and a merge+resplit
+/// pools up to `2×capacity` items, so a group can overflow; each move picks
+/// the overflowing group's item closest to the *other* group's summary,
+/// keeping the redistribution as proximity-faithful as possible.
+fn rebalance_to_capacity<T>(
+    g1: &mut Vec<T>,
+    g2: &mut Vec<T>,
+    cf_of: impl Fn(&T) -> &Cf,
+    metric: DistanceMetric,
+    capacity: usize,
+    dim: usize,
+) {
+    debug_assert!(g1.len() + g2.len() <= 2 * capacity, "pool too large to fit");
+    let group_cf = |g: &[T]| {
+        let mut cf = Cf::empty(dim);
+        for item in g {
+            cf.merge(cf_of(item));
+        }
+        cf
+    };
+    loop {
+        let (from, to) = if g1.len() > capacity {
+            (&mut *g1, &mut *g2)
+        } else if g2.len() > capacity {
+            (&mut *g2, &mut *g1)
+        } else {
+            return;
+        };
+        let target = group_cf(to);
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, item) in from.iter().enumerate() {
+            let d = if target.is_empty() {
+                0.0
+            } else {
+                metric.distance(cf_of(item), &target)
+            };
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        let item = from.swap_remove(best);
+        to.push(item);
+    }
+}
+
+fn cf_close(a: &Cf, b: &Cf) -> bool {
+    let scale = |x: f64, y: f64| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()));
+    scale(a.n(), b.n())
+        && scale(a.ss(), b.ss())
+        && a.ls().iter().zip(b.ls()).all(|(&x, &y)| scale(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn small_params(threshold: f64) -> TreeParams {
+        TreeParams {
+            dim: 2,
+            branching: 3,
+            leaf_capacity: 3,
+            threshold,
+            threshold_kind: ThresholdKind::Diameter,
+            metric: DistanceMetric::D2,
+            merge_refinement: true,
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_consistent() {
+        let t = CfTree::new(TreeParams::for_dim(2));
+        assert_eq!(t.leaf_entry_count(), 0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.node_count(), 1);
+        t.check_invariants().unwrap();
+        assert_eq!(t.leaf_entries().count(), 0);
+    }
+
+    #[test]
+    fn first_insert_adds_entry() {
+        let mut t = CfTree::new(small_params(1.0));
+        let out = t.insert_point(&Point::xy(1.0, 1.0));
+        assert_eq!(out, InsertOutcome::Added);
+        assert_eq!(t.leaf_entry_count(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn close_point_absorbed_far_point_added() {
+        let mut t = CfTree::new(small_params(1.0));
+        t.insert_point(&Point::xy(0.0, 0.0));
+        let out = t.insert_point(&Point::xy(0.1, 0.0));
+        assert_eq!(out, InsertOutcome::Absorbed);
+        assert_eq!(t.leaf_entry_count(), 1);
+        let out = t.insert_point(&Point::xy(10.0, 0.0));
+        assert_eq!(out, InsertOutcome::Added);
+        assert_eq!(t.leaf_entry_count(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_threshold_only_merges_identical_points() {
+        let mut t = CfTree::new(small_params(0.0));
+        t.insert_point(&Point::xy(1.0, 1.0));
+        assert_eq!(t.insert_point(&Point::xy(1.0, 1.0)), InsertOutcome::Absorbed);
+        // An offset large enough to survive the CF algebra's floating-point
+        // cancellation (SS − ‖LS‖²/N operates near ‖LS‖² ≈ 16 here).
+        assert_eq!(
+            t.insert_point(&Point::xy(1.0, 1.0 + 1e-3)),
+            InsertOutcome::Added
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leaf_split_grows_tree() {
+        let mut t = CfTree::new(small_params(0.0));
+        // L = 3 distinct points fill the root leaf; the 4th splits it.
+        for i in 0..3 {
+            t.insert_point(&Point::xy(f64::from(i) * 10.0, 0.0));
+        }
+        assert_eq!(t.height(), 1);
+        let out = t.insert_point(&Point::xy(35.0, 0.0));
+        assert_eq!(out, InsertOutcome::AddedWithSplit);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaf_entry_count(), 4);
+        assert!(t.stats().splits >= 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn many_inserts_keep_invariants_and_balance() {
+        let mut t = CfTree::new(small_params(0.5));
+        // A deterministic pseudo-random walk over a 2-d box.
+        let mut x = 0.0f64;
+        let mut y = 0.0f64;
+        for i in 0..500 {
+            x = (x * 1.3 + f64::from(i) * 0.7).rem_euclid(50.0);
+            y = (y * 1.7 + f64::from(i) * 0.3).rem_euclid(50.0);
+            t.insert_point(&Point::xy(x, y));
+        }
+        t.check_invariants().unwrap();
+        assert!(t.height() >= 3, "expected a multi-level tree");
+        assert_eq!(t.total_cf().n(), 500.0);
+    }
+
+    #[test]
+    fn leaf_chain_order_matches_left_to_right() {
+        let mut t = CfTree::new(small_params(0.0));
+        for i in 0..40 {
+            t.insert_point(&Point::xy(f64::from(i), 0.0));
+        }
+        t.check_invariants().unwrap();
+        // Chain order must equal DFS order (checked by invariants), and the
+        // entries visited in chain order should cover all 40 points.
+        let total: f64 = t.leaf_entries().map(Cf::n).sum();
+        assert_eq!(total, 40.0);
+    }
+
+    #[test]
+    fn insert_cf_subcluster() {
+        let mut t = CfTree::new(small_params(5.0));
+        let pts: Vec<Point> = (0..10).map(|i| Point::xy(f64::from(i) * 0.1, 0.0)).collect();
+        let sub = Cf::from_points(&pts);
+        t.insert_cf(sub.clone());
+        assert_eq!(t.leaf_entry_count(), 1);
+        assert_eq!(t.total_cf().n(), 10.0);
+        // A nearby subcluster within threshold should be absorbed.
+        let sub2 = Cf::from_point(&Point::xy(0.45, 0.0));
+        assert_eq!(t.insert_cf(sub2), InsertOutcome::Absorbed);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn try_absorb_success_and_failure() {
+        let mut t = CfTree::new(small_params(1.0));
+        t.insert_point(&Point::xy(0.0, 0.0));
+        assert!(t.try_absorb(&Cf::from_point(&Point::xy(0.2, 0.0))));
+        assert_eq!(t.leaf_entry_count(), 1);
+        assert!(!t.try_absorb(&Cf::from_point(&Point::xy(50.0, 0.0))));
+        assert_eq!(t.leaf_entry_count(), 1);
+        assert_eq!(t.total_cf().n(), 2.0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn try_absorb_on_empty_tree_fails() {
+        let mut t = CfTree::new(small_params(1.0));
+        assert!(!t.try_absorb(&Cf::from_point(&Point::xy(0.0, 0.0))));
+    }
+
+    #[test]
+    fn larger_threshold_fewer_entries() {
+        let mk = |thr: f64| {
+            let mut t = CfTree::new(small_params(thr));
+            for i in 0..200 {
+                let v = f64::from(i % 20);
+                t.insert_point(&Point::xy(v, v * 0.5));
+            }
+            t.leaf_entry_count()
+        };
+        let fine = mk(0.1);
+        let coarse = mk(10.0);
+        assert!(
+            coarse < fine,
+            "coarse threshold should compress more: {coarse} vs {fine}"
+        );
+    }
+
+    #[test]
+    fn partition_separates_two_blobs() {
+        let mut items: Vec<Cf> = Vec::new();
+        for i in 0..5 {
+            items.push(Cf::from_point(&Point::xy(f64::from(i) * 0.1, 0.0)));
+        }
+        for i in 0..5 {
+            items.push(Cf::from_point(&Point::xy(100.0 + f64::from(i) * 0.1, 0.0)));
+        }
+        let (g1, g2) = partition_by_farthest_pair(items, |e| e, DistanceMetric::D0);
+        assert_eq!(g1.len(), 5);
+        assert_eq!(g2.len(), 5);
+        let c1 = g1[0].centroid()[0];
+        assert!(g1.iter().all(|e| (e.centroid()[0] - c1).abs() < 10.0));
+    }
+
+    #[test]
+    fn partition_of_two_items() {
+        let items = vec![
+            Cf::from_point(&Point::xy(0.0, 0.0)),
+            Cf::from_point(&Point::xy(1.0, 0.0)),
+        ];
+        let (g1, g2) = partition_by_farthest_pair(items, |e| e, DistanceMetric::D0);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g2.len(), 1);
+    }
+
+    #[test]
+    fn mean_entry_statistic_and_dmin() {
+        let mut t = CfTree::new(small_params(2.0));
+        for i in 0..30 {
+            t.insert_point(&Point::xy(f64::from(i % 5) * 3.0, 0.0));
+            t.insert_point(&Point::xy(f64::from(i % 5) * 3.0 + 0.5, 0.0));
+        }
+        let stat = t.mean_entry_statistic();
+        assert!(stat > 0.0 && stat <= 2.0, "stat={stat}");
+        let dmin = t.dmin_most_crowded_leaf().unwrap();
+        assert!(dmin > 0.0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_heavy_input_stays_small() {
+        let mut t = CfTree::new(small_params(0.0));
+        for _ in 0..1000 {
+            t.insert_point(&Point::xy(1.0, 2.0));
+        }
+        assert_eq!(t.leaf_entry_count(), 1);
+        assert_eq!(t.total_cf().n(), 1000.0);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn merge_refinement_counter_moves_on_skewed_input() {
+        // Sorted (skewed) input is exactly the case §4.3's refinement
+        // targets; with small B it should fire at least once.
+        let mut t = CfTree::new(TreeParams {
+            merge_refinement: true,
+            ..small_params(0.0)
+        });
+        for i in 0..300 {
+            t.insert_point(&Point::xy(f64::from(i) * 0.7, f64::from(i % 7)));
+        }
+        t.check_invariants().unwrap();
+        assert!(
+            t.stats().merge_refinements > 0,
+            "expected merging refinement to trigger on ordered input"
+        );
+    }
+
+    #[test]
+    fn refinement_off_still_consistent() {
+        let mut t = CfTree::new(TreeParams {
+            merge_refinement: false,
+            ..small_params(0.0)
+        });
+        for i in 0..300 {
+            t.insert_point(&Point::xy(f64::from(i) * 0.7, f64::from(i % 7)));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.stats().merge_refinements, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot insert an empty CF")]
+    fn inserting_empty_cf_panics() {
+        let mut t = CfTree::new(small_params(1.0));
+        t.insert_cf(Cf::empty(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut t = CfTree::new(small_params(1.0));
+        t.insert_cf(Cf::from_point(&Point::new(vec![1.0, 2.0, 3.0])));
+    }
+}

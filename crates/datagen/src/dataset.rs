@@ -1,0 +1,394 @@
+//! The generator proper: turns a [`DatasetSpec`] into points with ground
+//! truth.
+//!
+//! Per the paper (§6.2): each cluster's points are 2-d normally distributed
+//! around its center with the variance chosen so the *cluster radius* (eq.
+//! 2: root-mean-square distance to the centroid) equals the requested `r`
+//! — for a 2-d isotropic normal, `R² = 2σ²`, so `σ = r/√2`. Noise points
+//! are uniform over the data's bounding box. A point may land arbitrarily
+//! far from its own center ("outsiders" in the paper's terminology); it
+//! still *belongs* to that cluster in the ground truth.
+
+use crate::rng::normal;
+use crate::spec::{DatasetSpec, Ordering, Pattern};
+use birch_core::{Cf, Point};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Ground-truth description of one generated cluster.
+#[derive(Debug, Clone)]
+pub struct ActualCluster {
+    /// The center the generator placed.
+    pub center: Point,
+    /// The radius the generator targeted.
+    pub target_radius: f64,
+    /// Number of points generated for this cluster.
+    pub n: usize,
+    /// Exact CF of the generated points (the "actual cluster" the paper
+    /// compares against).
+    pub cf: Cf,
+}
+
+/// A generated dataset: points, per-point ground truth, and the actual
+/// clusters.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The data points, in presentation order.
+    pub points: Vec<Point>,
+    /// Ground-truth labels aligned with `points`; `None` marks noise.
+    pub labels: Vec<Option<usize>>,
+    /// The actual clusters (index = label).
+    pub clusters: Vec<ActualCluster>,
+    /// The spec that produced this dataset.
+    pub spec: DatasetSpec,
+}
+
+impl Dataset {
+    /// Generates the dataset described by `spec` (deterministic in the
+    /// spec, including its seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`DatasetSpec::validate`]).
+    #[must_use]
+    pub fn generate(spec: &DatasetSpec) -> Self {
+        spec.validate();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        let centers = place_centers(spec);
+        let mut points: Vec<Point> = Vec::with_capacity(spec.expected_points());
+        let mut labels: Vec<Option<usize>> = Vec::with_capacity(spec.expected_points());
+        let mut clusters = Vec::with_capacity(spec.k);
+
+        for (ci, center) in centers.iter().enumerate() {
+            let n = if spec.n_low == spec.n_high {
+                spec.n_low
+            } else {
+                rng.gen_range(spec.n_low..=spec.n_high)
+            };
+            let r = if (spec.r_high - spec.r_low).abs() < f64::EPSILON {
+                spec.r_low
+            } else {
+                rng.gen_range(spec.r_low..=spec.r_high)
+            };
+            // R² = d·σ² for an isotropic d-dim normal; d = 2 here.
+            let sigma = r / 2f64.sqrt();
+            let mut cf: Option<Cf> = None;
+            let mut count = 0usize;
+            for _ in 0..n {
+                let p = Point::xy(
+                    normal(&mut rng, center[0], sigma),
+                    normal(&mut rng, center[1], sigma),
+                );
+                match &mut cf {
+                    Some(cf) => cf.add_point(&p),
+                    None => cf = Some(Cf::from_point(&p)),
+                }
+                points.push(p);
+                labels.push(Some(ci));
+                count += 1;
+            }
+            clusters.push(ActualCluster {
+                center: center.clone(),
+                target_radius: r,
+                n: count,
+                cf: cf.unwrap_or_else(|| Cf::empty(2)),
+            });
+        }
+
+        // Background noise, uniform over the bounding box of the clustered
+        // points (expanded a touch so noise can sit outside every cluster).
+        let n_noise = (points.len() as f64 * spec.noise_fraction).round() as usize;
+        if n_noise > 0 && !points.is_empty() {
+            let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+            for p in &points {
+                lo_x = lo_x.min(p[0]);
+                hi_x = hi_x.max(p[0]);
+                lo_y = lo_y.min(p[1]);
+                hi_y = hi_y.max(p[1]);
+            }
+            let pad_x = 0.05 * (hi_x - lo_x).max(1.0);
+            let pad_y = 0.05 * (hi_y - lo_y).max(1.0);
+            for _ in 0..n_noise {
+                points.push(Point::xy(
+                    rng.gen_range(lo_x - pad_x..=hi_x + pad_x),
+                    rng.gen_range(lo_y - pad_y..=hi_y + pad_y),
+                ));
+                labels.push(None);
+            }
+        }
+
+        // Presentation order.
+        if spec.ordering == Ordering::Randomized {
+            let mut idx: Vec<usize> = (0..points.len()).collect();
+            idx.shuffle(&mut rng);
+            let points_shuffled = idx.iter().map(|&i| points[i].clone()).collect();
+            let labels_shuffled = idx.iter().map(|&i| labels[i]).collect();
+            points = points_shuffled;
+            labels = labels_shuffled;
+        }
+
+        Self {
+            points,
+            labels,
+            clusters,
+            spec: spec.clone(),
+        }
+    }
+
+    /// Total number of points (clustered + noise).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of noise points.
+    #[must_use]
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// The actual clusters' weighted-average diameter — the baseline the
+    /// paper's quality columns compare against.
+    #[must_use]
+    pub fn actual_weighted_diameter(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for c in &self.clusters {
+            if c.n > 1 {
+                let d = c.cf.diameter();
+                num += c.n as f64 * d * d;
+                den += c.n as f64;
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            (num / den).sqrt()
+        }
+    }
+}
+
+/// Places the `K` cluster centers per the pattern.
+fn place_centers(spec: &DatasetSpec) -> Vec<Point> {
+    let k = spec.k;
+    match spec.pattern {
+        Pattern::Grid { kg } => {
+            let side = (k as f64).sqrt().ceil() as usize;
+            (0..k)
+                .map(|i| {
+                    let row = i / side;
+                    let col = i % side;
+                    Point::xy((col as f64 + 0.5) * kg, (row as f64 + 0.5) * kg)
+                })
+                .collect()
+        }
+        Pattern::Sine { cycles } => {
+            let amplitude = std::f64::consts::TAU * k as f64 / 8.0;
+            (0..k)
+                .map(|i| {
+                    let x = std::f64::consts::TAU * i as f64;
+                    let phase = std::f64::consts::TAU * (i as f64) * (cycles as f64) / k as f64;
+                    Point::xy(x, amplitude * phase.sin())
+                })
+                .collect()
+        }
+        Pattern::Random { kg } => {
+            // Deterministic sub-stream so center placement doesn't shift
+            // when per-cluster draws change.
+            let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5eed_cafe_f00d_d00d);
+            let side = (k as f64).sqrt() * kg;
+            (0..k)
+                .map(|_| Point::xy(rng.gen_range(0.0..=side), rng.gen_range(0.0..=side)))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid_spec() -> DatasetSpec {
+        DatasetSpec {
+            pattern: Pattern::Grid { kg: 4.0 },
+            k: 9,
+            n_low: 200,
+            n_high: 200,
+            r_low: 2f64.sqrt(),
+            r_high: 2f64.sqrt(),
+            noise_fraction: 0.0,
+            ordering: Ordering::Ordered,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn grid_centers_are_a_grid() {
+        let ds = Dataset::generate(&small_grid_spec());
+        assert_eq!(ds.clusters.len(), 9);
+        // 3x3 grid with spacing 4, offset 2.
+        assert_eq!(ds.clusters[0].center.coords(), &[2.0, 2.0]);
+        assert_eq!(ds.clusters[1].center.coords(), &[6.0, 2.0]);
+        assert_eq!(ds.clusters[3].center.coords(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn point_count_and_labels() {
+        let ds = Dataset::generate(&small_grid_spec());
+        assert_eq!(ds.len(), 9 * 200);
+        assert_eq!(ds.labels.len(), ds.points.len());
+        assert_eq!(ds.noise_count(), 0);
+        for c in &ds.clusters {
+            assert_eq!(c.n, 200);
+        }
+    }
+
+    #[test]
+    fn cluster_radius_close_to_target() {
+        let ds = Dataset::generate(&DatasetSpec {
+            n_low: 5000,
+            n_high: 5000,
+            k: 4,
+            ..small_grid_spec()
+        });
+        for c in &ds.clusters {
+            let r = c.cf.radius();
+            assert!(
+                (r - c.target_radius).abs() / c.target_radius < 0.05,
+                "generated radius {r} vs target {}",
+                c.target_radius
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_centroid_close_to_center() {
+        let ds = Dataset::generate(&small_grid_spec());
+        for c in &ds.clusters {
+            let centroid = c.cf.centroid();
+            assert!(centroid.dist(&c.center) < 0.5, "{centroid:?} vs {:?}", c.center);
+        }
+    }
+
+    #[test]
+    fn ordered_keeps_clusters_contiguous() {
+        let ds = Dataset::generate(&small_grid_spec());
+        // Labels must be non-decreasing for ordered input without noise.
+        let labs: Vec<usize> = ds.labels.iter().map(|l| l.unwrap()).collect();
+        assert!(labs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn randomized_interleaves_clusters() {
+        let ds = Dataset::generate(&DatasetSpec {
+            ordering: Ordering::Randomized,
+            ..small_grid_spec()
+        });
+        let labs: Vec<usize> = ds.labels.iter().map(|l| l.unwrap()).collect();
+        // Count order inversions: a shuffled list has many.
+        let changes = labs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes > ds.len() / 2, "only {changes} label changes");
+    }
+
+    #[test]
+    fn noise_points_present_and_unlabeled() {
+        let ds = Dataset::generate(&DatasetSpec {
+            noise_fraction: 0.1,
+            ..small_grid_spec()
+        });
+        let expected_noise = (9.0 * 200.0 * 0.1_f64).round() as usize;
+        assert_eq!(ds.noise_count(), expected_noise);
+        assert_eq!(ds.len(), 9 * 200 + expected_noise);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Dataset::generate(&small_grid_spec());
+        let b = Dataset::generate(&small_grid_spec());
+        assert_eq!(a.points.len(), b.points.len());
+        assert_eq!(a.points[17], b.points[17]);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(&small_grid_spec());
+        let b = Dataset::generate(&DatasetSpec {
+            seed: 100,
+            ..small_grid_spec()
+        });
+        assert_ne!(a.points[0], b.points[0]);
+    }
+
+    #[test]
+    fn sine_pattern_traces_sine() {
+        let ds = Dataset::generate(&DatasetSpec {
+            pattern: Pattern::Sine { cycles: 4 },
+            k: 100,
+            n_low: 1,
+            n_high: 1,
+            ..small_grid_spec()
+        });
+        assert_eq!(ds.clusters.len(), 100);
+        // x strictly increasing; y bounded by the amplitude.
+        let amp = std::f64::consts::TAU * 100.0 / 8.0;
+        for w in ds.clusters.windows(2) {
+            assert!(w[1].center[0] > w[0].center[0]);
+        }
+        assert!(ds.clusters.iter().all(|c| c.center[1].abs() <= amp + 1e-9));
+        // The curve actually oscillates: both signs appear.
+        assert!(ds.clusters.iter().any(|c| c.center[1] > amp * 0.5));
+        assert!(ds.clusters.iter().any(|c| c.center[1] < -amp * 0.5));
+    }
+
+    #[test]
+    fn random_pattern_in_bounds() {
+        let ds = Dataset::generate(&DatasetSpec {
+            pattern: Pattern::Random { kg: 4.0 },
+            k: 25,
+            n_low: 1,
+            n_high: 1,
+            ..small_grid_spec()
+        });
+        let side = 5.0 * 4.0;
+        for c in &ds.clusters {
+            assert!((0.0..=side).contains(&c.center[0]));
+            assert!((0.0..=side).contains(&c.center[1]));
+        }
+    }
+
+    #[test]
+    fn variable_n_and_r_ranges() {
+        let ds = Dataset::generate(&DatasetSpec {
+            n_low: 0,
+            n_high: 100,
+            r_low: 0.0,
+            r_high: 4.0,
+            k: 50,
+            ..small_grid_spec()
+        });
+        assert!(ds.clusters.iter().any(|c| c.n < 50));
+        assert!(ds.clusters.iter().any(|c| c.n > 50));
+        assert!(ds
+            .clusters
+            .iter()
+            .all(|c| (0.0..=4.0).contains(&c.target_radius)));
+    }
+
+    #[test]
+    fn actual_weighted_diameter_positive() {
+        let ds = Dataset::generate(&small_grid_spec());
+        let d = ds.actual_weighted_diameter();
+        // r = sqrt(2) -> expected diameter ~= sqrt(2)*r = 2.
+        assert!((d - 2.0).abs() < 0.2, "weighted diameter {d}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Synthetic NIR/VIS tree-image workload (paper §6.8, Figs. 9–10).
+//!
+//! The paper's real-data application clusters the pixels of two 512×1024
+//! images of trees — one near-infrared (NIR) band, one visible (VIS) band —
+//! to filter trees from background. The original images were never
+//! published, so this module synthesizes a scene with the five populations
+//! the paper identifies and the brightness relationships it describes
+//! (DESIGN.md substitution 2):
+//!
+//! 1. **very bright part of sky** (bright VIS, low NIR),
+//! 2. **ordinary part of sky** i.e. cloudy background (very bright VIS),
+//! 3. **sunlit leaves** (high NIR — healthy vegetation reflects NIR),
+//! 4. **branches + shadows on the trees, part A** (dark in both bands),
+//! 5. **branches + shadows, part B** (dark, slightly different mix).
+//!
+//! The paper's experiment is two-pass: first cluster `(NIR, VIS)` pairs
+//! with VIS weighted 10× into 5 clusters and pull out the tree parts
+//! (leaves and branches/shadows) from the background; then re-cluster the
+//! tree-part pixels on NIR with a finer threshold to split sunlit leaves
+//! from branches/shadows. [`NirVisImage`] provides the data and the
+//! ground-truth masks to verify both passes.
+
+use crate::rng::normal;
+use birch_core::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground-truth pixel class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelClass {
+    /// Bright sky (background).
+    Sky,
+    /// Cloud (background).
+    Cloud,
+    /// Sunlit leaves (tree).
+    SunlitLeaves,
+    /// Branches and shadows, first population (tree).
+    BranchShadowA,
+    /// Branches and shadows, second population (tree).
+    BranchShadowB,
+}
+
+impl PixelClass {
+    /// All five populations.
+    pub const ALL: [PixelClass; 5] = [
+        PixelClass::Sky,
+        PixelClass::Cloud,
+        PixelClass::SunlitLeaves,
+        PixelClass::BranchShadowA,
+        PixelClass::BranchShadowB,
+    ];
+
+    /// Whether this class belongs to the tree (vs the background).
+    #[must_use]
+    pub fn is_tree(self) -> bool {
+        matches!(
+            self,
+            PixelClass::SunlitLeaves | PixelClass::BranchShadowA | PixelClass::BranchShadowB
+        )
+    }
+
+    /// `(NIR mean, VIS mean, NIR σ, VIS σ)` of the population, on a 0–255
+    /// brightness scale. The relations follow §6.8: sky/cloud are pulled
+    /// far from the tree parts by VIS brightness; leaves vs branches are
+    /// separated by NIR; the two branch/shadow parts are similar to each
+    /// other (the paper needed the finer second pass to tell them apart
+    /// from leaves, and they stayed together).
+    #[must_use]
+    pub fn distribution(self) -> (f64, f64, f64, f64) {
+        match self {
+            PixelClass::Sky => (45.0, 200.0, 10.0, 8.0),
+            PixelClass::Cloud => (110.0, 235.0, 12.0, 6.0),
+            PixelClass::SunlitLeaves => (185.0, 95.0, 14.0, 12.0),
+            PixelClass::BranchShadowA => (60.0, 50.0, 10.0, 9.0),
+            PixelClass::BranchShadowB => (85.0, 65.0, 11.0, 10.0),
+        }
+    }
+
+    /// Fraction of the scene covered by this population.
+    #[must_use]
+    pub fn coverage(self) -> f64 {
+        match self {
+            PixelClass::Sky => 0.20,
+            PixelClass::Cloud => 0.15,
+            PixelClass::SunlitLeaves => 0.35,
+            PixelClass::BranchShadowA => 0.15,
+            PixelClass::BranchShadowB => 0.15,
+        }
+    }
+}
+
+/// A synthesized two-band image: per-pixel `(NIR, VIS)` values plus ground
+/// truth.
+#[derive(Debug, Clone)]
+pub struct NirVisImage {
+    /// Per-pixel `(NIR, VIS)` brightness values.
+    pub pixels: Vec<(f64, f64)>,
+    /// Ground-truth class per pixel.
+    pub truth: Vec<PixelClass>,
+    /// Image width (pixels are row-major, `width × height`).
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+impl NirVisImage {
+    /// Synthesizes a `width × height` scene, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image has zero pixels.
+    #[must_use]
+    pub fn generate(width: usize, height: usize, seed: u64) -> Self {
+        let n = width * height;
+        assert!(n > 0, "image must have at least one pixel");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+
+        // Cumulative coverage for class sampling.
+        let classes = PixelClass::ALL;
+        let mut cum = [0.0f64; 5];
+        let mut acc = 0.0;
+        for (i, c) in classes.iter().enumerate() {
+            acc += c.coverage();
+            cum[i] = acc;
+        }
+
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(0.0..acc);
+            let class = classes[cum.iter().position(|&c| u < c).unwrap_or(4)];
+            let (nir_m, vis_m, nir_s, vis_s) = class.distribution();
+            let nir = normal(&mut rng, nir_m, nir_s).clamp(0.0, 255.0);
+            let vis = normal(&mut rng, vis_m, vis_s).clamp(0.0, 255.0);
+            pixels.push((nir, vis));
+            truth.push(class);
+        }
+
+        Self {
+            pixels,
+            truth,
+            width,
+            height,
+        }
+    }
+
+    /// Number of pixels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Whether the image is empty (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// The pixels as 2-d points with the bands scaled — the paper's pass 1
+    /// weights VIS 10× to pull the (bright-VIS) background away from the
+    /// tree parts.
+    #[must_use]
+    pub fn scaled_points(&self, nir_scale: f64, vis_scale: f64) -> Vec<Point> {
+        self.pixels
+            .iter()
+            .map(|&(nir, vis)| Point::xy(nir * nir_scale, vis * vis_scale))
+            .collect()
+    }
+
+    /// NIR-only 1-d points for a subset of pixels — the paper's pass 2
+    /// re-clusters the tree-part pixels on the NIR band alone.
+    #[must_use]
+    pub fn nir_points(&self, indices: &[usize]) -> Vec<Point> {
+        indices
+            .iter()
+            .map(|&i| Point::new(vec![self.pixels[i].0]))
+            .collect()
+    }
+
+    /// Indices of pixels whose ground truth is a tree part.
+    #[must_use]
+    pub fn tree_indices(&self) -> Vec<usize> {
+        self.truth
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_tree().then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_basics() {
+        let img = NirVisImage::generate(64, 32, 5);
+        assert_eq!(img.len(), 64 * 32);
+        assert_eq!(img.truth.len(), img.pixels.len());
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn coverage_fractions_roughly_met() {
+        let img = NirVisImage::generate(256, 256, 5);
+        for class in PixelClass::ALL {
+            let frac = img.truth.iter().filter(|&&c| c == class).count() as f64
+                / img.len() as f64;
+            assert!(
+                (frac - class.coverage()).abs() < 0.02,
+                "{class:?}: {frac} vs {}",
+                class.coverage()
+            );
+        }
+    }
+
+    #[test]
+    fn population_means_roughly_met() {
+        let img = NirVisImage::generate(256, 256, 8);
+        for class in PixelClass::ALL {
+            let vals: Vec<&(f64, f64)> = img
+                .pixels
+                .iter()
+                .zip(&img.truth)
+                .filter_map(|(p, &c)| (c == class).then_some(p))
+                .collect();
+            let n = vals.len() as f64;
+            let nir_mean: f64 = vals.iter().map(|p| p.0).sum::<f64>() / n;
+            let (want_nir, want_vis, _, _) = class.distribution();
+            assert!((nir_mean - want_nir).abs() < 2.0, "{class:?} NIR {nir_mean}");
+            let vis_mean: f64 = vals.iter().map(|p| p.1).sum::<f64>() / n;
+            assert!((vis_mean - want_vis).abs() < 2.0, "{class:?} VIS {vis_mean}");
+        }
+    }
+
+    #[test]
+    fn values_clamped_to_byte_range() {
+        let img = NirVisImage::generate(128, 128, 13);
+        assert!(img
+            .pixels
+            .iter()
+            .all(|&(n, v)| (0.0..=255.0).contains(&n) && (0.0..=255.0).contains(&v)));
+    }
+
+    #[test]
+    fn vis_separates_background_from_tree() {
+        // The design requirement of pass 1: background VIS ≫ tree VIS.
+        let img = NirVisImage::generate(128, 128, 21);
+        let (mut bg, mut bg_n) = (0.0, 0);
+        let (mut tree, mut tree_n) = (0.0, 0);
+        for (p, c) in img.pixels.iter().zip(&img.truth) {
+            if c.is_tree() {
+                tree += p.1;
+                tree_n += 1;
+            } else {
+                bg += p.1;
+                bg_n += 1;
+            }
+        }
+        assert!(bg / bg_n as f64 > tree / tree_n as f64 + 80.0);
+    }
+
+    #[test]
+    fn nir_separates_leaves_from_branches() {
+        // The design requirement of pass 2.
+        let img = NirVisImage::generate(128, 128, 22);
+        let mean_of = |class: PixelClass| {
+            let v: Vec<f64> = img
+                .pixels
+                .iter()
+                .zip(&img.truth)
+                .filter_map(|(p, &c)| (c == class).then_some(p.0))
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let leaves = mean_of(PixelClass::SunlitLeaves);
+        let branch_a = mean_of(PixelClass::BranchShadowA);
+        let branch_b = mean_of(PixelClass::BranchShadowB);
+        assert!(leaves > branch_a + 60.0);
+        assert!(leaves > branch_b + 60.0);
+    }
+
+    #[test]
+    fn scaled_points_and_tree_indices() {
+        let img = NirVisImage::generate(32, 32, 9);
+        let pts = img.scaled_points(1.0, 10.0);
+        assert_eq!(pts.len(), img.len());
+        assert!((pts[0][1] - img.pixels[0].1 * 10.0).abs() < 1e-12);
+        let tree = img.tree_indices();
+        assert!(!tree.is_empty());
+        let nir = img.nir_points(&tree);
+        assert_eq!(nir.len(), tree.len());
+        assert_eq!(nir[0].dim(), 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = NirVisImage::generate(16, 16, 1);
+        let b = NirVisImage::generate(16, 16, 1);
+        assert_eq!(a.pixels, b.pixels);
+        let c = NirVisImage::generate(16, 16, 2);
+        assert_ne!(a.pixels, c.pixels);
+    }
+}

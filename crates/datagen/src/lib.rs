@@ -1,0 +1,27 @@
+//! Synthetic workloads for the BIRCH evaluation (§6.2, Table 1, Table 3).
+//!
+//! The paper studies BIRCH on controlled synthetic datasets: `K` clusters
+//! of normally distributed points, with cluster centers placed on a *grid*,
+//! along a *sine* curve, or at *random*; per-cluster sizes and radii drawn
+//! from `[nl, nh]` and `[rl, rh]`; optional uniform background noise; and
+//! input presented either *ordered* (cluster by cluster) or *randomized*.
+//!
+//! This crate reproduces that generator deterministic-seeded, exposes the
+//! paper's base workload presets DS1/DS2/DS3 (and their ordered variants
+//! DS1O/DS2O/DS3O, Table 3), and synthesizes the NIR/VIS tree-image
+//! workload of §6.8 (see [`image`]; the real images were never published —
+//! DESIGN.md substitution 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod image;
+pub mod presets;
+pub mod rng;
+pub mod spec;
+
+pub use dataset::{ActualCluster, Dataset};
+pub use presets::{ds1, ds1o, ds2, ds2o, ds3, ds3o};
+pub use spec::{DatasetSpec, Ordering, Pattern};

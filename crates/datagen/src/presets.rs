@@ -1,0 +1,196 @@
+//! The paper's base workload, Table 3.
+//!
+//! | Dataset | Pattern | Parameters |
+//! |---|---|---|
+//! | DS1 | grid   | K=100, nl=nh=1000, rl=rh=√2, kg=4, rn=0%, randomized |
+//! | DS2 | sine   | K=100, nl=nh=1000, rl=rh=√2, nc=4, rn=0%, randomized |
+//! | DS3 | random | K=100, nl=0, nh=2000, rl=0, rh=4, rn=0%, randomized |
+//! | DS1O/DS2O/DS3O | same, but `o = ordered` |
+//!
+//! Each preset takes the RNG seed so experiments can repeat across seeds.
+//! The scalability figures (Figs. 4–5) reuse these with `n` or `K` scaled —
+//! see [`ds1_scaled_n`] and [`ds1_scaled_k`] and their DS2/DS3 siblings.
+
+use crate::spec::{DatasetSpec, Ordering, Pattern};
+
+const SQRT2: f64 = std::f64::consts::SQRT_2;
+
+/// DS1: 10×10 grid of equal clusters (Table 3 row 1).
+#[must_use]
+pub fn ds1(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        pattern: Pattern::Grid { kg: 4.0 },
+        k: 100,
+        n_low: 1000,
+        n_high: 1000,
+        r_low: SQRT2,
+        r_high: SQRT2,
+        noise_fraction: 0.0,
+        ordering: Ordering::Randomized,
+        seed,
+    }
+}
+
+/// DS2: 100 clusters along a 4-cycle sine curve (Table 3 row 2).
+#[must_use]
+pub fn ds2(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        pattern: Pattern::Sine { cycles: 4 },
+        ..ds1(seed)
+    }
+}
+
+/// DS3: randomly placed clusters with variable sizes and radii
+/// (Table 3 row 3).
+#[must_use]
+pub fn ds3(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        pattern: Pattern::Random { kg: 4.0 },
+        n_low: 0,
+        n_high: 2000,
+        r_low: 0.0,
+        r_high: 4.0,
+        ..ds1(seed)
+    }
+}
+
+/// DS1O: DS1 presented cluster-by-cluster.
+#[must_use]
+pub fn ds1o(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        ordering: Ordering::Ordered,
+        ..ds1(seed)
+    }
+}
+
+/// DS2O: DS2 presented cluster-by-cluster.
+#[must_use]
+pub fn ds2o(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        ordering: Ordering::Ordered,
+        ..ds2(seed)
+    }
+}
+
+/// DS3O: DS3 presented cluster-by-cluster.
+#[must_use]
+pub fn ds3o(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        ordering: Ordering::Ordered,
+        ..ds3(seed)
+    }
+}
+
+/// DS1 with `n` points per cluster — the Fig. 4 sweep (N grows by growing
+/// cluster sizes, K fixed at 100).
+#[must_use]
+pub fn ds1_scaled_n(seed: u64, n_per_cluster: usize) -> DatasetSpec {
+    DatasetSpec {
+        n_low: n_per_cluster,
+        n_high: n_per_cluster,
+        ..ds1(seed)
+    }
+}
+
+/// DS2 variant of [`ds1_scaled_n`].
+#[must_use]
+pub fn ds2_scaled_n(seed: u64, n_per_cluster: usize) -> DatasetSpec {
+    DatasetSpec {
+        n_low: n_per_cluster,
+        n_high: n_per_cluster,
+        ..ds2(seed)
+    }
+}
+
+/// DS3 variant of [`ds1_scaled_n`]: keeps `nl = 0` and scales `nh` so the
+/// expected cluster size matches `n_per_cluster`.
+#[must_use]
+pub fn ds3_scaled_n(seed: u64, n_per_cluster: usize) -> DatasetSpec {
+    DatasetSpec {
+        n_low: 0,
+        n_high: 2 * n_per_cluster,
+        ..ds3(seed)
+    }
+}
+
+/// DS1 with `k` clusters — the Fig. 5 sweep (N grows by growing K,
+/// cluster size fixed at 1000).
+#[must_use]
+pub fn ds1_scaled_k(seed: u64, k: usize) -> DatasetSpec {
+    DatasetSpec { k, ..ds1(seed) }
+}
+
+/// DS2 variant of [`ds1_scaled_k`].
+#[must_use]
+pub fn ds2_scaled_k(seed: u64, k: usize) -> DatasetSpec {
+    DatasetSpec { k, ..ds2(seed) }
+}
+
+/// DS3 variant of [`ds1_scaled_k`].
+#[must_use]
+pub fn ds3_scaled_k(seed: u64, k: usize) -> DatasetSpec {
+    DatasetSpec { k, ..ds3(seed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn table3_sizes() {
+        assert_eq!(ds1(1).expected_points(), 100_000);
+        assert_eq!(ds2(1).expected_points(), 100_000);
+        assert_eq!(ds3(1).expected_points(), 100_000);
+    }
+
+    #[test]
+    fn ordered_variants_only_differ_in_ordering() {
+        let a = ds1(7);
+        let b = ds1o(7);
+        assert_eq!(a.pattern, b.pattern);
+        assert_eq!(a.k, b.k);
+        assert_ne!(a.ordering, b.ordering);
+        assert_eq!(b.ordering, Ordering::Ordered);
+        assert_eq!(ds2o(7).ordering, Ordering::Ordered);
+        assert_eq!(ds3o(7).ordering, Ordering::Ordered);
+    }
+
+    #[test]
+    fn scaled_presets() {
+        assert_eq!(ds1_scaled_n(1, 2500).expected_points(), 250_000);
+        assert_eq!(ds1_scaled_k(1, 250).expected_points(), 250_000);
+        assert_eq!(ds2_scaled_n(1, 500).n_high, 500);
+        assert_eq!(ds3_scaled_n(1, 1000).n_high, 2000);
+        assert_eq!(ds2_scaled_k(1, 150).k, 150);
+        assert_eq!(ds3_scaled_k(1, 150).k, 150);
+    }
+
+    #[test]
+    fn ds1_generates_and_validates() {
+        // Shrunk version for test speed: same shape, fewer points.
+        let spec = DatasetSpec {
+            k: 25,
+            n_low: 50,
+            n_high: 50,
+            ..ds1(3)
+        };
+        let ds = Dataset::generate(&spec);
+        assert_eq!(ds.len(), 1250);
+        assert_eq!(ds.clusters.len(), 25);
+    }
+
+    #[test]
+    fn ds3_generates_variable_clusters() {
+        let spec = DatasetSpec {
+            k: 30,
+            n_high: 100,
+            ..ds3(3)
+        };
+        let ds = Dataset::generate(&spec);
+        let sizes: Vec<usize> = ds.clusters.iter().map(|c| c.n).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > min, "DS3 cluster sizes should vary: {sizes:?}");
+    }
+}

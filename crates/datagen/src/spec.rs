@@ -1,0 +1,182 @@
+//! Dataset specification — the paper's Table 1 parameters.
+//!
+//! | Parameter | Meaning |
+//! |---|---|
+//! | `pattern` | cluster-center placement: grid / sine / random |
+//! | `k`       | number of clusters `K` |
+//! | `n_low..=n_high` | per-cluster point count range `[nl, nh]` |
+//! | `r_low..=r_high` | per-cluster radius range `[rl, rh]` |
+//! | `kg`      | grid spacing between neighbouring centers |
+//! | `cycles`  | number of sine cycles the `K` centers trace (`nc`) |
+//! | `noise_fraction` | `rn`: fraction of extra uniform background noise |
+//! | `ordering` | input order: cluster-by-cluster vs randomized |
+
+use std::fmt;
+
+/// How cluster centers are placed (paper §6.2: grid / sine / random).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Centers on a `√K × √K` grid with spacing `kg` on both axes.
+    Grid {
+        /// Distance between neighbouring centers.
+        kg: f64,
+    },
+    /// Centers along a sine curve: cluster `i` at `x = 2π·i`,
+    /// `y = A·sin(2π·i·cycles/K)` with amplitude `A = 2π·K/8` (chosen so
+    /// the curve's aspect matches the paper's Fig. 5 overview).
+    Sine {
+        /// Number of full sine cycles traced by the `K` centers (`nc`).
+        cycles: usize,
+    },
+    /// Centers uniformly random in a square of side `√K · kg` (matching
+    /// the grid pattern's overall density for the same `kg`).
+    Random {
+        /// Side scale of the placement square, per `√K`.
+        kg: f64,
+    },
+}
+
+/// Input presentation order (§6.2: the data points of a cluster may be
+/// placed together or the whole dataset randomized; BIRCH should be
+/// insensitive, CLARANS is not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// Points grouped cluster by cluster, noise appended at the end — the
+    /// paper's `o = ordered` (DS1O/DS2O/DS3O).
+    Ordered,
+    /// Full random shuffle — the paper's default base workload.
+    #[default]
+    Randomized,
+}
+
+impl fmt::Display for Ordering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ordering::Ordered => f.write_str("ordered"),
+            Ordering::Randomized => f.write_str("randomized"),
+        }
+    }
+}
+
+/// Complete description of a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Center placement pattern.
+    pub pattern: Pattern,
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Minimum points per cluster `nl`.
+    pub n_low: usize,
+    /// Maximum points per cluster `nh`.
+    pub n_high: usize,
+    /// Minimum cluster radius `rl`.
+    pub r_low: f64,
+    /// Maximum cluster radius `rh`.
+    pub r_high: f64,
+    /// Fraction of additional uniform background noise `rn` (0.0–1.0,
+    /// relative to the clustered point count).
+    pub noise_fraction: f64,
+    /// Input ordering `o`.
+    pub ordering: Ordering,
+    /// RNG seed (all generation is deterministic given the spec).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Validates parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an impossible spec (`k == 0`, inverted ranges, negative
+    /// radii or noise, or a spec that can generate zero points).
+    pub fn validate(&self) {
+        assert!(self.k >= 1, "need at least one cluster");
+        assert!(self.n_low <= self.n_high, "nl > nh");
+        assert!(self.n_high >= 1, "nh must be >= 1");
+        assert!(
+            self.r_low >= 0.0 && self.r_low <= self.r_high,
+            "invalid radius range [{}, {}]",
+            self.r_low,
+            self.r_high
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.noise_fraction),
+            "noise fraction out of [0,1]"
+        );
+        match self.pattern {
+            Pattern::Grid { kg } | Pattern::Random { kg } => {
+                assert!(kg > 0.0, "kg must be positive");
+            }
+            Pattern::Sine { cycles } => assert!(cycles >= 1, "need >= 1 sine cycle"),
+        }
+    }
+
+    /// Expected number of clustered points, `K · (nl + nh)/2`.
+    #[must_use]
+    pub fn expected_points(&self) -> usize {
+        self.k * (self.n_low + self.n_high) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DatasetSpec {
+        DatasetSpec {
+            pattern: Pattern::Grid { kg: 4.0 },
+            k: 100,
+            n_low: 1000,
+            n_high: 1000,
+            r_low: 2f64.sqrt(),
+            r_high: 2f64.sqrt(),
+            noise_fraction: 0.0,
+            ordering: Ordering::Randomized,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        base().validate();
+        assert_eq!(base().expected_points(), 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "nl > nh")]
+    fn inverted_n_range_rejected() {
+        DatasetSpec {
+            n_low: 10,
+            n_high: 5,
+            ..base()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid radius range")]
+    fn inverted_r_range_rejected() {
+        DatasetSpec {
+            r_low: 3.0,
+            r_high: 1.0,
+            ..base()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn bad_noise_rejected() {
+        DatasetSpec {
+            noise_fraction: 1.5,
+            ..base()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn ordering_display() {
+        assert_eq!(Ordering::Ordered.to_string(), "ordered");
+        assert_eq!(Ordering::Randomized.to_string(), "randomized");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the workload generator: for any valid spec the
+//! generated dataset must honour its own ground truth.
+
+use birch_datagen::{Dataset, DatasetSpec, Ordering, Pattern};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (1.0f64..20.0).prop_map(|kg| Pattern::Grid { kg }),
+        (1usize..8).prop_map(|cycles| Pattern::Sine { cycles }),
+        (1.0f64..20.0).prop_map(|kg| Pattern::Random { kg }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
+    (
+        arb_pattern(),
+        1usize..30,              // k
+        0usize..40,              // n_low
+        1usize..60,              // extra onto n_high
+        0.0f64..3.0,             // r_low
+        0.0f64..3.0,             // extra onto r_high
+        0.0f64..0.3,             // noise
+        prop::bool::ANY,         // ordered?
+        any::<u64>(),            // seed
+    )
+        .prop_map(
+            |(pattern, k, n_low, n_extra, r_low, r_extra, noise, ordered, seed)| DatasetSpec {
+                pattern,
+                k,
+                n_low,
+                n_high: n_low + n_extra,
+                r_low,
+                r_high: r_low + r_extra,
+                noise_fraction: noise,
+                ordering: if ordered {
+                    Ordering::Ordered
+                } else {
+                    Ordering::Randomized
+                },
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bookkeeping: points, labels and per-cluster counts all agree.
+    #[test]
+    fn ground_truth_is_consistent(spec in arb_spec()) {
+        let ds = Dataset::generate(&spec);
+        prop_assert_eq!(ds.points.len(), ds.labels.len());
+        prop_assert_eq!(ds.clusters.len(), spec.k);
+
+        // Per-cluster counts match the labels.
+        let mut counts = vec![0usize; spec.k];
+        for l in ds.labels.iter().flatten() {
+            prop_assert!(*l < spec.k);
+            counts[*l] += 1;
+        }
+        for (c, &n) in ds.clusters.iter().zip(&counts) {
+            prop_assert_eq!(c.n, n);
+        }
+
+        // Cluster CF weight equals its count.
+        for c in &ds.clusters {
+            prop_assert!((c.cf.n() - c.n as f64).abs() < 1e-9);
+        }
+
+        // Sizes within the requested range.
+        for c in &ds.clusters {
+            prop_assert!(c.n >= spec.n_low && c.n <= spec.n_high);
+            prop_assert!(c.target_radius >= spec.r_low - 1e-12);
+            prop_assert!(c.target_radius <= spec.r_high + 1e-12);
+        }
+    }
+
+    /// Determinism: the same spec yields the same dataset.
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let a = Dataset::generate(&spec);
+        let b = Dataset::generate(&spec);
+        prop_assert_eq!(a.points, b.points);
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    /// The noise fraction is honoured (rounded).
+    #[test]
+    fn noise_count_matches_fraction(spec in arb_spec()) {
+        let ds = Dataset::generate(&spec);
+        let clustered: usize = ds.clusters.iter().map(|c| c.n).sum();
+        let expected = (clustered as f64 * spec.noise_fraction).round() as usize;
+        // Zero clustered points -> zero noise (nothing to bound the box).
+        if clustered == 0 {
+            prop_assert_eq!(ds.noise_count(), 0);
+        } else {
+            prop_assert_eq!(ds.noise_count(), expected);
+        }
+    }
+
+    /// Ordered datasets keep clusters contiguous; randomized ones with at
+    /// least two non-trivial clusters do not (statistically).
+    #[test]
+    fn ordering_semantics(spec in arb_spec()) {
+        let ds = Dataset::generate(&spec);
+        if spec.ordering == Ordering::Ordered {
+            let clustered: Vec<usize> =
+                ds.labels.iter().flatten().copied().collect();
+            prop_assert!(clustered.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    /// All generated coordinates are finite.
+    #[test]
+    fn coordinates_finite(spec in arb_spec()) {
+        let ds = Dataset::generate(&spec);
+        for p in &ds.points {
+            prop_assert!(p.iter().all(|c| c.is_finite()));
+        }
+    }
+}

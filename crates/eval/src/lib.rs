@@ -1,0 +1,19 @@
+//! Evaluation machinery for the BIRCH reproduction: quality metrics,
+//! actual-vs-found cluster matching, and visualization.
+//!
+//! * [`quality`] — the paper's §6.4 quality measurement: *"the weighted
+//!   average diameter of the clusters (denoted as D); the smaller the
+//!   better the quality"*, plus its radius sibling and label-based scores
+//!   (Adjusted Rand Index, purity).
+//! * [`matching`] — greedy assignment of found clusters to the generator's
+//!   actual clusters, giving the centroid-displacement and size-error
+//!   columns the paper's §6.4 discussion reports.
+//! * [`visualize`] — ASCII/CSV renditions of cluster layouts, the analogue
+//!   of the paper's Figs. 6–8 circle plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matching;
+pub mod quality;
+pub mod visualize;

@@ -1,0 +1,205 @@
+//! Clustering quality metrics.
+//!
+//! The paper's headline quality number (§6.4) is the **weighted average
+//! diameter** `D` of the found clusters — each cluster's diameter squared,
+//! weighted by its point count: smaller is tighter is better. Because CFs
+//! are exact, BIRCH's reported `D` is exact too. We add the radius
+//! analogue, and two ground-truth label scores (Adjusted Rand Index and
+//! purity) for experiments where the generator's labels are available.
+
+use birch_core::Cf;
+
+/// Weighted average diameter:
+/// `D̄ = sqrt( Σ nᵢ·Dᵢ² / Σ nᵢ )` over clusters with `nᵢ > 1`.
+///
+/// Returns 0.0 when no cluster has at least two points.
+#[must_use]
+pub fn weighted_average_diameter(clusters: &[Cf]) -> f64 {
+    weighted_average(clusters, Cf::diameter)
+}
+
+/// Weighted average radius: like [`weighted_average_diameter`] with `R`.
+#[must_use]
+pub fn weighted_average_radius(clusters: &[Cf]) -> f64 {
+    weighted_average(clusters, Cf::radius)
+}
+
+fn weighted_average(clusters: &[Cf], stat: impl Fn(&Cf) -> f64) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for c in clusters {
+        if c.n() > 1.0 {
+            let s = stat(c);
+            num += c.n() * s * s;
+            den += c.n();
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Adjusted Rand Index between two labelings over the same points.
+/// `None` labels (noise / discarded outliers) are skipped pairwise — only
+/// points labeled in *both* clusterings contribute.
+///
+/// Ranges in `[-1, 1]`; 1 is perfect agreement, ~0 is chance level.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+#[must_use]
+pub fn adjusted_rand_index(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    // Contingency table over jointly labeled points.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (x, y) in a.iter().zip(b) {
+        if let (Some(x), Some(y)) = (x, y) {
+            pairs.push((*x, *y));
+        }
+    }
+    if pairs.len() < 2 {
+        return 1.0; // trivially consistent
+    }
+    let max_a = pairs.iter().map(|p| p.0).max().unwrap_or(0) + 1;
+    let max_b = pairs.iter().map(|p| p.1).max().unwrap_or(0) + 1;
+    let mut table = vec![0u64; max_a * max_b];
+    let mut row = vec![0u64; max_a];
+    let mut col = vec![0u64; max_b];
+    for &(x, y) in &pairs {
+        table[x * max_b + y] += 1;
+        row[x] += 1;
+        col[y] += 1;
+    }
+    let choose2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_table: f64 = table.iter().map(|&v| choose2(v)).sum();
+    let sum_row: f64 = row.iter().map(|&v| choose2(v)).sum();
+    let sum_col: f64 = col.iter().map(|&v| choose2(v)).sum();
+    let total = choose2(pairs.len() as u64);
+    let expected = sum_row * sum_col / total;
+    let max_index = 0.5 * (sum_row + sum_col);
+    if (max_index - expected).abs() < f64::EPSILON {
+        return 1.0;
+    }
+    (sum_table - expected) / (max_index - expected)
+}
+
+/// Purity of clustering `found` against ground truth `truth`: the fraction
+/// of jointly labeled points whose found-cluster's majority truth class
+/// matches their own. In `[0, 1]`; 1 means every found cluster is pure.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+#[must_use]
+pub fn purity(found: &[Option<usize>], truth: &[Option<usize>]) -> f64 {
+    assert_eq!(found.len(), truth.len(), "labelings must cover the same points");
+    use std::collections::HashMap;
+    let mut per_cluster: HashMap<usize, HashMap<usize, u64>> = HashMap::new();
+    let mut total = 0u64;
+    for (f, t) in found.iter().zip(truth) {
+        if let (Some(f), Some(t)) = (f, t) {
+            *per_cluster.entry(*f).or_default().entry(*t).or_default() += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    let majority_sum: u64 = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birch_core::Point;
+
+    fn cf_of(raw: &[[f64; 2]]) -> Cf {
+        let pts: Vec<Point> = raw.iter().map(|&[x, y]| Point::xy(x, y)).collect();
+        Cf::from_points(&pts)
+    }
+
+    #[test]
+    fn weighted_diameter_single_cluster() {
+        let c = cf_of(&[[0.0, 0.0], [6.0, 0.0]]);
+        assert!((weighted_average_diameter(std::slice::from_ref(&c)) - 6.0).abs() < 1e-12);
+        assert!((weighted_average_radius(&[c]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_by_cluster_size() {
+        // Big tight cluster + small loose cluster: the weighted average
+        // leans towards the big one.
+        let mut big_pts = Vec::new();
+        for i in 0..100 {
+            big_pts.push([f64::from(i % 2) * 0.1, 0.0]);
+        }
+        let big = cf_of(&big_pts);
+        let small = cf_of(&[[50.0, 0.0], [60.0, 0.0]]);
+        let d = weighted_average_diameter(&[big.clone(), small.clone()]);
+        assert!(d < 2.0, "weighted {d}");
+        // Unweighted mean of diameters would be ~5.03.
+        let plain = (big.diameter() + small.diameter()) / 2.0;
+        assert!(plain > 5.0);
+    }
+
+    #[test]
+    fn singleton_clusters_ignored() {
+        let s = cf_of(&[[1.0, 1.0]]);
+        assert_eq!(weighted_average_diameter(&[s]), 0.0);
+    }
+
+    #[test]
+    fn ari_perfect_agreement() {
+        let a: Vec<Option<usize>> = vec![Some(0), Some(0), Some(1), Some(1), Some(2)];
+        // Same partition, different label names.
+        let b: Vec<Option<usize>> = vec![Some(5), Some(5), Some(3), Some(3), Some(7)];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_total_disagreement_near_zero_or_negative() {
+        // One big cluster vs all-singletons.
+        let a: Vec<Option<usize>> = vec![Some(0); 8];
+        let b: Vec<Option<usize>> = (0..8).map(Some).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_random_labels_near_zero() {
+        let a: Vec<Option<usize>> = (0..1000).map(|i| Some(i % 4)).collect();
+        let b: Vec<Option<usize>> = (0..1000).map(|i| Some((i * 7 + 3) % 5)).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.05, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_skips_none_pairs() {
+        let a = vec![Some(0), Some(0), None, Some(1)];
+        let b = vec![Some(1), Some(1), Some(0), Some(0)];
+        // Jointly labeled: indices 0,1,3 -> partitions {0,1}{3} vs {0,1}{3}.
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_pure_and_mixed() {
+        let truth = vec![Some(0), Some(0), Some(1), Some(1)];
+        let pure = vec![Some(9), Some(9), Some(4), Some(4)];
+        assert!((purity(&pure, &truth) - 1.0).abs() < 1e-12);
+        let mixed = vec![Some(0), Some(0), Some(0), Some(0)];
+        assert!((purity(&mixed, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn length_mismatch_panics() {
+        let _ = adjusted_rand_index(&[Some(0)], &[Some(0), Some(1)]);
+    }
+}

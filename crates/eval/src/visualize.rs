@@ -1,0 +1,159 @@
+//! Cluster visualization — the analogue of the paper's Figs. 6–8.
+//!
+//! The paper presents clusters *"as circles whose center is the centroid,
+//! whose radius is the cluster radius, and whose label is the number of
+//! points in the cluster"*. [`ascii_cluster_plot`] renders exactly that on
+//! a character grid for terminal inspection; [`clusters_to_csv`] dumps the
+//! same data for external plotting.
+
+use birch_core::Cf;
+use std::fmt::Write as _;
+
+/// Renders clusters as circles on a `cols × rows` ASCII canvas.
+///
+/// Each cluster is drawn as an `o` ring of its radius around a `*` center
+/// (the densest cluster's center gets `#`). Overlapping glyphs keep the
+/// earliest-drawn cluster — good enough for eyeballing layout, which is
+/// all the paper's figures do.
+///
+/// # Panics
+///
+/// Panics if `clusters` is empty or the canvas is degenerate.
+#[must_use]
+pub fn ascii_cluster_plot(clusters: &[Cf], cols: usize, rows: usize) -> String {
+    assert!(!clusters.is_empty(), "nothing to plot");
+    assert!(cols >= 8 && rows >= 4, "canvas too small");
+
+    // World bounds: centroids padded by the largest radius.
+    let centroids: Vec<(f64, f64)> = clusters
+        .iter()
+        .map(|c| {
+            let p = c.centroid();
+            (p[0], p[1])
+        })
+        .collect();
+    let max_r = clusters.iter().map(Cf::radius).fold(0.0f64, f64::max);
+    let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &centroids {
+        lo_x = lo_x.min(x - max_r);
+        hi_x = hi_x.max(x + max_r);
+        lo_y = lo_y.min(y - max_r);
+        hi_y = hi_y.max(y + max_r);
+    }
+    let w = (hi_x - lo_x).max(1e-9);
+    let h = (hi_y - lo_y).max(1e-9);
+
+    let mut canvas = vec![vec![b' '; cols]; rows];
+    let to_cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x - lo_x) / w * (cols - 1) as f64).round() as usize;
+        // Rows top-down: bigger y = nearer the top.
+        let cy = ((hi_y - y) / h * (rows - 1) as f64).round() as usize;
+        (cx.min(cols - 1), cy.min(rows - 1))
+    };
+
+    let densest = clusters
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.n().total_cmp(&b.1.n()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    for (i, c) in clusters.iter().enumerate() {
+        let (x, y) = centroids[i];
+        let r = c.radius();
+        // Ring: 32 samples around the circle.
+        for s in 0..32 {
+            let a = std::f64::consts::TAU * f64::from(s) / 32.0;
+            let (cx, cy) = to_cell(x + r * a.cos(), y + r * a.sin());
+            if canvas[cy][cx] == b' ' {
+                canvas[cy][cx] = b'o';
+            }
+        }
+        let (cx, cy) = to_cell(x, y);
+        canvas[cy][cx] = if i == densest { b'#' } else { b'*' };
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in canvas {
+        out.push_str(std::str::from_utf8(&row).expect("ascii only"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes clusters as CSV: `index,n,centroid...,radius,diameter`.
+#[must_use]
+pub fn clusters_to_csv(clusters: &[Cf]) -> String {
+    let mut out = String::new();
+    let dim = clusters.first().map_or(0, Cf::dim);
+    out.push_str("index,n");
+    for d in 0..dim {
+        let _ = write!(out, ",c{d}");
+    }
+    out.push_str(",radius,diameter\n");
+    for (i, c) in clusters.iter().enumerate() {
+        let _ = write!(out, "{i},{}", c.n());
+        let centroid = c.centroid();
+        for v in centroid.iter() {
+            let _ = write!(out, ",{v:.6}");
+        }
+        let _ = writeln!(out, ",{:.6},{:.6}", c.radius(), c.diameter());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birch_core::Point;
+
+    fn blob(cx: f64, cy: f64, spread: f64, n: usize) -> Cf {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399_963;
+                Point::xy(cx + spread * a.cos(), cy + spread * a.sin())
+            })
+            .collect();
+        Cf::from_points(&pts)
+    }
+
+    #[test]
+    fn plot_contains_markers() {
+        let clusters = vec![blob(0.0, 0.0, 1.0, 10), blob(20.0, 20.0, 1.0, 50)];
+        let plot = ascii_cluster_plot(&clusters, 40, 20);
+        assert!(plot.contains('#'), "densest marker missing:\n{plot}");
+        assert!(plot.contains('*'), "center marker missing:\n{plot}");
+        assert!(plot.contains('o'), "ring missing:\n{plot}");
+        assert_eq!(plot.lines().count(), 20);
+        assert!(plot.lines().all(|l| l.len() == 40));
+    }
+
+    #[test]
+    fn separated_clusters_land_in_different_corners() {
+        let clusters = vec![blob(0.0, 0.0, 0.5, 10), blob(100.0, 100.0, 0.5, 10)];
+        let plot = ascii_cluster_plot(&clusters, 40, 20);
+        let lines: Vec<&str> = plot.lines().collect();
+        // High-y cluster near the top, low-y near the bottom.
+        let top_has_center = lines[..10].iter().any(|l| l.contains('*') || l.contains('#'));
+        let bottom_has_center = lines[10..].iter().any(|l| l.contains('*') || l.contains('#'));
+        assert!(top_has_center && bottom_has_center, "{plot}");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let clusters = vec![blob(0.0, 0.0, 1.0, 10)];
+        let csv = clusters_to_csv(&clusters);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "index,n,c0,c1,radius,diameter");
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("0,10,"));
+        assert_eq!(row.split(',').count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_plot_panics() {
+        let _ = ascii_cluster_plot(&[], 40, 20);
+    }
+}

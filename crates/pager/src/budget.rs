@@ -1,0 +1,191 @@
+//! Main-memory budget tracking.
+//!
+//! BIRCH never lets the CF-tree outgrow the memory budget `M`: when the next
+//! page allocation would exceed it, Phase 1 rebuilds the tree with a larger
+//! threshold (paper §5, Fig. 2: *"Out of memory → increase T, rebuild"*).
+//! [`MemoryBudget`] is the accountant that makes that trigger observable.
+
+use std::fmt;
+
+/// Error returned when an allocation is refused because it would exceed the
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetError {
+    /// Pages currently allocated.
+    pub in_use: usize,
+    /// Total pages available under the budget.
+    pub capacity: usize,
+    /// Pages the caller asked for.
+    pub requested: usize,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory budget exhausted: {} of {} pages in use, {} more requested",
+            self.in_use, self.capacity, self.requested
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Tracks page allocations against a fixed budget of `capacity` pages.
+///
+/// The budget deliberately has no notion of *which* pages are allocated —
+/// the CF-tree arena owns the actual storage; this type only answers "may I
+/// allocate another page?" and records the high-water mark for reporting.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    capacity: usize,
+    in_use: usize,
+    peak: usize,
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `capacity` pages.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// An effectively unlimited budget, for callers that want the tree
+    /// without the memory-bounded behaviour (e.g. unit tests).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Total pages available.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently allocated.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Highest number of pages ever simultaneously allocated.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Pages still available.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// Whether `pages` more pages can be allocated without exceeding the
+    /// budget.
+    #[must_use]
+    pub fn can_allocate(&self, pages: usize) -> bool {
+        self.in_use.saturating_add(pages) <= self.capacity
+    }
+
+    /// Allocates `pages` pages, or reports the shortfall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] when the allocation would exceed the budget;
+    /// the budget is left unchanged in that case.
+    pub fn allocate(&mut self, pages: usize) -> Result<(), BudgetError> {
+        if !self.can_allocate(pages) {
+            return Err(BudgetError {
+                in_use: self.in_use,
+                capacity: self.capacity,
+                requested: pages,
+            });
+        }
+        self.in_use += pages;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Releases `pages` pages back to the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more pages are released than are in use — that is always a
+    /// caller bug.
+    pub fn release(&mut self, pages: usize) {
+        assert!(
+            pages <= self.in_use,
+            "released {pages} pages but only {} in use",
+            self.in_use
+        );
+        self.in_use -= pages;
+    }
+
+    /// Resets `in_use` to zero, keeping the peak. Used when the tree is torn
+    /// down wholesale (e.g. after Phase 1 hands its leaves to Phase 3).
+    pub fn release_all(&mut self) {
+        self.in_use = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut b = MemoryBudget::new(10);
+        b.allocate(4).unwrap();
+        assert_eq!(b.in_use(), 4);
+        assert_eq!(b.available(), 6);
+        b.release(3);
+        assert_eq!(b.in_use(), 1);
+        assert_eq!(b.peak(), 4);
+    }
+
+    #[test]
+    fn over_allocation_refused_and_state_unchanged() {
+        let mut b = MemoryBudget::new(5);
+        b.allocate(5).unwrap();
+        let err = b.allocate(1).unwrap_err();
+        assert_eq!(err.in_use, 5);
+        assert_eq!(err.capacity, 5);
+        assert_eq!(err.requested, 1);
+        assert_eq!(b.in_use(), 5);
+        assert!(err.to_string().contains("budget exhausted"));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut b = MemoryBudget::new(100);
+        b.allocate(60).unwrap();
+        b.release(50);
+        b.allocate(20).unwrap();
+        assert_eq!(b.peak(), 60);
+        b.allocate(45).unwrap();
+        assert_eq!(b.peak(), 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "released")]
+    fn over_release_panics() {
+        let mut b = MemoryBudget::new(10);
+        b.allocate(2).unwrap();
+        b.release(3);
+    }
+
+    #[test]
+    fn unlimited_never_refuses() {
+        let mut b = MemoryBudget::unlimited();
+        assert!(b.can_allocate(usize::MAX / 2));
+        b.allocate(1_000_000).unwrap();
+        b.release_all();
+        assert_eq!(b.in_use(), 0);
+        assert_eq!(b.peak(), 1_000_000);
+    }
+}

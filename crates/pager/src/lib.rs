@@ -1,0 +1,36 @@
+//! Paged-memory and simulated-disk accounting substrate for BIRCH.
+//!
+//! The BIRCH paper (Zhang, Ramakrishnan & Livny, SIGMOD 1996) is explicitly a
+//! *memory-bounded* algorithm: the CF-tree must fit into `M` bytes of main
+//! memory organised as pages of `P` bytes, and an optional amount `R` of disk
+//! is available for spilling potential outliers and delayed-split points.
+//! The tree's branching factor `B` and leaf capacity `L` are *derived* from
+//! the page size and data dimensionality, not chosen independently.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`PageLayout`] — computes how many CF entries fit on one page, i.e. the
+//!   paper's `B` (interior nodes) and `L` (leaf nodes),
+//! * [`MemoryBudget`] — tracks page allocation against the budget `M` and
+//!   reports when a rebuild is required,
+//! * [`SimDisk`] — an append-only simulated disk with byte/page-granularity
+//!   I/O counters, used for outlier entries and delay-split buffers,
+//! * [`IoStats`] — the counters the paper's evaluation section reports
+//!   (pages read/written, rebuild count, peak memory use).
+//!
+//! Everything here is pure accounting: no real device I/O is performed. The
+//! point is to reproduce the paper's *cost model* faithfully (see DESIGN.md,
+//! substitution 3) so the benchmark harness can report the same columns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod disk;
+pub mod layout;
+pub mod stats;
+
+pub use budget::{BudgetError, MemoryBudget};
+pub use disk::{DiskError, SimDisk};
+pub use layout::PageLayout;
+pub use stats::IoStats;

@@ -1,0 +1,107 @@
+//! Aggregate I/O and memory statistics for a BIRCH run.
+//!
+//! These are the columns the paper's §6 reports or reasons about: number of
+//! tree rebuilds, page high-water mark, and outlier-disk traffic. The
+//! pipeline fills one [`IoStats`] per run and the bench binaries print it.
+
+use std::fmt;
+
+/// Counters describing the resource behaviour of one clustering run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of CF-tree rebuilds triggered by memory pressure (paper §5.1).
+    pub rebuilds: u64,
+    /// Peak number of memory pages in use at any time.
+    pub peak_pages: usize,
+    /// Records (outlier CF entries / delayed points) written to disk.
+    pub disk_writes: u64,
+    /// Records read back from disk during re-absorption.
+    pub disk_reads: u64,
+    /// Bytes written to the simulated disk.
+    pub disk_bytes_written: u64,
+    /// Bytes read from the simulated disk.
+    pub disk_bytes_read: u64,
+    /// Leaf-entry splits performed during insertion.
+    pub splits: u64,
+    /// Merging refinements performed after splits (paper §4.3).
+    pub merge_refinements: u64,
+    /// Outlier entries discarded for good at the end of the run.
+    pub outliers_discarded: u64,
+}
+
+impl IoStats {
+    /// Merges another stats block into this one (component-wise sum; peak is
+    /// the max of the two peaks).
+    pub fn absorb(&mut self, other: &IoStats) {
+        self.rebuilds += other.rebuilds;
+        self.peak_pages = self.peak_pages.max(other.peak_pages);
+        self.disk_writes += other.disk_writes;
+        self.disk_reads += other.disk_reads;
+        self.disk_bytes_written += other.disk_bytes_written;
+        self.disk_bytes_read += other.disk_bytes_read;
+        self.splits += other.splits;
+        self.merge_refinements += other.merge_refinements;
+        self.outliers_discarded += other.outliers_discarded;
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rebuilds={} peak_pages={} splits={} refinements={} \
+             disk(w={},r={},bytes_w={},bytes_r={}) outliers_discarded={}",
+            self.rebuilds,
+            self.peak_pages,
+            self.splits,
+            self.merge_refinements,
+            self.disk_writes,
+            self.disk_reads,
+            self.disk_bytes_written,
+            self.disk_bytes_read,
+            self.outliers_discarded,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = IoStats {
+            rebuilds: 2,
+            peak_pages: 40,
+            disk_writes: 10,
+            splits: 5,
+            ..IoStats::default()
+        };
+        let b = IoStats {
+            rebuilds: 1,
+            peak_pages: 75,
+            disk_reads: 4,
+            merge_refinements: 3,
+            ..IoStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.rebuilds, 3);
+        assert_eq!(a.peak_pages, 75);
+        assert_eq!(a.disk_writes, 10);
+        assert_eq!(a.disk_reads, 4);
+        assert_eq!(a.splits, 5);
+        assert_eq!(a.merge_refinements, 3);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = IoStats {
+            rebuilds: 3,
+            peak_pages: 80,
+            ..IoStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("rebuilds=3"));
+        assert!(text.contains("peak_pages=80"));
+    }
+}

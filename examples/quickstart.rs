@@ -1,0 +1,57 @@
+//! Quickstart: cluster a small synthetic dataset with BIRCH defaults.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use birch::prelude::*;
+use birch_datagen::{Dataset, DatasetSpec, Pattern};
+
+fn main() {
+    // Generate 5 well-separated Gaussian blobs (2000 points).
+    let spec = DatasetSpec {
+        pattern: Pattern::Grid { kg: 10.0 },
+        k: 5,
+        n_low: 400,
+        n_high: 400,
+        r_low: 1.0,
+        r_high: 1.0,
+        noise_fraction: 0.0,
+        ordering: Ordering::Randomized,
+        seed: 7,
+    };
+    let ds = Dataset::generate(&spec);
+    println!("dataset: {} points in {} clusters", ds.len(), spec.k);
+
+    // Fit BIRCH with the paper's Table-2 defaults, asking for 5 clusters.
+    let model = Birch::new(BirchConfig::with_clusters(5))
+        .fit(&ds.points)
+        .expect("non-empty 2-d data");
+
+    println!("\nfound {} clusters:", model.clusters().len());
+    for (i, c) in model.clusters().iter().enumerate() {
+        println!(
+            "  #{i}: {:>5.0} points, centroid ({:>6.2}, {:>6.2}), radius {:.2}",
+            c.weight(),
+            c.centroid[0],
+            c.centroid[1],
+            c.radius
+        );
+    }
+
+    let d = weighted_average_diameter(
+        &model.clusters().iter().map(|c| c.cf.clone()).collect::<Vec<_>>(),
+    );
+    println!("\nweighted average diameter D = {d:.3} (actual {:.3})", ds.actual_weighted_diameter());
+    println!(
+        "phase times: p1 {:?}, p2 {:?}, p3 {:?}, p4 {:?}",
+        model.stats().phase1_time,
+        model.stats().phase2_time,
+        model.stats().phase3_time,
+        model.stats().phase4_time
+    );
+
+    // Classify a brand-new point.
+    let probe = Point::xy(5.0, 5.0);
+    println!("\npoint {probe:?} belongs to cluster {}", model.predict(&probe));
+}

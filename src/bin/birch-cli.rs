@@ -1,0 +1,203 @@
+//! `birch-cli` — cluster CSV files from the command line.
+//!
+//! ```text
+//! birch-cli generate --preset ds1 --out points.csv [--seed 42] [--per-cluster 1000]
+//! birch-cli cluster  --input points.csv --k 100 [--labeled true] [--metric D2]
+//!                    [--memory-kb 80] [--labels-out labels.csv]
+//!                    [--summary-out clusters.csv]
+//! ```
+//!
+//! `cluster` reads CSV points (one row per point), runs the full BIRCH
+//! pipeline with the paper's defaults, prints a cluster summary, and
+//! optionally writes per-point labels and the cluster table. Files written
+//! by `generate` carry a trailing ground-truth label column — pass
+//! `--labeled true` to skip it (and score against it).
+
+use birch::prelude::*;
+use birch_datagen::csv::{read_points, write_points};
+use birch_datagen::{presets, Dataset};
+use birch_eval::visualize::clusters_to_csv;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("generate") => generate(parse_flags(args)),
+        Some("cluster") => cluster(parse_flags(args)),
+        _ => {
+            eprintln!(
+                "usage:\n  birch-cli generate --preset <ds1|ds2|ds3> --out <file> \
+                 [--seed n] [--per-cluster n]\n  birch-cli cluster --input <file> --k <n> \
+                 [--labeled true] [--metric D0..D4] [--memory-kb n] [--labels-out f] \
+                 [--summary-out f]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            eprintln!("warning: ignoring stray argument {flag:?}");
+            continue;
+        };
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("error: flag --{key} needs a value");
+            std::process::exit(2);
+        });
+        map.insert(key.to_string(), value);
+    }
+    map
+}
+
+fn generate(flags: HashMap<String, String>) -> ExitCode {
+    let preset = flags.get("preset").map_or("ds1", String::as_str);
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(42, |s| s.parse().expect("--seed must be an integer"));
+    let out = PathBuf::from(
+        flags
+            .get("out")
+            .unwrap_or_else(|| {
+                eprintln!("error: generate needs --out <file>");
+                std::process::exit(2);
+            })
+            .clone(),
+    );
+    let mut spec = match preset {
+        "ds1" => presets::ds1(seed),
+        "ds2" => presets::ds2(seed),
+        "ds3" => presets::ds3(seed),
+        "ds1o" => presets::ds1o(seed),
+        "ds2o" => presets::ds2o(seed),
+        "ds3o" => presets::ds3o(seed),
+        other => {
+            eprintln!("error: unknown preset {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(n) = flags.get("per-cluster") {
+        let n: usize = n.parse().expect("--per-cluster must be an integer");
+        if spec.n_low == spec.n_high {
+            spec.n_low = n;
+            spec.n_high = n;
+        } else {
+            spec.n_high = 2 * n;
+        }
+    }
+    let ds = Dataset::generate(&spec);
+    if let Err(e) = write_points(&out, &ds.points, Some(&ds.labels)) {
+        eprintln!("error writing {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} points ({} clusters, {} noise) to {}",
+        ds.len(),
+        ds.clusters.len(),
+        ds.noise_count(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cluster(flags: HashMap<String, String>) -> ExitCode {
+    let input = PathBuf::from(
+        flags
+            .get("input")
+            .unwrap_or_else(|| {
+                eprintln!("error: cluster needs --input <file>");
+                std::process::exit(2);
+            })
+            .clone(),
+    );
+    let k: usize = flags
+        .get("k")
+        .unwrap_or_else(|| {
+            eprintln!("error: cluster needs --k <n>");
+            std::process::exit(2);
+        })
+        .parse()
+        .expect("--k must be an integer");
+
+    let labeled = flags
+        .get("labeled")
+        .is_some_and(|v| matches!(v.as_str(), "true" | "yes" | "1"));
+    let (points, truth) = match read_points(&input, labeled) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("read {} points from {}", points.len(), input.display());
+
+    let mut config = BirchConfig::with_clusters(k).total_points(points.len() as u64);
+    if let Some(m) = flags.get("metric") {
+        config = config.metric(m.parse().expect("--metric must be D0..D4"));
+    }
+    if let Some(mem) = flags.get("memory-kb") {
+        let kb: usize = mem.parse().expect("--memory-kb must be an integer");
+        config = config.memory(kb * 1024);
+    }
+
+    let model = match Birch::new(config).fit(&points) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("clustering failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "found {} clusters in {:.3}s ({} rebuilds, peak {} pages):",
+        model.clusters().len(),
+        model.stats().total_time().as_secs_f64(),
+        model.stats().io.rebuilds,
+        model.stats().io.peak_pages
+    );
+    for (i, c) in model.clusters().iter().enumerate().take(20) {
+        println!(
+            "  #{i}: {:>8.0} points, radius {:>8.3}, centroid {:?}",
+            c.weight(),
+            c.radius,
+            c.centroid
+        );
+    }
+    if model.clusters().len() > 20 {
+        println!("  … {} more (use --summary-out for the full table)", model.clusters().len() - 20);
+    }
+
+    // With ground truth available, score the clustering.
+    if let (Some(truth), Some(found)) = (&truth, model.labels()) {
+        let ari = birch_eval::quality::adjusted_rand_index(found, truth);
+        let purity = birch_eval::quality::purity(found, truth);
+        println!("vs ground truth: ARI {ari:.3}, purity {purity:.3}");
+    }
+
+    if let Some(path) = flags.get("summary-out") {
+        let cfs: Vec<_> = model.clusters().iter().map(|c| c.cf.clone()).collect();
+        if let Err(e) = std::fs::write(path, clusters_to_csv(&cfs)) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("cluster table written to {path}");
+    }
+    if let Some(path) = flags.get("labels-out") {
+        let labels = model.labels().unwrap_or(&[]);
+        let rows: String = labels
+            .iter()
+            .map(|l| l.map_or(String::from("\n"), |v| format!("{v}\n")))
+            .collect();
+        if let Err(e) = std::fs::write(path, rows) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("labels written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,85 @@
+//! End-to-end tests of the `birch-cli` binary: generate → cluster → score,
+//! exercising the CSV interchange and the process-level interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_birch-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("birch-cli-test-{name}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_then_cluster_roundtrip() {
+    let data = tmp("data.csv");
+    let summary = tmp("summary.csv");
+    let labels = tmp("labels.csv");
+
+    let out = cli()
+        .args(["generate", "--preset", "ds1", "--out"])
+        .arg(&data)
+        .args(["--per-cluster", "50", "--seed", "7"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote 5000 points"), "{stdout}");
+
+    let out = cli()
+        .args(["cluster", "--input"])
+        .arg(&data)
+        .args(["--k", "100", "--labeled", "true", "--summary-out"])
+        .arg(&summary)
+        .arg("--labels-out")
+        .arg(&labels)
+        .output()
+        .expect("run cluster");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("read 5000 points"), "{stdout}");
+    assert!(stdout.contains("found 100 clusters"), "{stdout}");
+    assert!(stdout.contains("vs ground truth: ARI"), "{stdout}");
+
+    // Artifacts exist and have the right shapes.
+    let summary_text = std::fs::read_to_string(&summary).unwrap();
+    assert!(summary_text.starts_with("index,n,c0,c1,radius,diameter"));
+    assert_eq!(summary_text.lines().count(), 101); // header + 100 clusters
+    let labels_text = std::fs::read_to_string(&labels).unwrap();
+    assert_eq!(labels_text.lines().count(), 5000);
+
+    for p in [&data, &summary, &labels] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn cluster_rejects_missing_file() {
+    let out = cli()
+        .args(["cluster", "--input", "/nonexistent/nope.csv", "--k", "3"])
+        .output()
+        .expect("run cluster");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error reading"));
+}
+
+#[test]
+fn no_subcommand_prints_usage() {
+    let out = cli().output().expect("run bare");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_preset_rejected() {
+    let out = cli()
+        .args(["generate", "--preset", "ds9", "--out", "/tmp/unused.csv"])
+        .output()
+        .expect("run generate");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}

@@ -1,0 +1,124 @@
+//! Integration test of the §6.8 image application: the two-pass NIR/VIS
+//! filtering must separate tree from background and leaves from branches
+//! on the synthesized scene — the success criterion the paper's Fig. 10
+//! illustrates.
+
+use birch::prelude::*;
+use birch_datagen::image::{NirVisImage, PixelClass};
+use birch_eval::quality::purity;
+
+#[test]
+fn two_pass_filtering_recovers_populations() {
+    let img = NirVisImage::generate(128, 128, 77);
+
+    // Pass 1: (NIR, VIS*10), K=5.
+    let pts = img.scaled_points(1.0, 10.0);
+    let model = Birch::new(
+        BirchConfig::with_clusters(5)
+            .total_points(pts.len() as u64)
+            .refinement_passes(2),
+    )
+    .fit(&pts)
+    .expect("pass 1");
+    assert_eq!(model.clusters().len(), 5);
+
+    let labels = model.labels().expect("labels");
+    let tree_cluster: Vec<bool> = model
+        .clusters()
+        .iter()
+        .map(|c| c.centroid[1] / 10.0 < 150.0)
+        .collect();
+
+    let found: Vec<Option<usize>> = labels
+        .iter()
+        .map(|l| l.map(|l| usize::from(tree_cluster[l])))
+        .collect();
+    let truth: Vec<Option<usize>> = img
+        .truth
+        .iter()
+        .map(|c| Some(usize::from(c.is_tree())))
+        .collect();
+    let p1 = purity(&found, &truth);
+    assert!(p1 > 0.97, "tree/background purity {p1:.3}");
+
+    // Pass 2: NIR only on the tree pixels, K=2.
+    let tree_pixels: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.and_then(|l| tree_cluster[l].then_some(i)))
+        .collect();
+    assert!(!tree_pixels.is_empty());
+    let nir = img.nir_points(&tree_pixels);
+    let model2 = Birch::new(
+        BirchConfig::with_clusters(2)
+            .total_points(nir.len() as u64)
+            .refinement_passes(2),
+    )
+    .fit(&nir)
+    .expect("pass 2");
+    assert_eq!(model2.clusters().len(), 2);
+
+    let leaves = model2
+        .clusters()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.centroid[0].total_cmp(&b.1.centroid[0]))
+        .map(|(i, _)| i)
+        .unwrap();
+    let labels2 = model2.labels().expect("labels");
+    let found2: Vec<Option<usize>> = labels2
+        .iter()
+        .map(|l| l.map(|l| usize::from(l == leaves)))
+        .collect();
+    let truth2: Vec<Option<usize>> = tree_pixels
+        .iter()
+        .map(|&i| Some(usize::from(img.truth[i] == PixelClass::SunlitLeaves)))
+        .collect();
+    let p2 = purity(&found2, &truth2);
+    assert!(p2 > 0.97, "leaves/branches purity {p2:.3}");
+}
+
+#[test]
+fn one_dimensional_clustering_works() {
+    // Pass 2 clusters 1-d NIR values — make sure the whole pipeline is
+    // dimension-agnostic down to d = 1.
+    let pts: Vec<Point> = (0..600)
+        .map(|i| {
+            let c = f64::from(i % 3) * 50.0;
+            Point::new(vec![c + f64::from(i % 7) * 0.3])
+        })
+        .collect();
+    let model = Birch::new(BirchConfig::with_clusters(3).total_points(600))
+        .fit(&pts)
+        .expect("1-d fit");
+    assert_eq!(model.clusters().len(), 3);
+    let mut centers: Vec<f64> = model.clusters().iter().map(|c| c.centroid[0]).collect();
+    centers.sort_by(f64::total_cmp);
+    assert!((centers[0] - 0.9).abs() < 2.0);
+    assert!((centers[1] - 50.9).abs() < 2.0);
+    assert!((centers[2] - 100.9).abs() < 2.0);
+}
+
+#[test]
+fn high_dimensional_clustering_works() {
+    // The paper experimented up to high dimensionality (Table 1 mentions
+    // d up to 256 ranges); verify d = 32 end-to-end.
+    let dim = 32;
+    let pts: Vec<Point> = (0..400)
+        .map(|i| {
+            let c = f64::from(i % 2) * 10.0;
+            Point::new((0..dim).map(|j| c + f64::from((i + j) % 5) * 0.05).collect())
+        })
+        .collect();
+    let model = Birch::new(
+        BirchConfig::with_clusters(2)
+            .page_size(4096) // a 1 KB page holds < 2 high-d interior entries
+            .total_points(400),
+    )
+    .fit(&pts)
+    .expect("32-d fit");
+    assert_eq!(model.clusters().len(), 2);
+    for c in model.clusters() {
+        assert_eq!(c.weight(), 200.0);
+    }
+}
