@@ -89,7 +89,11 @@ impl KMeans {
     #[must_use]
     pub fn fit_weighted(&self, points: &[Point], weights: &[f64]) -> KMeansModel {
         assert!(!points.is_empty(), "cannot fit zero points");
-        assert_eq!(points.len(), weights.len(), "weights/points length mismatch");
+        assert_eq!(
+            points.len(),
+            weights.len(),
+            "weights/points length mismatch"
+        );
         let k = self.k.min(points.len());
         let dim = points[0].dim();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -165,27 +169,15 @@ impl KMeans {
 /// k-means++ seeding: first seed weighted-uniform, then each next seed
 /// with probability proportional to its weighted squared distance to the
 /// nearest chosen seed.
-fn plus_plus_init(
-    points: &[Point],
-    weights: &[f64],
-    k: usize,
-    rng: &mut StdRng,
-) -> Vec<Point> {
+fn plus_plus_init(points: &[Point], weights: &[f64], k: usize, rng: &mut StdRng) -> Vec<Point> {
     let mut centroids: Vec<Point> = Vec::with_capacity(k);
     let total_w: f64 = weights.iter().sum();
     let first = weighted_pick(weights, total_w, rng);
     centroids.push(points[first].clone());
 
-    let mut sq_d: Vec<f64> = points
-        .iter()
-        .map(|p| p.sq_dist(&centroids[0]))
-        .collect();
+    let mut sq_d: Vec<f64> = points.iter().map(|p| p.sq_dist(&centroids[0])).collect();
     while centroids.len() < k {
-        let scores: Vec<f64> = sq_d
-            .iter()
-            .zip(weights)
-            .map(|(&d, &w)| d * w)
-            .collect();
+        let scores: Vec<f64> = sq_d.iter().zip(weights).map(|(&d, &w)| d * w).collect();
         let total: f64 = scores.iter().sum();
         let next = if total <= 0.0 {
             // All remaining points coincide with a seed: pick anything.

@@ -194,8 +194,7 @@ impl Clara {
         for _ in 0..self.samples.max(1) {
             // Sample without replacement.
             let sample = rand::seq::index::sample(&mut rng, n, sample_size).into_vec();
-            let sample_points: Vec<Point> =
-                sample.iter().map(|&i| points[i].clone()).collect();
+            let sample_points: Vec<Point> = sample.iter().map(|&i| points[i].clone()).collect();
             let local = Pam::new(self.k).fit(&sample_points);
             // Map sample-local medoid indices back to the full dataset and
             // score on everything.

@@ -60,8 +60,10 @@ fn main() {
 
     println!("\nAblation: threshold statistic (DS1)\n");
     print_header(&["stat", "D", "ARI", "time-s", "", ""], &widths);
-    for (name, kind) in [("diameter", ThresholdKind::Diameter), ("radius", ThresholdKind::Radius)]
-    {
+    for (name, kind) in [
+        ("diameter", ThresholdKind::Diameter),
+        ("radius", ThresholdKind::Radius),
+    ] {
         let cfg = paper_config(100, ds1.len()).threshold_kind(kind);
         let (d, ari, t, _, _) = fit_stats(&ds1, cfg);
         print_row(
@@ -121,7 +123,10 @@ fn main() {
     print_header(&["method", "D", "ARI", "time-s", "", ""], &widths);
     for (name, method) in [
         ("hier", birch_core::phase3::GlobalMethod::Hierarchical),
-        ("kmeans", birch_core::phase3::GlobalMethod::KMeans { max_iters: 50 }),
+        (
+            "kmeans",
+            birch_core::phase3::GlobalMethod::KMeans { max_iters: 50 },
+        ),
     ] {
         let cfg = paper_config(100, ds1.len()).global_method(method);
         let (d, ari, t, _, _) = fit_stats(&ds1, cfg);

@@ -45,6 +45,7 @@ fn main() {
                 model.stats().time_phases_1to3().as_secs_f64(),
                 model.stats().total_time().as_secs_f64(),
             );
+            birch_bench::print_metrics(&format!("fig4:{name}:N{}", ds.len()), &model);
         }
     }
     println!("# paper shape: both series linear in N for every dataset");

@@ -44,7 +44,10 @@ fn main() {
     let model = Birch::new(config).fit(&pts).expect("fit pass 1");
     println!("Pass 1 (VIS weighted 10x, K=5):");
     let widths = [8, 10, 12, 12, 10];
-    print_header(&["cluster", "pixels", "NIR-mean", "VIS-mean", "radius"], &widths);
+    print_header(
+        &["cluster", "pixels", "NIR-mean", "VIS-mean", "radius"],
+        &widths,
+    );
     for (i, c) in model.clusters().iter().enumerate() {
         print_row(
             &[

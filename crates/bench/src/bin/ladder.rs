@@ -135,4 +135,5 @@ fn main() {
          quality at a fraction of the cost of the medoid family",
         ds.actual_weighted_diameter()
     );
+    birch_bench::print_metrics("ladder:DS1-K25", &model);
 }

@@ -24,8 +24,9 @@ use birch_core::{Birch, BirchConfig};
 use birch_datagen::{Dataset, DatasetSpec};
 use birch_eval::quality::weighted_average_diameter;
 
-fn run(ds: &Dataset, config: BirchConfig) -> (f64, std::time::Duration, u64, usize) {
+fn run(label: &str, ds: &Dataset, config: BirchConfig) -> (f64, std::time::Duration, u64, usize) {
     let model = Birch::new(config).fit(&ds.points).expect("fit");
+    birch_bench::print_metrics(label, &model);
     (
         weighted_average_diameter(&model_cfs(&model)),
         model.stats().total_time(),
@@ -40,12 +41,15 @@ fn main() {
     let widths = [8, 10, 10, 10, 10, 10];
 
     // --- Initial threshold T0 (§6.5 "Initial threshold"). ---
-    println!("Sensitivity: initial threshold T0 (DS1, scale {})\n", args.scale);
+    println!(
+        "Sensitivity: initial threshold T0 (DS1, scale {})\n",
+        args.scale
+    );
     let ds1 = Dataset::generate(&workloads[0].spec);
     print_header(&["T0", "D", "time-s", "rebuilds", "clusters", ""], &widths);
     for t0 in [0.0, 0.5, 1.0, 2.0, 4.0] {
         let cfg = birch_bench::paper_config(100, ds1.len()).initial_threshold(t0);
-        let (d, t, rebuilds, k) = run(&ds1, cfg);
+        let (d, t, rebuilds, k) = run(&format!("sensitivity:T0={t0}"), &ds1, cfg);
         print_row(
             &[
                 format!("{t0}"),
@@ -65,7 +69,7 @@ fn main() {
     print_header(&["P", "D", "time-s", "rebuilds", "clusters", ""], &widths);
     for p in [256usize, 512, 1024, 4096] {
         let cfg = birch_bench::paper_config(100, ds1.len()).page_size(p);
-        let (d, t, rebuilds, k) = run(&ds1, cfg);
+        let (d, t, rebuilds, k) = run(&format!("sensitivity:P={p}"), &ds1, cfg);
         print_row(
             &[
                 p.to_string(),
@@ -82,12 +86,15 @@ fn main() {
 
     // --- Memory M. ---
     println!("Sensitivity: memory budget M (DS1)\n");
-    print_header(&["M-KB", "D", "time-s", "rebuilds", "clusters", ""], &widths);
+    print_header(
+        &["M-KB", "D", "time-s", "rebuilds", "clusters", ""],
+        &widths,
+    );
     let base_mem = birch_bench::paper_config(100, ds1.len()).memory_bytes;
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let mem = ((base_mem as f64 * factor) as usize).max(4 * 1024);
         let cfg = birch_bench::paper_config(100, ds1.len()).memory(mem);
-        let (d, t, rebuilds, k) = run(&ds1, cfg);
+        let (d, t, rebuilds, k) = run(&format!("sensitivity:M-KB={}", mem / 1024), &ds1, cfg);
         print_row(
             &[
                 (mem / 1024).to_string(),
@@ -111,7 +118,14 @@ fn main() {
     let noisy = Dataset::generate(&noisy_spec);
     let w2 = [14, 10, 10, 10, 10, 12];
     print_header(
-        &["options", "D", "time-s", "rebuilds", "clusters", "discarded"],
+        &[
+            "options",
+            "D",
+            "time-s",
+            "rebuilds",
+            "clusters",
+            "discarded",
+        ],
         &w2,
     );
     for (label, outliers, delay) in [
@@ -124,6 +138,7 @@ fn main() {
             .outliers(outliers)
             .delay_split(delay);
         let model = Birch::new(cfg).fit(&noisy.points).expect("fit");
+        birch_bench::print_metrics(&format!("sensitivity:outliers={label}"), &model);
         print_row(
             &[
                 label.to_string(),

@@ -27,9 +27,7 @@ fn main() {
     );
     let widths = [6, 10, 10, 10, 10, 10, 12];
     print_header(
-        &[
-            "name", "N", "time-s", "p1-3-s", "D", "actual-D", "clusters",
-        ],
+        &["name", "N", "time-s", "p1-3-s", "D", "actual-D", "clusters"],
         &widths,
     );
 

@@ -30,13 +30,7 @@ fn main() {
     let widths = [6, 9, 11, 9, 11, 9, 10];
     print_header(
         &[
-            "name",
-            "birch-s",
-            "birch-D",
-            "clar-s",
-            "clar-D",
-            "actual",
-            "speedup",
+            "name", "birch-s", "birch-D", "clar-s", "clar-D", "actual", "speedup",
         ],
         &widths,
     );

@@ -155,6 +155,13 @@ pub fn model_cfs(model: &BirchModel) -> Vec<Cf> {
     model.clusters().iter().map(|c| c.cf.clone()).collect()
 }
 
+/// Prints one BIRCH run's telemetry as a machine-greppable line:
+/// `# METRICS <label> <json>` — the same JSON `birch-cli --metrics-json`
+/// writes, so experiment output can feed the same tooling.
+pub fn print_metrics(label: &str, model: &BirchModel) {
+    println!("# METRICS {label} {}", model.stats().to_json());
+}
+
 /// Prints a fixed-width table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();

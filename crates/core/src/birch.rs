@@ -14,6 +14,9 @@
 
 use crate::cf::Cf;
 use crate::config::BirchConfig;
+use crate::obs::{
+    json_f64, Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, Phase, Tee,
+};
 use crate::phase1::{self, Phase1Output};
 use crate::phase2;
 use crate::phase3;
@@ -47,10 +50,7 @@ impl fmt::Display for BirchError {
                 expected,
                 got,
                 index,
-            } => write!(
-                f,
-                "point {index} has dimension {got}, expected {expected}"
-            ),
+            } => write!(f, "point {index} has dimension {got}, expected {expected}"),
         }
     }
 }
@@ -113,6 +113,9 @@ pub struct RunStats {
     pub leaf_entries_phase3: usize,
     /// Input records scanned.
     pub points_scanned: u64,
+    /// Aggregated run telemetry (event counters, insertion-depth histogram,
+    /// threshold-vs-points trajectory) collected across all phases.
+    pub metrics: MetricsReport,
 }
 
 impl RunStats {
@@ -126,6 +129,55 @@ impl RunStats {
     #[must_use]
     pub fn time_phases_1to3(&self) -> Duration {
         self.phase1_time + self.phase2_time + self.phase3_time
+    }
+
+    /// Serializes the run statistics as one line of stable JSON (no serde —
+    /// hand-rolled; see the README's "Observability" section for the
+    /// schema). Resource counters (`rebuilds`, `peak_pages`, `splits`, …)
+    /// come from the same [`IoStats`] the CLI prints, so the file and the
+    /// stdout summary always agree.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let m = &self.metrics;
+        format!(
+            "{{\"schema_version\":1,\
+             \"points_scanned\":{},\
+             \"phase_times\":{{\"phase1_s\":{},\"phase2_s\":{},\"phase3_s\":{},\
+             \"phase4_s\":{},\"total_s\":{}}},\
+             \"rebuilds\":{},\
+             \"peak_pages\":{},\
+             \"splits\":{},\
+             \"merge_refinements\":{},\
+             \"threshold_trajectory\":{},\
+             \"final_threshold\":{},\
+             \"leaf_entries_phase1\":{},\
+             \"leaf_entries_phase3\":{},\
+             \"io\":{{\"disk_writes\":{},\"disk_reads\":{},\"disk_bytes_written\":{},\
+             \"disk_bytes_read\":{},\"outliers_discarded\":{}}},\
+             \"insert_depth_histogram\":{},\
+             \"counters\":{}}}",
+            self.points_scanned,
+            json_f64(self.phase1_time.as_secs_f64()),
+            json_f64(self.phase2_time.as_secs_f64()),
+            json_f64(self.phase3_time.as_secs_f64()),
+            json_f64(self.phase4_time.as_secs_f64()),
+            json_f64(self.total_time().as_secs_f64()),
+            self.io.rebuilds,
+            self.io.peak_pages,
+            self.io.splits,
+            self.io.merge_refinements,
+            m.trajectory_json(),
+            json_f64(self.final_threshold),
+            self.leaf_entries_phase1,
+            self.leaf_entries_phase3,
+            self.io.disk_writes,
+            self.io.disk_reads,
+            self.io.disk_bytes_written,
+            self.io.disk_bytes_read,
+            self.io.outliers_discarded,
+            m.histogram_json(),
+            m.counters_json(),
+        )
     }
 }
 
@@ -223,7 +275,26 @@ impl Birch {
     /// [`BirchError::EmptyInput`] for an empty slice;
     /// [`BirchError::DimensionMismatch`] if points disagree on `d`.
     pub fn fit(&self, points: &[Point]) -> Result<BirchModel, BirchError> {
-        self.fit_impl(points, None)
+        self.fit_impl(points, None, &mut NoopSink)
+    }
+
+    /// Like [`Birch::fit`], but streaming every telemetry [`Event`] into
+    /// `sink` as the run proceeds (phase boundaries, rebuilds, threshold
+    /// raises, splits, outlier traffic, …). The aggregated
+    /// [`RunStats::metrics`] report is populated either way; a sink is only
+    /// needed for *live* or *verbatim* event access (e.g. a [`TraceLog`]).
+    ///
+    /// [`TraceLog`]: crate::obs::TraceLog
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Birch::fit`].
+    pub fn fit_with_sink<S: EventSink>(
+        &self,
+        points: &[Point],
+        sink: &mut S,
+    ) -> Result<BirchModel, BirchError> {
+        self.fit_impl(points, None, sink)
     }
 
     /// Clusters weighted points: `(point, weight)` with `weight > 0`.
@@ -238,7 +309,7 @@ impl Birch {
         // Split into parallel arrays once; phases borrow both.
         let pts: Vec<Point> = points.iter().map(|(p, _)| p.clone()).collect();
         let weights: Vec<f64> = points.iter().map(|&(_, w)| w).collect();
-        self.fit_impl(&pts, Some(&weights))
+        self.fit_impl(&pts, Some(&weights), &mut NoopSink)
     }
 
     /// Like [`Birch::fit`] but running Phase 1 across `threads` worker
@@ -257,11 +328,7 @@ impl Birch {
     /// # Panics
     ///
     /// Panics if `threads == 0`.
-    pub fn fit_parallel(
-        &self,
-        points: &[Point],
-        threads: usize,
-    ) -> Result<BirchModel, BirchError> {
+    pub fn fit_parallel(&self, points: &[Point], threads: usize) -> Result<BirchModel, BirchError> {
         assert!(threads >= 1, "need at least one thread");
         let dim = validate_points(points)?;
         let threads = threads.min(points.len());
@@ -287,9 +354,7 @@ impl Birch {
                 .chunks(chunk)
                 .map(|part| {
                     let sub = &sub_config;
-                    scope.spawn(move || {
-                        phase1::run(sub, dim, part.iter().map(Cf::from_point))
-                    })
+                    scope.spawn(move || phase1::run(sub, dim, part.iter().map(Cf::from_point)))
                 })
                 .collect();
             handles
@@ -300,14 +365,17 @@ impl Birch {
 
         // Merge: feed every worker's leaf entries into one full-budget
         // tree. CF additivity makes the combined summary exact.
+        let mut recorder = MetricsRecorder::new();
         let mut io = IoStats::default();
         let mut entries: Vec<Cf> = Vec::new();
         for out in outputs {
             io.absorb(&out.io);
+            recorder.absorb_report(&out.metrics);
             entries.extend(out.tree.into_leaf_entries());
         }
         let merged = phase1::run(&config, dim, entries);
         io.absorb(&merged.io);
+        recorder.absorb_report(&merged.metrics);
         let tree = merged.tree;
         let mut estimator = merged.estimator;
         stats.phase1_time = t0.elapsed();
@@ -315,13 +383,23 @@ impl Birch {
         stats.threshold_history = merged.threshold_history;
         stats.leaf_entries_phase1 = tree.leaf_entry_count();
 
-        self.finish_pipeline(points, None, tree, &mut estimator, config, stats)
+        self.finish_pipeline(
+            points,
+            None,
+            tree,
+            &mut estimator,
+            config,
+            stats,
+            recorder,
+            &mut NoopSink,
+        )
     }
 
-    fn fit_impl(
+    fn fit_impl<S: EventSink>(
         &self,
         points: &[Point],
         weights: Option<&[f64]>,
+        sink: &mut S,
     ) -> Result<BirchModel, BirchError> {
         let dim = validate_points(points)?;
 
@@ -344,14 +422,29 @@ impl Birch {
             points_scanned: _,
             outliers,
             mut estimator,
-        } = phase1::run(&config, dim, input);
+            metrics,
+        } = phase1::run_with_sink(&config, dim, input, &mut *sink);
         stats.phase1_time = t0.elapsed();
         stats.io = io;
         stats.threshold_history = threshold_history;
         stats.leaf_entries_phase1 = tree.leaf_entry_count();
         drop(outliers); // counters already folded into io by phase 1
 
-        self.finish_pipeline(points, weights, tree, &mut estimator, config, stats)
+        // Run-level aggregation: absorb Phase 1's report, then keep
+        // recording phases 2–4 directly (the sink saw Phase 1 live).
+        let mut recorder = MetricsRecorder::new();
+        recorder.absorb_report(&metrics);
+
+        self.finish_pipeline(
+            points,
+            weights,
+            tree,
+            &mut estimator,
+            config,
+            stats,
+            recorder,
+            sink,
+        )
     }
 
     /// The configuration with the dataset-size hint filled in.
@@ -364,7 +457,11 @@ impl Birch {
     }
 
     /// Phases 2–4 (shared by the sequential and parallel fits).
-    fn finish_pipeline(
+    /// `recorder` arrives pre-loaded with Phase 1's report; phases 2–4
+    /// record into it (and `sink`) directly, and its final report becomes
+    /// [`RunStats::metrics`].
+    #[allow(clippy::too_many_arguments)]
+    fn finish_pipeline<S: EventSink>(
         &self,
         points: &[Point],
         weights: Option<&[f64]>,
@@ -372,27 +469,41 @@ impl Birch {
         estimator: &mut crate::threshold::ThresholdEstimator,
         config: BirchConfig,
         mut stats: RunStats,
+        mut recorder: MetricsRecorder,
+        sink: &mut S,
     ) -> Result<BirchModel, BirchError> {
         // ---- Phase 2: condense (optional). ----
         let t0 = Instant::now();
         let tree = if config.phase2 && tree.leaf_entry_count() > config.phase2_max_entries {
-            phase2::condense(
+            let mut tee = Tee(&mut recorder, &mut *sink);
+            tee.record(&Event::PhaseStarted {
+                phase: Phase::Condense,
+            });
+            let tree = phase2::condense_with_sink(
                 tree,
                 config.phase2_max_entries,
                 estimator,
                 None,
                 &mut stats.io,
-            )
+                &mut tee,
+            );
+            tee.record(&Event::PhaseFinished {
+                phase: Phase::Condense,
+                wall: t0.elapsed(),
+            });
+            tree
         } else {
             tree
         };
         stats.phase2_time = t0.elapsed();
         stats.final_threshold = tree.threshold();
         stats.leaf_entries_phase3 = tree.leaf_entry_count();
-        stats.threshold_history = stats.threshold_history.clone();
 
         // ---- Phase 3: global clustering of the leaf entries. ----
         let t0 = Instant::now();
+        Tee(&mut recorder, &mut *sink).record(&Event::PhaseStarted {
+            phase: Phase::Global,
+        });
         let entries = tree.into_leaf_entries();
         // Outlier handling may have discarded *every* point in a pathological
         // configuration; guard so Phase 3's contract holds.
@@ -406,10 +517,18 @@ impl Birch {
             config.global_method,
         );
         stats.phase3_time = t0.elapsed();
+        Tee(&mut recorder, &mut *sink).record(&Event::PhaseFinished {
+            phase: Phase::Global,
+            wall: stats.phase3_time,
+        });
 
         // ---- Phase 4: refinement + labeling (optional). ----
         let t0 = Instant::now();
         let (clusters, labels) = if config.phase4_passes > 0 {
+            let mut tee = Tee(&mut recorder, &mut *sink);
+            tee.record(&Event::PhaseStarted {
+                phase: Phase::Refine,
+            });
             let p4 = phase4::refine(
                 points,
                 weights,
@@ -420,6 +539,15 @@ impl Birch {
                 },
             );
             stats.io.outliers_discarded += p4.discarded;
+            if p4.discarded > 0 {
+                tee.record(&Event::OutlierDiscarded {
+                    count: p4.discarded,
+                });
+            }
+            tee.record(&Event::PhaseFinished {
+                phase: Phase::Refine,
+                wall: t0.elapsed(),
+            });
             (p4.clusters, Some(p4.labels))
         } else {
             (p3.clusters, None)
@@ -432,6 +560,7 @@ impl Birch {
             .map(ClusterSummary::from_cf)
             .collect();
 
+        stats.metrics = recorder.report();
         Ok(BirchModel {
             clusters,
             labels,
@@ -466,7 +595,9 @@ mod tests {
         let n = pts.len();
         let mut state = 0x9e37_79b9_7f4a_7c15u64;
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             pts.swap(i, j);
         }
@@ -565,7 +696,9 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        let err = Birch::new(BirchConfig::with_clusters(1)).fit(&[]).unwrap_err();
+        let err = Birch::new(BirchConfig::with_clusters(1))
+            .fit(&[])
+            .unwrap_err();
         assert_eq!(err, BirchError::EmptyInput);
         assert!(err.to_string().contains("empty dataset"));
     }
@@ -573,7 +706,9 @@ mod tests {
     #[test]
     fn dimension_mismatch_rejected() {
         let pts = vec![Point::xy(0.0, 0.0), Point::new(vec![1.0, 2.0, 3.0])];
-        let err = Birch::new(BirchConfig::with_clusters(1)).fit(&pts).unwrap_err();
+        let err = Birch::new(BirchConfig::with_clusters(1))
+            .fit(&pts)
+            .unwrap_err();
         assert_eq!(
             err,
             BirchError::DimensionMismatch {
@@ -644,7 +779,9 @@ mod tests {
 
     #[test]
     fn parallel_more_threads_than_points() {
-        let pts: Vec<Point> = (0..5).map(|i| Point::xy(f64::from(i) * 20.0, 0.0)).collect();
+        let pts: Vec<Point> = (0..5)
+            .map(|i| Point::xy(f64::from(i) * 20.0, 0.0))
+            .collect();
         let model = Birch::new(BirchConfig::with_clusters(2))
             .fit_parallel(&pts, 64)
             .unwrap();
@@ -675,6 +812,10 @@ mod tests {
         .fit(&pts)
         .unwrap();
         let labels = model.labels().unwrap();
-        assert_eq!(labels[labels.len() - 1], None, "far point should be dropped");
+        assert_eq!(
+            labels[labels.len() - 1],
+            None,
+            "far point should be dropped"
+        );
     }
 }

@@ -197,7 +197,10 @@ impl BirchConfig {
     /// Enables Phase-4 outlier discard with the given factor.
     #[must_use]
     pub fn discard_refinement_outliers(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         self.phase4_outlier_factor = Some(factor);
         self
     }

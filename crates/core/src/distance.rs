@@ -165,8 +165,7 @@ fn d3(a: &Cf, b: &Cf) -> f64 {
 
 fn d4(a: &Cf, b: &Cf) -> f64 {
     let n = a.n() + b.n();
-    let inc =
-        dot(a.ls(), a.ls()) / a.n() + dot(b.ls(), b.ls()) / b.n() - merged_ls_sq(a, b) / n;
+    let inc = dot(a.ls(), a.ls()) / a.n() + dot(b.ls(), b.ls()) / b.n() - merged_ls_sq(a, b) / n;
     inc.max(0.0).sqrt()
 }
 

@@ -76,11 +76,7 @@ impl Ord for Candidate {
 /// asks for more clusters than there are entries (`k > m` is a caller bug;
 /// `k == 0` likewise).
 #[must_use]
-pub fn agglomerate(
-    entries: &[Cf],
-    metric: DistanceMetric,
-    stop: StopRule,
-) -> HierarchicalResult {
+pub fn agglomerate(entries: &[Cf], metric: DistanceMetric, stop: StopRule) -> HierarchicalResult {
     assert!(!entries.is_empty(), "cannot cluster zero entries");
     assert!(
         entries.iter().all(|e| !e.is_empty()),

@@ -42,6 +42,7 @@ pub mod config;
 pub mod distance;
 pub mod hierarchical;
 pub mod node;
+pub mod obs;
 pub mod outlier;
 pub mod phase1;
 pub mod phase2;
@@ -53,10 +54,11 @@ pub mod stream;
 pub mod threshold;
 pub mod tree;
 
-pub use birch::{Birch, BirchModel, ClusterSummary};
+pub use birch::{Birch, BirchModel, ClusterSummary, RunStats};
 pub use cf::Cf;
 pub use config::BirchConfig;
 pub use distance::{DistanceMetric, ThresholdKind};
+pub use obs::{Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, TraceLog};
 pub use point::Point;
 pub use stream::StreamingBirch;
 pub use tree::{CfTree, InsertOutcome, TreeParams};

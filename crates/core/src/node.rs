@@ -165,7 +165,8 @@ mod tests {
         let mut n = Node::new_leaf();
         assert!(n.is_leaf());
         assert_eq!(n.entry_count(), 0);
-        n.leaf_entries_mut().push(Cf::from_point(&Point::xy(1.0, 2.0)));
+        n.leaf_entries_mut()
+            .push(Cf::from_point(&Point::xy(1.0, 2.0)));
         assert_eq!(n.entry_count(), 1);
         assert_eq!(n.leaf_entries().len(), 1);
     }
@@ -185,8 +186,10 @@ mod tests {
     #[test]
     fn summary_sums_entries() {
         let mut n = Node::new_leaf();
-        n.leaf_entries_mut().push(Cf::from_point(&Point::xy(1.0, 0.0)));
-        n.leaf_entries_mut().push(Cf::from_point(&Point::xy(3.0, 4.0)));
+        n.leaf_entries_mut()
+            .push(Cf::from_point(&Point::xy(1.0, 0.0)));
+        n.leaf_entries_mut()
+            .push(Cf::from_point(&Point::xy(3.0, 4.0)));
         let s = n.summary(2);
         assert_eq!(s.n(), 2.0);
         assert_eq!(s.ls(), &[4.0, 4.0]);

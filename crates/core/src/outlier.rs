@@ -14,6 +14,7 @@
 //! the (expensive) rebuild.
 
 use crate::cf::Cf;
+use crate::obs::{Event, EventSink, NoopSink};
 use crate::tree::CfTree;
 use birch_pager::SimDisk;
 
@@ -129,6 +130,45 @@ impl OutlierStore {
     /// test but no longer look like outliers under `mean_entry_n` are
     /// inserted normally; the rest go back to disk.
     pub fn reabsorb(&mut self, tree: &mut CfTree, mean_entry_n: f64) -> ReabsorbReport {
+        self.reabsorb_observed(tree, mean_entry_n, &mut NoopSink)
+    }
+
+    /// Like [`OutlierStore::reabsorb`], but reporting telemetry to `sink`:
+    /// an [`Event::OutlierReabsorbed`] with the absorbed count, plus
+    /// [`Event::SplitPerformed`] / [`Event::MergeRefinement`] for splits
+    /// caused by re-inserting entries that outgrew outlierhood. With
+    /// [`NoopSink`] this monomorphizes to exactly
+    /// [`OutlierStore::reabsorb`].
+    pub fn reabsorb_observed(
+        &mut self,
+        tree: &mut CfTree,
+        mean_entry_n: f64,
+        sink: &mut impl EventSink,
+    ) -> ReabsorbReport {
+        let before = tree.stats();
+        let report = self.reabsorb_inner(tree, mean_entry_n);
+        if sink.enabled() {
+            if report.absorbed > 0 {
+                sink.record(&Event::OutlierReabsorbed {
+                    count: report.absorbed,
+                });
+            }
+            let after = tree.stats();
+            if after.splits > before.splits {
+                sink.record(&Event::SplitPerformed {
+                    count: after.splits - before.splits,
+                });
+            }
+            if after.merge_refinements > before.merge_refinements {
+                sink.record(&Event::MergeRefinement {
+                    count: after.merge_refinements - before.merge_refinements,
+                });
+            }
+        }
+        report
+    }
+
+    fn reabsorb_inner(&mut self, tree: &mut CfTree, mean_entry_n: f64) -> ReabsorbReport {
         let mut report = ReabsorbReport::default();
         let pending = self.disk.drain_all();
         for cf in pending {
@@ -163,12 +203,25 @@ impl OutlierStore {
     /// remaining entries (returning how many points were dropped) or folds
     /// them back into the tree, per the configuration.
     pub fn finalize(&mut self, tree: &mut CfTree) -> u64 {
+        self.finalize_observed(tree, &mut NoopSink)
+    }
+
+    /// Like [`OutlierStore::finalize`], but reporting telemetry to `sink`:
+    /// an [`Event::OutlierDiscarded`] with the discard count (when
+    /// discarding), or split/refinement deltas for the fold-back inserts
+    /// (when not). With [`NoopSink`] this monomorphizes to exactly
+    /// [`OutlierStore::finalize`].
+    pub fn finalize_observed(&mut self, tree: &mut CfTree, sink: &mut impl EventSink) -> u64 {
         let remaining = self.disk.drain_all();
         if self.config.discard_at_end {
-            remaining.len() as u64
+            let count = remaining.len() as u64;
+            if sink.enabled() && count > 0 {
+                sink.record(&Event::OutlierDiscarded { count });
+            }
+            count
         } else {
             for cf in remaining {
-                tree.insert_cf(cf);
+                tree.insert_cf_observed(cf, sink);
             }
             0
         }
@@ -260,9 +313,7 @@ mod tests {
     fn spill_and_reabsorb_into_grown_threshold() {
         let mut store = OutlierStore::new(4096, 32, OutlierConfig::default());
         // Park an outlier near (5,5).
-        store
-            .spill(Cf::from_point(&Point::xy(5.0, 5.0)))
-            .unwrap();
+        store.spill(Cf::from_point(&Point::xy(5.0, 5.0))).unwrap();
         // Tree with generous threshold and an entry at the origin cluster.
         let mut t = tree(20.0);
         for _ in 0..10 {
@@ -301,9 +352,7 @@ mod tests {
             ..OutlierConfig::default()
         };
         let mut store = OutlierStore::new(4096, 32, cfg);
-        store
-            .spill(Cf::from_point(&Point::xy(9.0, 9.0)))
-            .unwrap();
+        store.spill(Cf::from_point(&Point::xy(9.0, 9.0))).unwrap();
         let mut t = tree(0.5);
         t.insert_point(&Point::xy(0.0, 0.0));
         let discarded = store.finalize(&mut t);

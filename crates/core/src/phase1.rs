@@ -13,11 +13,13 @@
 
 use crate::cf::Cf;
 use crate::config::BirchConfig;
+use crate::obs::{Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, Phase, Tee};
 use crate::outlier::{DelaySplitBuffer, OutlierConfig, OutlierStore};
-use crate::rebuild::rebuild;
+use crate::rebuild::rebuild_observed;
 use crate::threshold::ThresholdEstimator;
 use crate::tree::{CfTree, TreeParams};
 use birch_pager::{IoStats, PageLayout};
+use std::time::Instant;
 
 /// Hard cap on rebuilds per run: the threshold grows strictly every
 /// rebuild, so hitting this means a logic error, and failing loudly beats
@@ -42,6 +44,9 @@ pub struct Phase1Output {
     /// The threshold estimator, carrying its r–N history forward so Phase 2
     /// can continue the same sequence.
     pub estimator: ThresholdEstimator,
+    /// Aggregated telemetry of the scan (counters, depth histogram,
+    /// threshold trajectory) — the source of `io`'s event-derived fields.
+    pub metrics: MetricsReport,
 }
 
 /// Incremental Phase-1 driver: feed CFs one at a time, inspect the live
@@ -49,7 +54,7 @@ pub struct Phase1Output {
 /// whole-dataset case; [`crate::stream::StreamingBirch`] wraps it for
 /// open-ended streams.
 #[derive(Debug)]
-pub struct Phase1Builder {
+pub struct Phase1Builder<S: EventSink = NoopSink> {
     max_pages: usize,
     tree: CfTree,
     estimator: ThresholdEstimator,
@@ -59,9 +64,13 @@ pub struct Phase1Builder {
     io: IoStats,
     threshold_history: Vec<f64>,
     points_scanned: u64,
-    /// Tree stats accumulated across rebuilt (discarded) trees.
-    carried_splits: u64,
-    carried_refinements: u64,
+    /// Always-on aggregator: `finish()` fills `io`'s event-derived
+    /// counters from it, so the tree, the rebuild machinery, and the
+    /// builder never keep parallel tallies of the same mutations.
+    recorder: MetricsRecorder,
+    /// Caller-supplied sink, receiving the same event stream.
+    sink: S,
+    started: Instant,
 }
 
 /// Runs Phase 1 over a stream of singleton (or subcluster) CFs of
@@ -75,14 +84,28 @@ pub fn run<I>(config: &BirchConfig, dim: usize, input: I) -> Phase1Output
 where
     I: IntoIterator<Item = Cf>,
 {
-    let mut b = builder(config, dim);
+    run_with_sink(config, dim, input, NoopSink)
+}
+
+/// Like [`run`], but streaming every telemetry [`Event`] into `sink` as
+/// the scan proceeds. With [`NoopSink`] this is exactly [`run`].
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_with_sink<I, S>(config: &BirchConfig, dim: usize, input: I, sink: S) -> Phase1Output
+where
+    I: IntoIterator<Item = Cf>,
+    S: EventSink,
+{
+    let mut b = builder(config, dim, sink);
     for cf in input {
         b.feed(cf);
     }
     b.finish()
 }
 
-fn builder(config: &BirchConfig, dim: usize) -> Phase1Builder {
+fn builder<S: EventSink>(config: &BirchConfig, dim: usize, sink: S) -> Phase1Builder<S> {
     config.validate();
     let layout = PageLayout::new(config.page_bytes, dim);
     let max_pages = layout.pages_in_budget(config.memory_bytes).max(1);
@@ -124,7 +147,7 @@ fn builder(config: &BirchConfig, dim: usize) -> Phase1Builder {
         merge_refinement: config.merge_refinement,
     };
 
-    Phase1Builder {
+    let mut b = Phase1Builder {
         max_pages,
         tree: CfTree::new(params),
         estimator: ThresholdEstimator::new(config.total_points_hint),
@@ -134,9 +157,12 @@ fn builder(config: &BirchConfig, dim: usize) -> Phase1Builder {
         io: IoStats::default(),
         threshold_history: Vec::new(),
         points_scanned: 0,
-        carried_splits: 0,
-        carried_refinements: 0,
-    }
+        recorder: MetricsRecorder::new(),
+        sink,
+        started: Instant::now(),
+    };
+    b.emit(Event::PhaseStarted { phase: Phase::Load });
+    b
 }
 
 impl Phase1Builder {
@@ -147,7 +173,40 @@ impl Phase1Builder {
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn new(config: &BirchConfig, dim: usize) -> Self {
-        builder(config, dim)
+        builder(config, dim, NoopSink)
+    }
+}
+
+impl<S: EventSink> Phase1Builder<S> {
+    /// Creates an incremental builder that streams telemetry into `sink`
+    /// (in addition to the internal [`MetricsRecorder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_sink(config: &BirchConfig, dim: usize, sink: S) -> Self {
+        builder(config, dim, sink)
+    }
+
+    /// The internal metrics aggregator (live view; snapshot any time).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRecorder {
+        &self.recorder
+    }
+
+    /// Sends one event to the internal recorder and the user sink.
+    fn emit(&mut self, event: Event) {
+        self.recorder.record(&event);
+        self.sink.record(&event);
+    }
+
+    /// Raises the page high-water mark, emitting the event on a new peak.
+    fn note_pages(&mut self, pages: usize) {
+        if pages > self.io.peak_pages {
+            self.io.peak_pages = pages;
+            self.emit(Event::PagesHighWater { pages });
+        }
     }
 
     /// The live CF-tree (always within the memory budget between feeds).
@@ -214,13 +273,11 @@ impl Phase1Builder {
 
     /// Inserts and reacts to memory pressure.
     fn insert_checked(&mut self, cf: Cf) {
-        self.tree.insert_cf(cf);
-        self.io.peak_pages = self.io.peak_pages.max(self.tree.node_count());
+        self.tree
+            .insert_cf_observed(cf, &mut Tee(&mut self.recorder, &mut self.sink));
+        self.note_pages(self.tree.node_count());
         if self.tree.node_count() > self.max_pages {
-            let can_delay = self
-                .delay
-                .as_ref()
-                .is_some_and(DelaySplitBuffer::has_space);
+            let can_delay = self.delay.as_ref().is_some_and(DelaySplitBuffer::has_space);
             if can_delay {
                 self.delay_mode = true;
             } else {
@@ -236,14 +293,16 @@ impl Phase1Builder {
     fn rebuild_cycle(&mut self) {
         self.rebuild_until_fits();
         self.delay_mode = false;
-        if let Some(buf) = self.delay.as_mut() {
-            let parked = buf.drain();
-            for cf in parked {
-                self.tree.insert_cf(cf);
-                self.io.peak_pages = self.io.peak_pages.max(self.tree.node_count());
-                if self.tree.node_count() > self.max_pages {
-                    self.rebuild_until_fits();
-                }
+        let parked = match self.delay.as_mut() {
+            Some(buf) => buf.drain(),
+            None => Vec::new(),
+        };
+        for cf in parked {
+            self.tree
+                .insert_cf_observed(cf, &mut Tee(&mut self.recorder, &mut self.sink));
+            self.note_pages(self.tree.node_count());
+            if self.tree.node_count() > self.max_pages {
+                self.rebuild_until_fits();
             }
         }
     }
@@ -259,19 +318,38 @@ impl Phase1Builder {
             let t_next = self
                 .estimator
                 .next_threshold(&self.tree, self.points_scanned);
-            let (new_tree, report) = rebuild(&self.tree, t_next, self.outliers.as_mut());
+            let old_t = self.tree.threshold();
+            self.emit(Event::ThresholdRaised {
+                old: old_t,
+                new: t_next,
+                points_seen: self.points_scanned,
+            });
+            self.emit(Event::RebuildTriggered {
+                old_threshold: old_t,
+                new_threshold: t_next,
+                leaf_entries: self.tree.leaf_entry_count(),
+                pages: self.tree.node_count(),
+            });
+            let (new_tree, report) = rebuild_observed(
+                &self.tree,
+                t_next,
+                self.outliers.as_mut(),
+                &mut Tee(&mut self.recorder, &mut self.sink),
+            );
             self.io.rebuilds += 1;
-            self.io.peak_pages = self.io.peak_pages.max(report.peak_pages);
+            self.note_pages(report.peak_pages);
             self.threshold_history.push(t_next);
-            self.carried_splits += self.tree.stats().splits;
-            self.carried_refinements += self.tree.stats().merge_refinements;
             self.tree = new_tree;
 
             // Outlier disk full? Scan it for re-absorption (§5.1.3).
             if let Some(store) = self.outliers.as_mut() {
                 if !store.has_space() && !store.is_empty() {
                     let mean = mean_entry_n(&self.tree);
-                    store.reabsorb(&mut self.tree, mean);
+                    store.reabsorb_observed(
+                        &mut self.tree,
+                        mean,
+                        &mut Tee(&mut self.recorder, &mut self.sink),
+                    );
                 }
             }
         }
@@ -282,11 +360,7 @@ impl Phase1Builder {
     #[must_use]
     pub fn finish(mut self) -> Phase1Output {
         // Flush any parked points.
-        if self
-            .delay
-            .as_ref()
-            .is_some_and(|b| !b.is_empty())
-        {
+        if self.delay.as_ref().is_some_and(|b| !b.is_empty()) {
             self.rebuild_cycle();
         }
 
@@ -295,16 +369,32 @@ impl Phase1Builder {
         if let Some(store) = self.outliers.as_mut() {
             if !store.is_empty() {
                 let mean = mean_entry_n(&self.tree);
-                store.reabsorb(&mut self.tree, mean);
+                store.reabsorb_observed(
+                    &mut self.tree,
+                    mean,
+                    &mut Tee(&mut self.recorder, &mut self.sink),
+                );
             }
-            self.io.outliers_discarded += store.finalize(&mut self.tree);
+            store.finalize_observed(&mut self.tree, &mut Tee(&mut self.recorder, &mut self.sink));
         }
 
-        // Assemble counters.
-        self.io.splits = self.carried_splits + self.tree.stats().splits;
-        self.io.merge_refinements =
-            self.carried_refinements + self.tree.stats().merge_refinements;
-        self.io.peak_pages = self.io.peak_pages.max(self.tree.node_count());
+        self.note_pages(self.tree.node_count());
+        self.emit(Event::PhaseFinished {
+            phase: Phase::Load,
+            wall: self.started.elapsed(),
+        });
+
+        // Assemble counters: event-derived fields come from the recorder —
+        // the single source the tree, rebuilds, and outlier machinery all
+        // report into — so nothing is tallied twice.
+        {
+            let m = self.recorder.snapshot();
+            self.io.rebuilds = m.rebuilds;
+            self.io.splits = m.splits;
+            self.io.merge_refinements = m.merge_refinements;
+            self.io.outliers_discarded = m.outliers_discarded;
+            self.io.peak_pages = self.io.peak_pages.max(m.peak_pages);
+        }
         if let Some(store) = &self.outliers {
             self.io.disk_writes += store.disk().writes();
             self.io.disk_reads += store.disk().reads();
@@ -325,6 +415,7 @@ impl Phase1Builder {
             points_scanned: self.points_scanned,
             outliers: self.outliers,
             estimator: self.estimator,
+            metrics: self.recorder.report(),
         }
     }
 }
@@ -390,7 +481,11 @@ mod tests {
         out.tree.check_invariants().unwrap();
         // Thresholds strictly increase.
         for w in out.threshold_history.windows(2) {
-            assert!(w[1] > w[0], "thresholds not increasing: {:?}", out.threshold_history);
+            assert!(
+                w[1] > w[0],
+                "thresholds not increasing: {:?}",
+                out.threshold_history
+            );
         }
     }
 
@@ -426,7 +521,10 @@ mod tests {
         let mut input = blobs(10_000, 2);
         for i in 0..50 {
             let j = f64::from(i);
-            input.push(Cf::from_point(&Point::xy(5_000.0 + j * 211.0, -7_000.0 - j * 173.0)));
+            input.push(Cf::from_point(&Point::xy(
+                5_000.0 + j * 211.0,
+                -7_000.0 - j * 173.0,
+            )));
         }
         let cfg = tiny_config();
         let out = run(&cfg, 2, input);

@@ -11,9 +11,10 @@
 //! estimator sequence, so the r–N regression history carries over) and
 //! rebuilding until the leaf-entry count drops to the configured target.
 
+use crate::obs::{Event, EventSink, NoopSink};
 use crate::outlier::OutlierStore;
 use crate::phase1::mean_entry_n;
-use crate::rebuild::rebuild;
+use crate::rebuild::rebuild_observed;
 use crate::threshold::ThresholdEstimator;
 use crate::tree::CfTree;
 use birch_pager::IoStats;
@@ -34,11 +35,29 @@ const MAX_ROUNDS: u64 = 10_000;
 /// Panics if `max_entries < 2` or if condensation fails to converge (a
 /// logic error, since the threshold grows strictly every round).
 pub fn condense(
+    tree: CfTree,
+    max_entries: usize,
+    estimator: &mut ThresholdEstimator,
+    outliers: Option<&mut OutlierStore>,
+    io: &mut IoStats,
+) -> CfTree {
+    condense_with_sink(tree, max_entries, estimator, outliers, io, &mut NoopSink)
+}
+
+/// Like [`condense`], but streaming every telemetry [`Event`] (threshold
+/// raises, rebuilds, spills, page high-water marks) into `sink`. With
+/// [`NoopSink`] this is exactly [`condense`].
+///
+/// # Panics
+///
+/// Same as [`condense`].
+pub fn condense_with_sink<S: EventSink>(
     mut tree: CfTree,
     max_entries: usize,
     estimator: &mut ThresholdEstimator,
     mut outliers: Option<&mut OutlierStore>,
     io: &mut IoStats,
+    sink: &mut S,
 ) -> CfTree {
     assert!(max_entries >= 2, "phase 2 target must be >= 2 entries");
     let mut rounds = 0u64;
@@ -49,9 +68,25 @@ pub fn condense(
         );
         rounds += 1;
         let t_next = estimator.next_threshold_for_target(&tree, max_entries);
-        let (new_tree, report) = rebuild(&tree, t_next, outliers.as_deref_mut());
+        sink.record(&Event::ThresholdRaised {
+            old: tree.threshold(),
+            new: t_next,
+            points_seen: tree.total_cf().n() as u64,
+        });
+        sink.record(&Event::RebuildTriggered {
+            old_threshold: tree.threshold(),
+            new_threshold: t_next,
+            leaf_entries: tree.leaf_entry_count(),
+            pages: tree.node_count(),
+        });
+        let (new_tree, report) = rebuild_observed(&tree, t_next, outliers.as_deref_mut(), sink);
         io.rebuilds += 1;
-        io.peak_pages = io.peak_pages.max(report.peak_pages);
+        if report.peak_pages > io.peak_pages {
+            io.peak_pages = report.peak_pages;
+            sink.record(&Event::PagesHighWater {
+                pages: report.peak_pages,
+            });
+        }
         io.splits += new_tree.stats().splits;
         io.merge_refinements += new_tree.stats().merge_refinements;
         tree = new_tree;
@@ -59,7 +94,7 @@ pub fn condense(
         if let Some(store) = outliers.as_deref_mut() {
             if !store.has_space() && !store.is_empty() {
                 let mean = mean_entry_n(&tree);
-                store.reabsorb(&mut tree, mean);
+                store.reabsorb_observed(&mut tree, mean, sink);
             }
         }
     }
@@ -69,9 +104,9 @@ pub fn condense(
     if let Some(store) = outliers {
         if !store.is_empty() {
             let mean = mean_entry_n(&tree);
-            store.reabsorb(&mut tree, mean);
+            store.reabsorb_observed(&mut tree, mean, sink);
         }
-        io.outliers_discarded += store.finalize(&mut tree);
+        io.outliers_discarded += store.finalize_observed(&mut tree, sink);
     }
     tree
 }
@@ -134,7 +169,10 @@ mod tests {
         }
         for i in 0..100 {
             let i = f64::from(i);
-            t.insert_point(&Point::xy(200.0 + (i * 37.0).rem_euclid(500.0), 300.0 + (i * 53.0).rem_euclid(500.0)));
+            t.insert_point(&Point::xy(
+                200.0 + (i * 37.0).rem_euclid(500.0),
+                300.0 + (i * 53.0).rem_euclid(500.0),
+            ));
         }
         let mut est = ThresholdEstimator::new(Some(600));
         let mut io = IoStats::default();

@@ -188,8 +188,24 @@ mod tests {
     #[test]
     fn multiple_passes_converge() {
         let (pts, seeds) = two_blobs();
-        let one = refine(&pts, None, &seeds, Phase4Config { passes: 1, outlier_factor: None });
-        let five = refine(&pts, None, &seeds, Phase4Config { passes: 5, outlier_factor: None });
+        let one = refine(
+            &pts,
+            None,
+            &seeds,
+            Phase4Config {
+                passes: 1,
+                outlier_factor: None,
+            },
+        );
+        let five = refine(
+            &pts,
+            None,
+            &seeds,
+            Phase4Config {
+                passes: 5,
+                outlier_factor: None,
+            },
+        );
         // With well-separated blobs one pass already lands the answer;
         // more passes must not change it.
         assert_eq!(one.labels, five.labels);

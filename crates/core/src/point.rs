@@ -77,7 +77,13 @@ impl Point {
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
@@ -88,7 +94,13 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn manhattan_dist(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 
@@ -99,7 +111,13 @@ pub fn manhattan_dist(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 

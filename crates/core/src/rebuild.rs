@@ -24,6 +24,7 @@
 
 use crate::cf::Cf;
 use crate::node::{ChildEntry, Node, NodeId, NodeKind};
+use crate::obs::{Event, EventSink, NoopSink};
 use crate::outlier::OutlierStore;
 use crate::tree::{CfTree, TreeParams};
 
@@ -59,7 +60,26 @@ pub struct RebuildReport {
 pub fn rebuild(
     old: &CfTree,
     new_threshold: f64,
+    outliers: Option<&mut OutlierStore>,
+) -> (CfTree, RebuildReport) {
+    rebuild_observed(old, new_threshold, outliers, &mut NoopSink)
+}
+
+/// Like [`rebuild`], but reporting telemetry to `sink`: an
+/// [`Event::OutlierSpilled`] with the total spill count, plus
+/// [`Event::SplitPerformed`] / [`Event::MergeRefinement`] for any tree
+/// mutations during construction (the spine builder itself never splits,
+/// so these normally stay zero). With [`NoopSink`] this monomorphizes to
+/// exactly [`rebuild`].
+///
+/// # Panics
+///
+/// Same as [`rebuild`].
+pub fn rebuild_observed(
+    old: &CfTree,
+    new_threshold: f64,
     mut outliers: Option<&mut OutlierStore>,
+    sink: &mut impl EventSink,
 ) -> (CfTree, RebuildReport) {
     assert!(
         new_threshold.is_finite() && new_threshold >= old.threshold(),
@@ -105,7 +125,11 @@ pub fn rebuild(
                 .as_ref()
                 .is_some_and(|s| s.config().is_potential_outlier(entry.n(), mean_entry_n));
             if is_outlier {
-                match outliers.as_mut().expect("checked above").spill(entry.clone()) {
+                match outliers
+                    .as_mut()
+                    .expect("checked above")
+                    .spill(entry.clone())
+                {
                     Ok(()) => {
                         report.entries_spilled += 1;
                         continue;
@@ -128,6 +152,24 @@ pub fn rebuild(
 
     let new_tree = builder.finish();
     report.new_pages = new_tree.node_count();
+    if sink.enabled() {
+        if report.entries_spilled > 0 {
+            sink.record(&Event::OutlierSpilled {
+                count: report.entries_spilled as u64,
+            });
+        }
+        let stats = new_tree.stats();
+        if stats.splits > 0 {
+            sink.record(&Event::SplitPerformed {
+                count: stats.splits,
+            });
+        }
+        if stats.merge_refinements > 0 {
+            sink.record(&Event::MergeRefinement {
+                count: stats.merge_refinements,
+            });
+        }
+    }
     debug_assert!(
         report.new_pages <= report.old_pages,
         "reducibility violated: {} > {}",
@@ -272,9 +314,7 @@ impl SpineBuilder {
                 let id = self.tree.alloc(Node::new_leaf());
                 // Link into the leaf chain after the current tail.
                 let prev_tail = self.last_leaf.expect("chain started");
-                if let NodeKind::Leaf { next, .. } =
-                    &mut self.tree.nodes[prev_tail.index()].kind
-                {
+                if let NodeKind::Leaf { next, .. } = &mut self.tree.nodes[prev_tail.index()].kind {
                     *next = Some(id);
                 }
                 if let NodeKind::Leaf { prev, .. } = &mut self.tree.nodes[id.index()].kind {
@@ -461,7 +501,10 @@ mod tests {
         let (mut new, _) = rebuild(&old, 1.0, None);
         for i in 0..200 {
             let i = f64::from(i);
-            new.insert_point(&Point::xy((i * 0.7).rem_euclid(30.0), (i * 0.3).rem_euclid(30.0)));
+            new.insert_point(&Point::xy(
+                (i * 0.7).rem_euclid(30.0),
+                (i * 0.3).rem_euclid(30.0),
+            ));
         }
         new.check_invariants().unwrap();
         assert!((new.total_cf().n() - 500.0).abs() < 1e-9);

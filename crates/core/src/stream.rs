@@ -17,14 +17,15 @@
 use crate::birch::ClusterSummary;
 use crate::cf::Cf;
 use crate::config::BirchConfig;
+use crate::obs::{EventSink, MetricsRecorder, NoopSink};
 use crate::phase1::{Phase1Builder, Phase1Output};
 use crate::phase3;
 use crate::point::Point;
 
 /// An incrementally fed BIRCH clusterer.
 #[derive(Debug)]
-pub struct StreamingBirch {
-    builder: Phase1Builder,
+pub struct StreamingBirch<S: EventSink = NoopSink> {
+    builder: Phase1Builder<S>,
     config: BirchConfig,
     dim: usize,
 }
@@ -37,12 +38,37 @@ impl StreamingBirch {
     /// Panics if the configuration is invalid or `dim == 0`.
     #[must_use]
     pub fn new(config: BirchConfig, dim: usize) -> Self {
-        let builder = Phase1Builder::new(&config, dim);
+        Self::with_sink(config, dim, NoopSink)
+    }
+}
+
+impl<S: EventSink> StreamingBirch<S> {
+    /// Creates a streaming clusterer whose telemetry [`Event`]s stream
+    /// into `sink` as points arrive — rebuilds, threshold raises, outlier
+    /// traffic, all live. The internal [`MetricsRecorder`] aggregates
+    /// either way; see [`StreamingBirch::metrics`].
+    ///
+    /// [`Event`]: crate::obs::Event
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `dim == 0`.
+    #[must_use]
+    pub fn with_sink(config: BirchConfig, dim: usize, sink: S) -> Self {
+        let builder = Phase1Builder::with_sink(&config, dim, sink);
         Self {
             builder,
             config,
             dim,
         }
+    }
+
+    /// Live aggregated telemetry of the stream so far (counters, depth
+    /// histogram, threshold trajectory) — handy for periodic one-line
+    /// status reports via [`MetricsRecorder::one_line`].
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRecorder {
+        self.builder.metrics()
     }
 
     /// Dimensionality of the stream.

@@ -204,7 +204,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let i = i as f64;
-                ((i * 0.61803).rem_euclid(40.0), (i * 0.41421).rem_euclid(40.0))
+                (
+                    (i * 0.61803).rem_euclid(40.0),
+                    (i * 0.41421).rem_euclid(40.0),
+                )
             })
             .collect()
     }

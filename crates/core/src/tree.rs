@@ -28,6 +28,7 @@
 use crate::cf::Cf;
 use crate::distance::{DistanceMetric, ThresholdKind};
 use crate::node::{ChildEntry, Node, NodeId, NodeKind};
+use crate::obs::{Event, EventSink};
 
 /// Static parameters of a CF-tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -260,6 +261,36 @@ impl CfTree {
         InsertOutcome::AddedWithSplit
     }
 
+    /// Like [`CfTree::insert_cf`], but reporting what happened to `sink`:
+    /// an [`Event::InsertDescend`] with the descent depth, plus
+    /// [`Event::SplitPerformed`] / [`Event::MergeRefinement`] deltas when
+    /// the insert caused any. With [`crate::obs::NoopSink`] this
+    /// monomorphizes to exactly [`CfTree::insert_cf`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ent` is empty or of the wrong dimension.
+    pub fn insert_cf_observed(&mut self, ent: Cf, sink: &mut impl EventSink) -> InsertOutcome {
+        if !sink.enabled() {
+            return self.insert_cf(ent);
+        }
+        let before = self.stats;
+        // Height-balanced tree: every descent visits height-1 interior
+        // levels at the moment of insertion.
+        let depth = self.height - 1;
+        let outcome = self.insert_cf(ent);
+        sink.record(&Event::InsertDescend { depth });
+        let splits = self.stats.splits - before.splits;
+        if splits > 0 {
+            sink.record(&Event::SplitPerformed { count: splits });
+        }
+        let refinements = self.stats.merge_refinements - before.merge_refinements;
+        if refinements > 0 {
+            sink.record(&Event::MergeRefinement { count: refinements });
+        }
+        outcome
+    }
+
     /// Attempts to merge `ent` into an existing leaf entry *without* adding
     /// a new entry or splitting — the re-absorption test of §5.1.3 ("see if
     /// they can be re-absorbed into the current tree without causing the
@@ -432,7 +463,10 @@ impl CfTree {
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..children.len() {
             for j in (i + 1)..children.len() {
-                let d = self.params.metric.distance(&children[i].cf, &children[j].cf);
+                let d = self
+                    .params
+                    .metric
+                    .distance(&children[i].cf, &children[j].cf);
                 if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
@@ -446,7 +480,11 @@ impl CfTree {
         let a_id = self.node(nid).children()[i].child;
         let b_id = self.node(nid).children()[j].child;
         let a_is_leaf = self.node(a_id).is_leaf();
-        debug_assert_eq!(a_is_leaf, self.node(b_id).is_leaf(), "sibling level mismatch");
+        debug_assert_eq!(
+            a_is_leaf,
+            self.node(b_id).is_leaf(),
+            "sibling level mismatch"
+        );
         let capacity = if a_is_leaf {
             self.params.leaf_capacity
         } else {
@@ -477,7 +515,14 @@ impl CfTree {
                 let mut pool = std::mem::take(self.node_mut(a_id).leaf_entries_mut());
                 pool.append(&mut std::mem::take(self.node_mut(b_id).leaf_entries_mut()));
                 let (mut g1, mut g2) = partition_by_farthest_pair(pool, |e| e, self.params.metric);
-                rebalance_to_capacity(&mut g1, &mut g2, |e| e, self.params.metric, capacity, self.params.dim);
+                rebalance_to_capacity(
+                    &mut g1,
+                    &mut g2,
+                    |e| e,
+                    self.params.metric,
+                    capacity,
+                    self.params.dim,
+                );
                 *self.node_mut(a_id).leaf_entries_mut() = g1;
                 *self.node_mut(b_id).leaf_entries_mut() = g2;
             } else {
@@ -485,7 +530,14 @@ impl CfTree {
                 pool.append(&mut std::mem::take(self.node_mut(b_id).children_mut()));
                 let (mut g1, mut g2) =
                     partition_by_farthest_pair(pool, |c| &c.cf, self.params.metric);
-                rebalance_to_capacity(&mut g1, &mut g2, |c| &c.cf, self.params.metric, capacity, self.params.dim);
+                rebalance_to_capacity(
+                    &mut g1,
+                    &mut g2,
+                    |c| &c.cf,
+                    self.params.metric,
+                    capacity,
+                    self.params.dim,
+                );
                 *self.node_mut(a_id).children_mut() = g1;
                 *self.node_mut(b_id).children_mut() = g2;
             }
@@ -545,8 +597,7 @@ impl CfTree {
     pub fn leaf_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         LeafIter {
             tree: self,
-            cur: if self.leaf_entry_count == 0 && self.node(self.first_leaf).entry_count() == 0
-            {
+            cur: if self.leaf_entry_count == 0 && self.node(self.first_leaf).entry_count() == 0 {
                 // Completely empty tree: still yield the root leaf so
                 // callers see a consistent (empty) chain.
                 Some(self.first_leaf)
@@ -919,7 +970,10 @@ mod tests {
     fn zero_threshold_only_merges_identical_points() {
         let mut t = CfTree::new(small_params(0.0));
         t.insert_point(&Point::xy(1.0, 1.0));
-        assert_eq!(t.insert_point(&Point::xy(1.0, 1.0)), InsertOutcome::Absorbed);
+        assert_eq!(
+            t.insert_point(&Point::xy(1.0, 1.0)),
+            InsertOutcome::Absorbed
+        );
         // An offset large enough to survive the CF algebra's floating-point
         // cancellation (SS − ‖LS‖²/N operates near ‖LS‖² ≈ 16 here).
         assert_eq!(
@@ -977,7 +1031,9 @@ mod tests {
     #[test]
     fn insert_cf_subcluster() {
         let mut t = CfTree::new(small_params(5.0));
-        let pts: Vec<Point> = (0..10).map(|i| Point::xy(f64::from(i) * 0.1, 0.0)).collect();
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::xy(f64::from(i) * 0.1, 0.0))
+            .collect();
         let sub = Cf::from_points(&pts);
         t.insert_cf(sub.clone());
         assert_eq!(t.leaf_entry_count(), 1);

@@ -65,10 +65,7 @@ pub fn write_points(
 ///
 /// Returns an I/O error for file problems, or `InvalidData` for malformed
 /// rows (wrong arity, unparsable numbers).
-pub fn read_points(
-    path: &Path,
-    labeled: bool,
-) -> io::Result<LabeledPoints> {
+pub fn read_points(path: &Path, labeled: bool) -> io::Result<LabeledPoints> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut points = Vec::new();
     let mut labels: Vec<Option<usize>> = Vec::new();
@@ -87,7 +84,9 @@ pub fn read_points(
         }
         let mut fields: Vec<&str> = trimmed.split(',').collect();
         let label = if labeled {
-            let raw = fields.pop().ok_or_else(|| bad(row, "missing label column"))?;
+            let raw = fields
+                .pop()
+                .ok_or_else(|| bad(row, "missing label column"))?;
             if raw.is_empty() {
                 None
             } else {
@@ -120,10 +119,7 @@ pub fn read_points(
 }
 
 fn bad(row: usize, msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("csv row {row}: {msg}"),
-    )
+    io::Error::new(io::ErrorKind::InvalidData, format!("csv row {row}: {msg}"))
 }
 
 #[cfg(test)]
@@ -150,7 +146,11 @@ mod tests {
     #[test]
     fn roundtrip_labeled_with_noise() {
         let path = tmp("labeled");
-        let pts = vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0), Point::xy(5.0, 6.0)];
+        let pts = vec![
+            Point::xy(1.0, 2.0),
+            Point::xy(3.0, 4.0),
+            Point::xy(5.0, 6.0),
+        ];
         let labels = vec![Some(0), None, Some(7)];
         write_points(&path, &pts, Some(&labels)).unwrap();
         let (back, back_labels) = read_points(&path, true).unwrap();

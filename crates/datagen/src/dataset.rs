@@ -275,7 +275,11 @@ mod tests {
         let ds = Dataset::generate(&small_grid_spec());
         for c in &ds.clusters {
             let centroid = c.cf.centroid();
-            assert!(centroid.dist(&c.center) < 0.5, "{centroid:?} vs {:?}", c.center);
+            assert!(
+                centroid.dist(&c.center) < 0.5,
+                "{centroid:?} vs {:?}",
+                c.center
+            );
         }
     }
 

@@ -204,8 +204,7 @@ mod tests {
     fn coverage_fractions_roughly_met() {
         let img = NirVisImage::generate(256, 256, 5);
         for class in PixelClass::ALL {
-            let frac = img.truth.iter().filter(|&&c| c == class).count() as f64
-                / img.len() as f64;
+            let frac = img.truth.iter().filter(|&&c| c == class).count() as f64 / img.len() as f64;
             assert!(
                 (frac - class.coverage()).abs() < 0.02,
                 "{class:?}: {frac} vs {}",
@@ -227,9 +226,15 @@ mod tests {
             let n = vals.len() as f64;
             let nir_mean: f64 = vals.iter().map(|p| p.0).sum::<f64>() / n;
             let (want_nir, want_vis, _, _) = class.distribution();
-            assert!((nir_mean - want_nir).abs() < 2.0, "{class:?} NIR {nir_mean}");
+            assert!(
+                (nir_mean - want_nir).abs() < 2.0,
+                "{class:?} NIR {nir_mean}"
+            );
             let vis_mean: f64 = vals.iter().map(|p| p.1).sum::<f64>() / n;
-            assert!((vis_mean - want_vis).abs() < 2.0, "{class:?} VIS {vis_mean}");
+            assert!(
+                (vis_mean - want_vis).abs() < 2.0,
+                "{class:?} VIS {vis_mean}"
+            );
         }
     }
 

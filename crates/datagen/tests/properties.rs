@@ -15,14 +15,14 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
 fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
     (
         arb_pattern(),
-        1usize..30,              // k
-        0usize..40,              // n_low
-        1usize..60,              // extra onto n_high
-        0.0f64..3.0,             // r_low
-        0.0f64..3.0,             // extra onto r_high
-        0.0f64..0.3,             // noise
-        prop::bool::ANY,         // ordered?
-        any::<u64>(),            // seed
+        1usize..30,      // k
+        0usize..40,      // n_low
+        1usize..60,      // extra onto n_high
+        0.0f64..3.0,     // r_low
+        0.0f64..3.0,     // extra onto r_high
+        0.0f64..0.3,     // noise
+        prop::bool::ANY, // ordered?
+        any::<u64>(),    // seed
     )
         .prop_map(
             |(pattern, k, n_low, n_extra, r_low, r_extra, noise, ordered, seed)| DatasetSpec {

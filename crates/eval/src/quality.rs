@@ -95,7 +95,11 @@ pub fn adjusted_rand_index(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
 /// Panics if the labelings have different lengths.
 #[must_use]
 pub fn purity(found: &[Option<usize>], truth: &[Option<usize>]) -> f64 {
-    assert_eq!(found.len(), truth.len(), "labelings must cover the same points");
+    assert_eq!(
+        found.len(),
+        truth.len(),
+        "labelings must cover the same points"
+    );
     use std::collections::HashMap;
     let mut per_cluster: HashMap<usize, HashMap<usize, u64>> = HashMap::new();
     let mut total = 0u64;

@@ -135,8 +135,12 @@ mod tests {
         let plot = ascii_cluster_plot(&clusters, 40, 20);
         let lines: Vec<&str> = plot.lines().collect();
         // High-y cluster near the top, low-y near the bottom.
-        let top_has_center = lines[..10].iter().any(|l| l.contains('*') || l.contains('#'));
-        let bottom_has_center = lines[10..].iter().any(|l| l.contains('*') || l.contains('#'));
+        let top_has_center = lines[..10]
+            .iter()
+            .any(|l| l.contains('*') || l.contains('#'));
+        let bottom_has_center = lines[10..]
+            .iter()
+            .any(|l| l.contains('*') || l.contains('#'));
         assert!(top_has_center && bottom_has_center, "{plot}");
     }
 

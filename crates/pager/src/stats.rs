@@ -94,6 +94,58 @@ mod tests {
     }
 
     #[test]
+    fn absorb_peak_pages_is_max_not_sum() {
+        // Peaks describe concurrent residency: merging two runs (or two
+        // parallel workers) must never add the high-water marks together.
+        let mut a = IoStats {
+            peak_pages: 40,
+            ..IoStats::default()
+        };
+        let b = IoStats {
+            peak_pages: 75,
+            ..IoStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.peak_pages, 75);
+
+        // Absorbing a smaller peak leaves the mark unchanged…
+        a.absorb(&IoStats {
+            peak_pages: 10,
+            ..IoStats::default()
+        });
+        assert_eq!(a.peak_pages, 75);
+
+        // …and the operation is commutative in the peak.
+        let mut c = IoStats {
+            peak_pages: 75,
+            ..IoStats::default()
+        };
+        c.absorb(&IoStats {
+            peak_pages: 40,
+            ..IoStats::default()
+        });
+        assert_eq!(c.peak_pages, a.peak_pages);
+    }
+
+    #[test]
+    fn absorb_empty_is_identity() {
+        let mut a = IoStats {
+            rebuilds: 2,
+            peak_pages: 40,
+            disk_writes: 10,
+            disk_reads: 7,
+            disk_bytes_written: 320,
+            disk_bytes_read: 224,
+            splits: 5,
+            merge_refinements: 4,
+            outliers_discarded: 1,
+        };
+        let before = a;
+        a.absorb(&IoStats::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
     fn display_is_human_readable() {
         let s = IoStats {
             rebuilds: 3,

@@ -36,10 +36,7 @@ fn main() {
         let cfs: Vec<_> = model.clusters().iter().map(|c| c.cf.clone()).collect();
         let d = weighted_average_diameter(&cfs);
         let report = match_clusters(&cfs, &ds.clusters);
-        let ari = adjusted_rand_index(
-            model.labels().expect("phase 4 on"),
-            &ds.labels,
-        );
+        let ari = adjusted_rand_index(model.labels().expect("phase 4 on"), &ds.labels);
 
         println!("=== {name} ===");
         println!("  N = {}, clusters found = {}", ds.len(), cfs.len());

@@ -40,9 +40,16 @@ fn main() {
     }
 
     let d = weighted_average_diameter(
-        &model.clusters().iter().map(|c| c.cf.clone()).collect::<Vec<_>>(),
+        &model
+            .clusters()
+            .iter()
+            .map(|c| c.cf.clone())
+            .collect::<Vec<_>>(),
     );
-    println!("\nweighted average diameter D = {d:.3} (actual {:.3})", ds.actual_weighted_diameter());
+    println!(
+        "\nweighted average diameter D = {d:.3} (actual {:.3})",
+        ds.actual_weighted_diameter()
+    );
     println!(
         "phase times: p1 {:?}, p2 {:?}, p3 {:?}, p4 {:?}",
         model.stats().phase1_time,
@@ -53,5 +60,8 @@ fn main() {
 
     // Classify a brand-new point.
     let probe = Point::xy(5.0, 5.0);
-    println!("\npoint {probe:?} belongs to cluster {}", model.predict(&probe));
+    println!(
+        "\npoint {probe:?} belongs to cluster {}",
+        model.predict(&probe)
+    );
 }

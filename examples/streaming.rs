@@ -5,12 +5,37 @@
 //! a [`StreamingBirch`] and snapshots an anytime clustering whenever it
 //! likes — no restart, no second pass, no raw points retained.
 //!
+//! It also shows the telemetry layer: a custom [`EventSink`] announces
+//! rebuilds the moment they happen, and each round ends with the
+//! recorder's one-line metrics summary.
+//!
 //! ```text
 //! cargo run --release --example streaming
 //! ```
 
 use birch::prelude::*;
 use birch_core::StreamingBirch;
+
+/// A live sink: print a line the moment the stream's tree is rebuilt.
+/// Everything else (counters, histogram, trajectory) is aggregated by the
+/// built-in recorder — a custom sink is only for *reacting* to events.
+struct RebuildAnnouncer;
+
+impl EventSink for RebuildAnnouncer {
+    fn record(&mut self, event: &Event) {
+        if let Event::RebuildTriggered {
+            old_threshold,
+            new_threshold,
+            ..
+        } = event
+        {
+            println!(
+                "    [telemetry] memory full — rebuilding, T {old_threshold:.3} -> \
+                 {new_threshold:.3}"
+            );
+        }
+    }
+}
 
 /// A fake endless sensor: three drifting sources emitting interleaved
 /// readings.
@@ -23,9 +48,10 @@ fn reading(t: usize) -> Point {
 }
 
 fn main() {
-    let mut stream = StreamingBirch::new(
+    let mut stream = StreamingBirch::with_sink(
         BirchConfig::with_clusters(3).memory(16 * 1024),
         2,
+        RebuildAnnouncer,
     );
 
     let chunk = 20_000usize;
@@ -51,6 +77,7 @@ fn main() {
                 c.radius
             );
         }
+        println!("    metrics: {}", stream.metrics().one_line());
     }
 
     let (final_clusters, out) = stream.finish();

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of the criterion 0.5 API the workspace's benches use:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up for ~0.3 s, then timed
+//! over enough iterations to fill ~1 s, reporting mean and best time per
+//! iteration (and element throughput when declared). There is no
+//! statistical analysis, HTML report, or saved baseline — just stable,
+//! comparable wall-clock numbers printed to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the work behind it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How many "items" one iteration of a benchmark processes.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+    result: Option<Sample>,
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: discover the per-iteration cost.
+        let warm_started = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_started.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Split the measurement window into `sample_size` timed batches.
+        let total_iters = ((self.measure.as_secs_f64() / per_iter).ceil() as u64).max(10);
+        let samples = self.sample_size as u64;
+        let batch = (total_iters / samples).max(1);
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut done: u64 = 0;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            done += batch;
+            let per = dt / u32::try_from(batch).unwrap_or(u32::MAX);
+            if per < best {
+                best = per;
+            }
+        }
+        self.result = Some(Sample {
+            mean: total / u32::try_from(done).unwrap_or(u32::MAX),
+            best,
+            iters: done,
+        });
+    }
+}
+
+/// Top-level benchmark driver. Honors the name filter `cargo bench`
+/// forwards on the command line.
+#[derive(Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards e.g. `tree_insert --bench`; keep non-flag
+        // args as substring filters.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (the default already reads the args).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let sample_size = self.sample_size;
+        if self.matches(name) {
+            run_one(name, sample_size, None, f);
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs a benchmark under `group_name/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let full = format!("{}/{name}", self.name);
+        if self.criterion.matches(&full) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(&full, n, self.throughput, f);
+        }
+    }
+
+    /// Runs a benchmark with an input value under `group_name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        if self.criterion.matches(&full) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(&full, n, self.throughput, |b| f(b, input));
+        }
+    }
+
+    /// Ends the group (upstream-compatible no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warm_up: Duration::from_millis(300),
+        measure: Duration::from_secs(1),
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(s) => {
+            let mut line = format!(
+                "{name:<40} mean {:>12}  best {:>12}  ({} iters)",
+                fmt_ns(s.mean),
+                fmt_ns(s.best),
+                s.iters
+            );
+            if let Some(tp) = tp {
+                let per_sec = |n: u64| n as f64 / s.mean.as_secs_f64();
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  {:.3} Melem/s", per_sec(n) / 1e6));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!("  {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                    }
+                }
+            }
+            println!("{line}");
+        }
+        None => println!("{name:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of the proptest API the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), the [`Strategy`]
+//! trait with `prop_map`, range/tuple/vec/select/oneof strategies,
+//! [`any`], and the `prop_assert*` macros.
+//!
+//! Semantics: each test runs `cases` times against freshly generated
+//! inputs from a deterministic per-test RNG. Failing cases are reported by
+//! the panic message; there is **no shrinking** — failures reproduce
+//! deterministically because the RNG seed is fixed per test name.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Strategy constructors grouped like upstream's `proptest::prop` modules.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Vectors of `elem` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniform choice from a slice of values.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `items` is empty.
+        pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+            assert!(!items.is_empty(), "select from empty slice");
+            Select {
+                items: items.to_vec(),
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniform `true`/`false`.
+        pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! arb_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy producing arbitrary values of `T`. See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice between several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors proptest's macro grammar for the
+/// forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, v in points(40)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+}

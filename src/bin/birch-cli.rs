@@ -5,6 +5,7 @@
 //! birch-cli cluster  --input points.csv --k 100 [--labeled true] [--metric D2]
 //!                    [--memory-kb 80] [--labels-out labels.csv]
 //!                    [--summary-out clusters.csv]
+//!                    [--metrics-json metrics.json] [--trace]
 //! ```
 //!
 //! `cluster` reads CSV points (one row per point), runs the full BIRCH
@@ -12,6 +13,12 @@
 //! optionally writes per-point labels and the cluster table. Files written
 //! by `generate` carry a trailing ground-truth label column — pass
 //! `--labeled true` to skip it (and score against it).
+//!
+//! Observability: `--metrics-json <path>` writes the run's telemetry
+//! (per-phase times, rebuild/split counters, threshold trajectory,
+//! insertion-depth histogram) as one line of JSON; `--trace` prints the
+//! last events of the run (rebuilds, threshold raises, phase boundaries)
+//! to stdout.
 
 use birch::prelude::*;
 use birch_datagen::csv::{read_points, write_points};
@@ -31,9 +38,25 @@ fn main() -> ExitCode {
                 "usage:\n  birch-cli generate --preset <ds1|ds2|ds3> --out <file> \
                  [--seed n] [--per-cluster n]\n  birch-cli cluster --input <file> --k <n> \
                  [--labeled true] [--metric D0..D4] [--memory-kb n] [--labels-out f] \
-                 [--summary-out f]"
+                 [--summary-out f] [--metrics-json f] [--trace]"
             );
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Flags that take no value; their presence means "true".
+const BOOLEAN_FLAGS: &[&str] = &["trace"];
+
+/// Trace sink for `--trace`: keeps the last events, skipping the
+/// per-insert descend records that would otherwise evict every
+/// interesting rebuild/threshold event from the ring.
+struct CliTrace(TraceLog);
+
+impl EventSink for CliTrace {
+    fn record(&mut self, event: &Event) {
+        if !matches!(event, Event::InsertDescend { .. }) {
+            self.0.record(event);
         }
     }
 }
@@ -46,6 +69,10 @@ fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
             eprintln!("warning: ignoring stray argument {flag:?}");
             continue;
         };
+        if BOOLEAN_FLAGS.contains(&key) {
+            map.insert(key.to_string(), String::from("true"));
+            continue;
+        }
         let value = args.next().unwrap_or_else(|| {
             eprintln!("error: flag --{key} needs a value");
             std::process::exit(2);
@@ -145,13 +172,31 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
         config = config.memory(kb * 1024);
     }
 
-    let model = match Birch::new(config).fit(&points) {
+    let trace = flags.contains_key("trace");
+    let mut tracer = CliTrace(TraceLog::new(512));
+    let clusterer = Birch::new(config);
+    let result = if trace {
+        clusterer.fit_with_sink(&points, &mut tracer)
+    } else {
+        clusterer.fit(&points)
+    };
+    let model = match result {
         Ok(m) => m,
         Err(e) => {
             eprintln!("clustering failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if trace {
+        let tracer = &tracer.0;
+        if tracer.dropped() > 0 {
+            println!("trace: … {} earlier events dropped", tracer.dropped());
+        }
+        for ev in tracer.events() {
+            println!("trace: {}", ev.render());
+        }
+    }
 
     println!(
         "found {} clusters in {:.3}s ({} rebuilds, peak {} pages):",
@@ -169,7 +214,10 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
         );
     }
     if model.clusters().len() > 20 {
-        println!("  … {} more (use --summary-out for the full table)", model.clusters().len() - 20);
+        println!(
+            "  … {} more (use --summary-out for the full table)",
+            model.clusters().len() - 20
+        );
     }
 
     // With ground truth available, score the clustering.
@@ -179,6 +227,15 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
         println!("vs ground truth: ARI {ari:.3}, purity {purity:.3}");
     }
 
+    if let Some(path) = flags.get("metrics-json") {
+        let mut json = model.stats().to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
     if let Some(path) = flags.get("summary-out") {
         let cfs: Vec<_> = model.clusters().iter().map(|c| c.cf.clone()).collect();
         if let Err(e) = std::fs::write(path, clusters_to_csv(&cfs)) {

@@ -42,8 +42,8 @@ pub use birch_pager as pager;
 pub mod prelude {
     pub use birch_baselines::{clarans::Clarans, kmeans::KMeans};
     pub use birch_core::{
-        Birch, BirchConfig, BirchModel, Cf, CfTree, DistanceMetric, Point, StreamingBirch,
-        ThresholdKind,
+        Birch, BirchConfig, BirchModel, Cf, CfTree, DistanceMetric, Event, EventSink,
+        MetricsRecorder, MetricsReport, NoopSink, Point, StreamingBirch, ThresholdKind, TraceLog,
     };
     pub use birch_datagen::{DatasetSpec, Ordering, Pattern};
     pub use birch_eval::quality::weighted_average_diameter;

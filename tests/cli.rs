@@ -26,7 +26,11 @@ fn generate_then_cluster_roundtrip() {
         .args(["--per-cluster", "50", "--seed", "7"])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("wrote 5000 points"), "{stdout}");
 
@@ -39,7 +43,11 @@ fn generate_then_cluster_roundtrip() {
         .arg(&labels)
         .output()
         .expect("run cluster");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("read 5000 points"), "{stdout}");
     assert!(stdout.contains("found 100 clusters"), "{stdout}");
@@ -53,6 +61,94 @@ fn generate_then_cluster_roundtrip() {
     assert_eq!(labels_text.lines().count(), 5000);
 
     for p in [&data, &summary, &labels] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Pulls the first `"key":<integer>` match out of a JSON string.
+fn json_uint(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {json}"));
+    let digits: String = json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} not an integer in {json}"))
+}
+
+#[test]
+fn metrics_json_matches_stdout() {
+    let data = tmp("metrics-data.csv");
+    let metrics = tmp("metrics.json");
+
+    let out = cli()
+        .args(["generate", "--preset", "ds1", "--out"])
+        .arg(&data)
+        .args(["--per-cluster", "100", "--seed", "11"])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A small memory budget forces rebuilds so the trajectory is non-empty.
+    let out = cli()
+        .args(["cluster", "--input"])
+        .arg(&data)
+        .args([
+            "--k",
+            "100",
+            "--labeled",
+            "true",
+            "--memory-kb",
+            "16",
+            "--metrics-json",
+        ])
+        .arg(&metrics)
+        .arg("--trace")
+        .output()
+        .expect("run cluster");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    for key in [
+        "phase_times",
+        "rebuilds",
+        "threshold_trajectory",
+        "peak_pages",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\":")),
+            "missing {key} in {json}"
+        );
+    }
+
+    // The JSON's counters agree with the stdout summary line
+    // ("found N clusters in T (R rebuilds, peak P pages):").
+    let rebuilds = json_uint(&json, "rebuilds");
+    let peak_pages = json_uint(&json, "peak_pages");
+    assert!(
+        stdout.contains(&format!("({rebuilds} rebuilds, peak {peak_pages} pages)")),
+        "stdout disagrees with metrics JSON (rebuilds={rebuilds}, peak={peak_pages}): {stdout}"
+    );
+    assert!(rebuilds > 0, "16 KB budget should force rebuilds: {json}");
+    assert!(
+        stdout.contains("trace:"),
+        "--trace printed nothing: {stdout}"
+    );
+
+    for p in [&data, &metrics] {
         std::fs::remove_file(p).ok();
     }
 }

@@ -107,7 +107,11 @@ fn high_dimensional_clustering_works() {
     let pts: Vec<Point> = (0..400)
         .map(|i| {
             let c = f64::from(i % 2) * 10.0;
-            Point::new((0..dim).map(|j| c + f64::from((i + j) % 5) * 0.05).collect())
+            Point::new(
+                (0..dim)
+                    .map(|j| c + f64::from((i + j) % 5) * 0.05)
+                    .collect(),
+            )
         })
         .collect();
     let model = Birch::new(
