@@ -1,0 +1,208 @@
+//! Phase-1 thread-scaling sweep: serial scan vs the sharded parallel
+//! build (`birch_core::parallel`) at threads ∈ {1, 2, 4, 8} on a
+//! full-scale DS1-shaped dataset (K = 100 × 1000 points = 100k by
+//! default). Writes `BENCH_phase1_scaling.json` with wall time,
+//! points/sec, and speedup vs the serial scan per thread count, plus
+//! `host_cpus` — speedup is bounded by the physical cores actually
+//! available, so the numbers are only interpretable next to that field
+//! (on a single-core container the parallel path shows its overhead,
+//! not its speedup; on an n-core host Phase 1 scales with the shards
+//! because the workers share nothing until the merge).
+//!
+//! ```text
+//! cargo run --release -p birch-bench --bin phase1_scaling \
+//!     [-- --scale 1.0 --seed 42 --reps 3 --out BENCH_phase1_scaling.json]
+//! ```
+
+use birch_bench::{paper_config, print_header, print_row, timed};
+use birch_core::{parallel, phase1, Cf};
+use birch_datagen::{presets, Dataset};
+use std::time::Duration;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Run {
+    threads: usize,
+    wall: Duration,
+    merge: Duration,
+    rebuilds: u64,
+    leaf_entries: usize,
+    shard_walls: Vec<f64>,
+    total_cf_n: f64,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("null")
+    }
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut reps = 3usize;
+    let mut out_path = String::from("BENCH_phase1_scaling.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale must be a float");
+                assert!(scale > 0.0, "--scale must be positive");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("--reps must be an integer");
+                assert!(reps >= 1, "--reps must be >= 1");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out needs a value");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: phase1_scaling [--scale f] [--seed n] [--reps n] [--out f]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+    }
+
+    // DS1 at the chosen scale (scale 1.0 = the paper's 100 clusters x
+    // 1000 points = 100k points).
+    let mut spec = presets::ds1(seed);
+    let per = ((1000.0 * scale).round() as usize).max(2);
+    spec.n_low = per;
+    spec.n_high = per;
+    let ds = Dataset::generate(&spec);
+    let n = ds.len();
+    let config = paper_config(100, n);
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+
+    println!(
+        "Phase-1 scaling on DS1: N={n}, M={} KB, host_cpus={host_cpus}, reps={reps} (min wall kept)\n",
+        config.memory_bytes / 1024
+    );
+    let widths = [8, 10, 12, 9, 9, 10];
+    print_header(
+        &[
+            "threads", "wall-s", "points/s", "speedup", "rebuilds", "merge-s",
+        ],
+        &widths,
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut serial_wall = Duration::ZERO;
+    for &threads in &THREAD_SWEEP {
+        let mut best: Option<Run> = None;
+        for _ in 0..reps {
+            let run = if threads == 1 {
+                let (out, wall) =
+                    timed(|| phase1::run(&config, 2, ds.points.iter().map(Cf::from_point)));
+                Run {
+                    threads,
+                    wall,
+                    merge: Duration::ZERO,
+                    rebuilds: out.io.rebuilds,
+                    leaf_entries: out.tree.leaf_entry_count(),
+                    shard_walls: Vec::new(),
+                    total_cf_n: out.tree.total_cf().n(),
+                }
+            } else {
+                let (out, wall) = timed(|| parallel::run(&config, 2, &ds.points, threads));
+                Run {
+                    threads,
+                    wall,
+                    merge: out.merge_wall,
+                    rebuilds: out.io.rebuilds,
+                    leaf_entries: out.tree.leaf_entry_count(),
+                    shard_walls: out.shards.iter().map(|s| s.wall.as_secs_f64()).collect(),
+                    total_cf_n: out.tree.total_cf().n(),
+                }
+            };
+            best = match best {
+                Some(b) if b.wall <= run.wall => Some(b),
+                _ => Some(run),
+            };
+        }
+        let run = best.expect("reps >= 1");
+        if threads == 1 {
+            serial_wall = run.wall;
+        }
+        let speedup = serial_wall.as_secs_f64() / run.wall.as_secs_f64();
+        print_row(
+            &[
+                format!("{threads}"),
+                format!("{:.3}", run.wall.as_secs_f64()),
+                format!("{:.0}", n as f64 / run.wall.as_secs_f64()),
+                format!("{speedup:.2}"),
+                format!("{}", run.rebuilds),
+                format!("{:.3}", run.merge.as_secs_f64()),
+            ],
+            &widths,
+        );
+        runs.push(run);
+    }
+
+    let mut json = format!(
+        "{{\"bench\":\"phase1_scaling\",\"dataset\":\"DS1\",\"points\":{n},\
+         \"seed\":{seed},\"scale\":{},\"memory_bytes\":{},\"host_cpus\":{host_cpus},\
+         \"reps\":{reps},\"runs\":[",
+        json_f64(scale),
+        config.memory_bytes
+    );
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let shard_walls = r
+            .shard_walls
+            .iter()
+            .map(|w| json_f64(*w))
+            .collect::<Vec<_>>()
+            .join(",");
+        json.push_str(&format!(
+            "{{\"threads\":{},\"wall_s\":{},\"points_per_s\":{},\"speedup_vs_serial\":{},\
+             \"merge_s\":{},\"rebuilds\":{},\"leaf_entries\":{},\"shard_walls_s\":[{}],\
+             \"total_cf_n\":{}}}",
+            r.threads,
+            json_f64(r.wall.as_secs_f64()),
+            json_f64(n as f64 / r.wall.as_secs_f64()),
+            json_f64(serial_wall.as_secs_f64() / r.wall.as_secs_f64()),
+            json_f64(r.merge.as_secs_f64()),
+            r.rebuilds,
+            r.leaf_entries,
+            shard_walls,
+            json_f64(r.total_cf_n),
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nresults written to {out_path}");
+
+    // Sanity: every thread count must summarize (essentially) the whole
+    // dataset. Outlier handling is on (paper defaults), so a handful of
+    // sparse entries may legitimately be discarded — but losing more than
+    // 1% of a noise-free DS1 means the merge dropped data.
+    for r in &runs {
+        assert!(
+            r.total_cf_n <= n as f64 + 1e-6 && r.total_cf_n >= 0.99 * n as f64,
+            "threads={} kept {} of {n} points",
+            r.threads,
+            r.total_cf_n
+        );
+    }
+}

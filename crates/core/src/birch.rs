@@ -15,8 +15,10 @@
 use crate::cf::Cf;
 use crate::config::BirchConfig;
 use crate::obs::{
-    json_f64, Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, Phase, Tee,
+    json_f64, shards_json, Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, Phase,
+    ShardReport, Tee,
 };
+use crate::parallel;
 use crate::phase1::{self, Phase1Output};
 use crate::phase2;
 use crate::phase3;
@@ -93,8 +95,13 @@ impl ClusterSummary {
 /// Wall-clock and resource statistics of one `fit`.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
+    /// Phase-1 worker threads used (1 = the serial scan).
+    pub threads: usize,
     /// Phase-1 duration.
     pub phase1_time: Duration,
+    /// Merge-stage duration within Phase 1 (zero for the serial scan):
+    /// the time spent folding shard leaf entries into the final tree.
+    pub merge_time: Duration,
     /// Phase-2 duration (zero when disabled or not needed).
     pub phase2_time: Duration,
     /// Phase-3 duration.
@@ -116,6 +123,9 @@ pub struct RunStats {
     /// Aggregated run telemetry (event counters, insertion-depth histogram,
     /// threshold-vs-points trajectory) collected across all phases.
     pub metrics: MetricsReport,
+    /// Per-shard Phase-1 telemetry (empty for the serial scan). The spread
+    /// of `wall` across shards is the skew that bounds parallel speedup.
+    pub shards: Vec<ShardReport>,
 }
 
 impl RunStats {
@@ -140,10 +150,11 @@ impl RunStats {
     pub fn to_json(&self) -> String {
         let m = &self.metrics;
         format!(
-            "{{\"schema_version\":1,\
+            "{{\"schema_version\":2,\
              \"points_scanned\":{},\
-             \"phase_times\":{{\"phase1_s\":{},\"phase2_s\":{},\"phase3_s\":{},\
-             \"phase4_s\":{},\"total_s\":{}}},\
+             \"threads\":{},\
+             \"phase_times\":{{\"phase1_s\":{},\"merge_s\":{},\"phase2_s\":{},\
+             \"phase3_s\":{},\"phase4_s\":{},\"total_s\":{}}},\
              \"rebuilds\":{},\
              \"peak_pages\":{},\
              \"splits\":{},\
@@ -154,10 +165,13 @@ impl RunStats {
              \"leaf_entries_phase3\":{},\
              \"io\":{{\"disk_writes\":{},\"disk_reads\":{},\"disk_bytes_written\":{},\
              \"disk_bytes_read\":{},\"outliers_discarded\":{}}},\
+             \"shards\":{},\
              \"insert_depth_histogram\":{},\
              \"counters\":{}}}",
             self.points_scanned,
+            self.threads.max(1),
             json_f64(self.phase1_time.as_secs_f64()),
+            json_f64(self.merge_time.as_secs_f64()),
             json_f64(self.phase2_time.as_secs_f64()),
             json_f64(self.phase3_time.as_secs_f64()),
             json_f64(self.phase4_time.as_secs_f64()),
@@ -175,6 +189,7 @@ impl RunStats {
             self.io.disk_bytes_written,
             self.io.disk_bytes_read,
             self.io.outliers_discarded,
+            shards_json(&self.shards),
             m.histogram_json(),
             m.counters_json(),
         )
@@ -268,14 +283,16 @@ impl Birch {
         &self.config
     }
 
-    /// Clusters `points`.
+    /// Clusters `points`. Runs Phase 1 serially when
+    /// [`BirchConfig::threads`] is 1 (the default), or as a sharded
+    /// parallel build (see [`crate::parallel`]) when it is larger.
     ///
     /// # Errors
     ///
     /// [`BirchError::EmptyInput`] for an empty slice;
     /// [`BirchError::DimensionMismatch`] if points disagree on `d`.
     pub fn fit(&self, points: &[Point]) -> Result<BirchModel, BirchError> {
-        self.fit_impl(points, None, &mut NoopSink)
+        self.fit_impl(points, None, self.config.threads, &mut NoopSink)
     }
 
     /// Like [`Birch::fit`], but streaming every telemetry [`Event`] into
@@ -294,7 +311,7 @@ impl Birch {
         points: &[Point],
         sink: &mut S,
     ) -> Result<BirchModel, BirchError> {
-        self.fit_impl(points, None, sink)
+        self.fit_impl(points, None, self.config.threads, sink)
     }
 
     /// Clusters weighted points: `(point, weight)` with `weight > 0`.
@@ -309,17 +326,18 @@ impl Birch {
         // Split into parallel arrays once; phases borrow both.
         let pts: Vec<Point> = points.iter().map(|(p, _)| p.clone()).collect();
         let weights: Vec<f64> = points.iter().map(|&(_, w)| w).collect();
-        self.fit_impl(&pts, Some(&weights), &mut NoopSink)
+        self.fit_impl(&pts, Some(&weights), self.config.threads, &mut NoopSink)
     }
 
-    /// Like [`Birch::fit`] but running Phase 1 across `threads` worker
-    /// threads — the paper's §7 "opportunities for parallelism". The data
-    /// is split into contiguous chunks, each thread builds a CF-tree under
-    /// `M/threads` memory, and the per-thread leaf entries are merged into
-    /// one final tree (exact, by the CF Additivity Theorem) before the
-    /// global phases run as usual.
+    /// Like [`Birch::fit`] but with an explicit Phase-1 thread count,
+    /// overriding [`BirchConfig::threads`] — the paper's §7 "opportunities
+    /// for parallelism". The data is split into contiguous chunks, each
+    /// thread builds a CF-tree under `M/threads` memory, and the per-thread
+    /// leaf entries are merged into one final tree (exact in the totals, by
+    /// the CF Additivity Theorem) before the global phases run as usual.
+    /// See [`crate::parallel`] for the architecture.
     ///
-    /// With `threads == 1` this is identical to [`Birch::fit`].
+    /// With `threads == 1` this is exactly the serial single-scan Phase 1.
     ///
     /// # Errors
     ///
@@ -330,110 +348,62 @@ impl Birch {
     /// Panics if `threads == 0`.
     pub fn fit_parallel(&self, points: &[Point], threads: usize) -> Result<BirchModel, BirchError> {
         assert!(threads >= 1, "need at least one thread");
-        let dim = validate_points(points)?;
-        let threads = threads.min(points.len());
-        if threads == 1 {
-            return self.fit(points);
-        }
-
-        let mut stats = RunStats {
-            points_scanned: points.len() as u64,
-            ..RunStats::default()
-        };
-        let config = self.effective_config(points.len());
-
-        // ---- Phase 1, parallel: one memory-share tree per chunk. ----
-        let t0 = Instant::now();
-        let chunk = points.len().div_ceil(threads);
-        let sub_config = config
-            .clone()
-            .memory((config.memory_bytes / threads).max(config.page_bytes))
-            .total_points(chunk as u64);
-        let outputs: Vec<Phase1Output> = std::thread::scope(|scope| {
-            let handles: Vec<_> = points
-                .chunks(chunk)
-                .map(|part| {
-                    let sub = &sub_config;
-                    scope.spawn(move || phase1::run(sub, dim, part.iter().map(Cf::from_point)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("phase-1 worker panicked"))
-                .collect()
-        });
-
-        // Merge: feed every worker's leaf entries into one full-budget
-        // tree. CF additivity makes the combined summary exact.
-        let mut recorder = MetricsRecorder::new();
-        let mut io = IoStats::default();
-        let mut entries: Vec<Cf> = Vec::new();
-        for out in outputs {
-            io.absorb(&out.io);
-            recorder.absorb_report(&out.metrics);
-            entries.extend(out.tree.into_leaf_entries());
-        }
-        let merged = phase1::run(&config, dim, entries);
-        io.absorb(&merged.io);
-        recorder.absorb_report(&merged.metrics);
-        let tree = merged.tree;
-        let mut estimator = merged.estimator;
-        stats.phase1_time = t0.elapsed();
-        stats.io = io;
-        stats.threshold_history = merged.threshold_history;
-        stats.leaf_entries_phase1 = tree.leaf_entry_count();
-
-        self.finish_pipeline(
-            points,
-            None,
-            tree,
-            &mut estimator,
-            config,
-            stats,
-            recorder,
-            &mut NoopSink,
-        )
+        self.fit_impl(points, None, threads, &mut NoopSink)
     }
 
     fn fit_impl<S: EventSink>(
         &self,
         points: &[Point],
         weights: Option<&[f64]>,
+        threads: usize,
         sink: &mut S,
     ) -> Result<BirchModel, BirchError> {
         let dim = validate_points(points)?;
+        let threads = threads.min(points.len()).max(1);
 
         let mut stats = RunStats {
             points_scanned: points.len() as u64,
+            threads,
             ..RunStats::default()
         };
-
-        // ---- Phase 1: build the CF-tree in one scan. ----
-        let t0 = Instant::now();
         let config = self.effective_config(points.len());
-        let input = points.iter().enumerate().map(|(i, p)| match weights {
-            Some(w) => Cf::from_weighted_point(p, w[i]),
-            None => Cf::from_point(p),
-        });
-        let Phase1Output {
-            tree,
-            io,
-            threshold_history,
-            points_scanned: _,
-            outliers,
-            mut estimator,
-            metrics,
-        } = phase1::run_with_sink(&config, dim, input, &mut *sink);
-        stats.phase1_time = t0.elapsed();
-        stats.io = io;
-        stats.threshold_history = threshold_history;
-        stats.leaf_entries_phase1 = tree.leaf_entry_count();
-        drop(outliers); // counters already folded into io by phase 1
 
-        // Run-level aggregation: absorb Phase 1's report, then keep
-        // recording phases 2–4 directly (the sink saw Phase 1 live).
-        let mut recorder = MetricsRecorder::new();
-        recorder.absorb_report(&metrics);
+        // ---- Phase 1: build the CF-tree (serial scan or sharded). ----
+        let t0 = Instant::now();
+        let (tree, mut estimator, recorder) = if threads > 1 {
+            let out = parallel::run_with_sink(&config, dim, points, weights, threads, sink);
+            stats.io = out.io;
+            stats.threshold_history = out.threshold_history;
+            stats.merge_time = out.merge_wall;
+            stats.shards = out.shards;
+            let mut recorder = MetricsRecorder::new();
+            recorder.absorb_report(&out.metrics);
+            (out.tree, out.estimator, recorder)
+        } else {
+            let input = points.iter().enumerate().map(|(i, p)| match weights {
+                Some(w) => Cf::from_weighted_point(p, w[i]),
+                None => Cf::from_point(p),
+            });
+            let Phase1Output {
+                tree,
+                io,
+                threshold_history,
+                points_scanned: _,
+                outliers,
+                estimator,
+                metrics,
+            } = phase1::run_with_sink(&config, dim, input, &mut *sink);
+            stats.io = io;
+            stats.threshold_history = threshold_history;
+            drop(outliers); // counters already folded into io by phase 1
+                            // Run-level aggregation: absorb Phase 1's report, then keep
+                            // recording phases 2–4 directly (the sink saw Phase 1 live).
+            let mut recorder = MetricsRecorder::new();
+            recorder.absorb_report(&metrics);
+            (tree, estimator, recorder)
+        };
+        stats.phase1_time = t0.elapsed();
+        stats.leaf_entries_phase1 = tree.leaf_entry_count();
 
         self.finish_pipeline(
             points,
@@ -748,7 +718,9 @@ mod tests {
     #[test]
     fn parallel_one_thread_equals_sequential() {
         let pts = shuffle(grid_blobs(3, 300));
-        let cfg = BirchConfig::with_clusters(3);
+        // Pin threads=1 so the comparison holds even when BIRCH_THREADS
+        // forces parallelism suite-wide (the CI matrix does).
+        let cfg = BirchConfig::with_clusters(3).threads(1);
         let seq = Birch::new(cfg.clone()).fit(&pts).unwrap();
         let par = Birch::new(cfg).fit_parallel(&pts, 1).unwrap();
         let sizes = |m: &BirchModel| {
@@ -775,6 +747,40 @@ mod tests {
             rad(&par),
             rad(&seq)
         );
+    }
+
+    #[test]
+    fn config_threads_dispatches_to_parallel() {
+        let pts = shuffle(grid_blobs(4, 500));
+        let model = Birch::new(BirchConfig::with_clusters(4).threads(4))
+            .fit(&pts)
+            .unwrap();
+        assert_eq!(model.clusters().len(), 4);
+        let s = model.stats();
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.shards.len(), 4);
+        let shard_points: u64 = s.shards.iter().map(|sh| sh.points).sum();
+        assert_eq!(shard_points, pts.len() as u64);
+    }
+
+    #[test]
+    fn stats_json_reports_threads_and_shards() {
+        let pts = shuffle(grid_blobs(2, 400));
+        let par = Birch::new(BirchConfig::with_clusters(2).threads(2))
+            .fit(&pts)
+            .unwrap();
+        let json = par.stats().to_json();
+        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"threads\":2"), "{json}");
+        assert!(json.contains("\"shards\":[{\"shard\":0,"), "{json}");
+        assert!(json.contains("\"merge_s\":"), "{json}");
+
+        let ser = Birch::new(BirchConfig::with_clusters(2).threads(1))
+            .fit(&pts)
+            .unwrap();
+        let json = ser.stats().to_json();
+        assert!(json.contains("\"threads\":1"), "{json}");
+        assert!(json.contains("\"shards\":[]"), "{json}");
     }
 
     #[test]

@@ -70,6 +70,16 @@ pub struct BirchConfig {
     /// Total dataset size, when known in advance — sharpens the threshold
     /// heuristic's growth target (optional).
     pub total_points_hint: Option<u64>,
+    /// Phase-1 worker threads (§7 "opportunities for parallelism").
+    /// `1` (the default) is the exact serial scan of the paper; `n > 1`
+    /// shards the input across `n` scoped threads, builds one CF-tree per
+    /// shard under `M/n` memory, and merges the shard leaf entries into the
+    /// final tree by CF additivity (see [`crate::parallel`]).
+    ///
+    /// The default can be overridden process-wide with the `BIRCH_THREADS`
+    /// environment variable (read once per config construction) — CI uses
+    /// this to force the parallel path through the whole test suite.
+    pub threads: usize,
 }
 
 impl BirchConfig {
@@ -111,6 +121,7 @@ impl BirchConfig {
             phase4_passes: 1,
             phase4_outlier_factor: None,
             total_points_hint: None,
+            threads: default_threads(),
         }
     }
 
@@ -212,6 +223,14 @@ impl BirchConfig {
         self
     }
 
+    /// Sets the number of Phase-1 worker threads (`1` = the serial scan).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
     /// Validates cross-field consistency; called by the pipeline.
     ///
     /// # Panics
@@ -227,7 +246,18 @@ impl BirchConfig {
         );
         assert!(self.outlier_factor > 0.0 && self.outlier_factor < 1.0);
         assert!(self.phase2_max_entries >= 2, "phase2 target too small");
+        assert!(self.threads >= 1, "need at least one thread");
     }
+}
+
+/// The default Phase-1 parallelism: `BIRCH_THREADS` when set to a positive
+/// integer, else 1 (serial).
+fn default_threads() -> usize {
+    std::env::var("BIRCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -275,6 +305,19 @@ mod tests {
         assert_eq!(c.phase4_outlier_factor, Some(2.0));
         assert_eq!(c.total_points_hint, Some(42));
         c.validate();
+    }
+
+    #[test]
+    fn threads_knob() {
+        let c = BirchConfig::with_clusters(2).threads(4);
+        assert_eq!(c.threads, 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = BirchConfig::with_clusters(2).threads(0);
     }
 
     #[test]

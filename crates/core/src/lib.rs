@@ -18,6 +18,10 @@
 //! 4. **Phase 4** ([`phase4`], optional) — refine: reassign the original
 //!    points to the Phase-3 centroids, label them, and discard outliers.
 //!
+//! Phase 1 can also run sharded across worker threads ([`parallel`]) —
+//! exact in the totals by the CF Additivity Theorem — via
+//! [`BirchConfig::threads`].
+//!
 //! The one-stop entry point is [`Birch`]:
 //!
 //! ```
@@ -44,6 +48,7 @@ pub mod hierarchical;
 pub mod node;
 pub mod obs;
 pub mod outlier;
+pub mod parallel;
 pub mod phase1;
 pub mod phase2;
 pub mod phase3;
@@ -58,7 +63,8 @@ pub use birch::{Birch, BirchModel, ClusterSummary, RunStats};
 pub use cf::Cf;
 pub use config::BirchConfig;
 pub use distance::{DistanceMetric, ThresholdKind};
-pub use obs::{Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, TraceLog};
+pub use obs::{Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, ShardReport, TraceLog};
+pub use parallel::ParallelPhase1Output;
 pub use point::Point;
 pub use stream::StreamingBirch;
 pub use tree::{CfTree, InsertOutcome, TreeParams};

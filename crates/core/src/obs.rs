@@ -249,6 +249,93 @@ pub struct ThresholdPoint {
     pub threshold: f64,
 }
 
+/// Telemetry of one Phase-1 shard of a parallel build (see
+/// [`crate::parallel`]): wall time, per-shard rebuild/threshold activity,
+/// and what the shard handed to the merge stage. A vector of these in
+/// [`RunStats`] is how `--metrics-json` exposes shard skew — the slowest
+/// shard bounds Phase-1 wall time, so uneven `wall`s are the first thing
+/// to look at when parallel speedup disappoints.
+///
+/// [`RunStats`]: crate::birch::RunStats
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardReport {
+    /// Shard index (chunk order, which is input order).
+    pub shard: usize,
+    /// Input records the shard scanned.
+    pub points: u64,
+    /// Wall-clock time of the shard's scan (inside its worker thread).
+    pub wall: Duration,
+    /// Rebuilds the shard performed under its `M/n` memory share.
+    pub rebuilds: u64,
+    /// The shard tree's final threshold.
+    pub final_threshold: f64,
+    /// Leaf entries the shard handed to the merge stage.
+    pub leaf_entries: usize,
+    /// The shard's page high-water mark.
+    pub peak_pages: usize,
+    /// Node splits in the shard's tree.
+    pub splits: u64,
+    /// Unresolved potential outliers carried into the merge stage.
+    pub outliers_carried: u64,
+    /// The shard's threshold raises as `(points scanned, new threshold)`.
+    pub threshold_trajectory: Vec<ThresholdPoint>,
+}
+
+impl ShardReport {
+    /// Serializes the shard report as one stable JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\":{},\"points\":{},\"wall_s\":{},\"rebuilds\":{},\
+             \"final_threshold\":{},\"leaf_entries\":{},\"peak_pages\":{},\
+             \"splits\":{},\"outliers_carried\":{},\"threshold_trajectory\":{}}}",
+            self.shard,
+            self.points,
+            json_f64(self.wall.as_secs_f64()),
+            self.rebuilds,
+            json_f64(self.final_threshold),
+            self.leaf_entries,
+            self.peak_pages,
+            self.splits,
+            self.outliers_carried,
+            trajectory_json(&self.threshold_trajectory),
+        )
+    }
+}
+
+/// Serializes shard reports as a JSON array (used by `RunStats::to_json`).
+#[must_use]
+pub fn shards_json(shards: &[ShardReport]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes a threshold trajectory as a JSON array of
+/// `{"points":…,"threshold":…}` objects.
+#[must_use]
+pub fn trajectory_json(points: &[ThresholdPoint]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"points\":{},\"threshold\":{}}}",
+            p.points_seen,
+            json_f64(p.threshold)
+        ));
+    }
+    out.push(']');
+    out
+}
+
 /// A sink that aggregates the run into counters, per-phase wall time, the
 /// insertion-depth histogram, and the threshold trajectory.
 #[derive(Debug, Clone, Default)]
@@ -422,19 +509,7 @@ impl MetricsReport {
     /// `{"points":…,"threshold":…}` objects.
     #[must_use]
     pub fn trajectory_json(&self) -> String {
-        let mut out = String::from("[");
-        for (i, p) in self.threshold_trajectory.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"points\":{},\"threshold\":{}}}",
-                p.points_seen,
-                json_f64(p.threshold)
-            ));
-        }
-        out.push(']');
-        out
+        trajectory_json(&self.threshold_trajectory)
     }
 
     /// The insertion-depth histogram as a JSON array (`[n_depth0, …]`).

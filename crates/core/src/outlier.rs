@@ -199,6 +199,15 @@ impl OutlierStore {
         self.disk.scan_all()
     }
 
+    /// Drains every parked entry *without* deciding its fate — neither
+    /// discarded nor folded back. The parallel Phase-1 path uses this to
+    /// carry a shard's unresolved potential outliers into the merge stage,
+    /// where they get one more re-absorption chance against the full tree
+    /// before the usual end-of-scan disposition.
+    pub fn take_remaining(&mut self) -> Vec<Cf> {
+        self.disk.drain_all()
+    }
+
     /// Final disposition at the end of the scan: either discards the
     /// remaining entries (returning how many points were dropped) or folds
     /// them back into the tree, per the configuration.

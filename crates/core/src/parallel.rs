@@ -1,0 +1,412 @@
+//! Parallel sharded Phase 1: multi-threaded CF-tree construction with an
+//! additivity-based merge (paper §7, "opportunities for parallelism").
+//!
+//! The CF Additivity Theorem (§4.1) makes data-parallel construction
+//! *exact*: for disjoint shards `A` and `B`, `CF(A ∪ B) = CF(A) + CF(B)`,
+//! so a CF-tree built per shard and then merged leaf-by-leaf summarizes
+//! precisely the same data as one sequential scan. The plan:
+//!
+//! 1. **Shard** — the point stream is split into `n` contiguous chunks,
+//!    one per worker thread (`std::thread::scope`; no runtime deps).
+//! 2. **Build** — each worker runs the existing [`Phase1Builder`] over
+//!    its shard with the shared starting threshold `T0`, its own outlier
+//!    disk, and the full page budget `M` (a shard of a randomized stream
+//!    spans the same cluster structure as the whole dataset, so an `M/n`
+//!    share would push shard thresholds far past the serial run's and
+//!    permanently coarsen the result; the transient `n × M` aggregate is
+//!    reported honestly — see `peak_pages` below). Workers raise their
+//!    thresholds independently via the §5.1.2 heuristics.
+//! 3. **Merge** — the coordinator feeds every shard's leaf entries, as
+//!    CFs, into a final full-budget tree whose starting threshold is the
+//!    *maximum* shard threshold (so every incoming entry satisfies the
+//!    leaf-threshold invariant). If the merged tree overflows the page
+//!    budget, the ordinary rebuild machinery raises `T` further. Shard
+//!    outliers are **not** discarded by the shards — an entry that looks
+//!    sparse inside one shard may be dense in the union — but carried
+//!    into the merge for one more re-absorption pass before the usual
+//!    end-of-scan disposition.
+//!
+//! Exactness invariant: with outlier handling off (nothing discarded),
+//! the final tree's total CF equals the dataset's total CF *exactly* in
+//! `N` and to float round-off in `LS`/`SS`, for every shard count — the
+//! property tests pin this down. What *can* differ from the serial scan
+//! is the partition of that total into leaf entries: shards see less
+//! data, so their thresholds may settle differently than one scan's, and
+//! merge-time threshold raises coarsen further (see DESIGN.md).
+//!
+//! Telemetry: each worker carries its own [`MetricsRecorder`]; the
+//! per-shard wall time, rebuild count, and threshold trajectory are
+//! surfaced as [`ShardReport`]s so `--metrics-json` exposes shard skew,
+//! while the aggregated counters fold into one [`MetricsReport`].
+
+use crate::cf::Cf;
+use crate::config::BirchConfig;
+use crate::obs::{EventSink, MetricsReport, NoopSink, ShardReport};
+use crate::phase1::{Phase1Builder, Phase1Output};
+use crate::point::Point;
+use crate::threshold::ThresholdEstimator;
+use crate::tree::CfTree;
+use birch_pager::IoStats;
+use std::time::{Duration, Instant};
+
+/// Everything the parallel Phase 1 produces — the serial
+/// [`Phase1Output`] fields plus the per-shard telemetry.
+#[derive(Debug)]
+pub struct ParallelPhase1Output {
+    /// The final merged CF-tree (fits the full memory budget).
+    pub tree: CfTree,
+    /// Aggregate resource counters. Counter fields are summed across
+    /// shards and merge; `peak_pages` is the *concurrent* peak — the sum
+    /// of the shard peaks (the shards run at the same time), maxed with
+    /// the merge stage's peak.
+    pub io: IoStats,
+    /// Merge-stage threshold raises (the run-level `T` sequence; the
+    /// per-shard sequences live in [`ParallelPhase1Output::shards`]).
+    pub threshold_history: Vec<f64>,
+    /// Input records scanned across all shards.
+    pub points_scanned: u64,
+    /// The merge stage's threshold estimator, carrying its r–N history
+    /// forward so Phase 2 can continue the same sequence.
+    pub estimator: ThresholdEstimator,
+    /// Aggregated telemetry across every shard and the merge stage.
+    pub metrics: MetricsReport,
+    /// Per-shard telemetry, in shard (input) order.
+    pub shards: Vec<ShardReport>,
+    /// Wall time of the merge stage alone.
+    pub merge_wall: Duration,
+}
+
+/// Runs the sharded Phase 1 over `points` (optionally weighted) with
+/// `threads` workers. `threads` is clamped to the number of points;
+/// `threads == 1` (after clamping) still goes through the same code path
+/// but with a single shard — callers wanting the byte-identical serial
+/// scan should dispatch to [`crate::phase1::run`] instead (as
+/// [`Birch::fit`] does).
+///
+/// `sink` receives the *merge stage's* events live. Shard events are
+/// aggregated per worker (a `&mut` sink cannot be shared across threads)
+/// and folded into [`ParallelPhase1Output::metrics`] and
+/// [`ParallelPhase1Output::shards`] when the workers join.
+///
+/// [`Birch::fit`]: crate::Birch::fit
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, if the configuration is invalid, if
+/// `points` is empty, or if a weights slice of mismatched length is
+/// supplied.
+pub fn run_with_sink<S: EventSink>(
+    config: &BirchConfig,
+    dim: usize,
+    points: &[Point],
+    weights: Option<&[f64]>,
+    threads: usize,
+    sink: &mut S,
+) -> ParallelPhase1Output {
+    assert!(threads >= 1, "need at least one thread");
+    assert!(!points.is_empty(), "cannot shard an empty dataset");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), points.len(), "weights/points length mismatch");
+    }
+    config.validate();
+
+    let threads = threads.min(points.len());
+    let chunk = points.len().div_ceil(threads);
+
+    // Each worker runs under the FULL page budget `M`, not `M/n`: a
+    // shard of a randomized stream covers the same cluster structure as
+    // the whole dataset, so its summary needs as many leaf entries as a
+    // full scan's — splitting the budget would force every shard's
+    // threshold far past the serial run's and permanently coarsen the
+    // merged tree. The cost is a transient aggregate footprint of up to
+    // `n × M` while the workers run (reported honestly: the combined
+    // `peak_pages` is the *sum* of the shard peaks); the merged tree is
+    // the one that must fit `M`. Workers only get their own shard-sized
+    // growth target and outlier disk.
+    let shard_config = config.clone().total_points(chunk as u64).threads(1);
+
+    // ---- Fan out: one Phase1Builder per contiguous shard. ----
+    let shard_runs: Vec<(Phase1Output, Vec<Cf>, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, part)| {
+                let cfg = &shard_config;
+                let wpart = weights.map(|w| &w[i * chunk..(i * chunk + part.len())]);
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut b = Phase1Builder::new(cfg, dim);
+                    match wpart {
+                        Some(w) => {
+                            for (p, &wi) in part.iter().zip(w) {
+                                b.feed(Cf::from_weighted_point(p, wi));
+                            }
+                        }
+                        None => {
+                            for p in part {
+                                b.feed(Cf::from_point(p));
+                            }
+                        }
+                    }
+                    let (out, carried) = b.finish_keeping_outliers();
+                    (out, carried, started.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("phase-1 shard worker panicked"))
+            .collect()
+    });
+
+    merge_shards(config, dim, points.len() as u64, shard_runs, sink)
+}
+
+/// Like [`run_with_sink`] with a [`NoopSink`].
+///
+/// # Panics
+///
+/// Same as [`run_with_sink`].
+pub fn run(
+    config: &BirchConfig,
+    dim: usize,
+    points: &[Point],
+    threads: usize,
+) -> ParallelPhase1Output {
+    run_with_sink(config, dim, points, None, threads, &mut NoopSink)
+}
+
+/// The merge stage: fold every shard's leaf entries (and carried
+/// outliers) into one full-budget tree, assembling the combined
+/// telemetry.
+fn merge_shards<S: EventSink>(
+    config: &BirchConfig,
+    dim: usize,
+    total_points: u64,
+    shard_runs: Vec<(Phase1Output, Vec<Cf>, Duration)>,
+    sink: &mut S,
+) -> ParallelPhase1Output {
+    // The merged tree's threshold must dominate every shard's, or shard
+    // entries would violate the leaf-threshold invariant on arrival.
+    let t_start = shard_runs
+        .iter()
+        .map(|(out, _, _)| out.tree.threshold())
+        .fold(config.initial_threshold, f64::max);
+    let merge_config = config
+        .clone()
+        .initial_threshold(t_start)
+        .total_points(total_points)
+        .threads(1);
+
+    let mut io = IoStats::default();
+    let mut metrics = MetricsReport::default();
+    let mut shards = Vec::with_capacity(shard_runs.len());
+    let mut shard_peak_sum = 0usize;
+
+    let merge_started = Instant::now();
+    let mut builder = Phase1Builder::with_sink(&merge_config, dim, &mut *sink);
+    let mut carried_outliers = Vec::new();
+    for (i, (out, carried, wall)) in shard_runs.into_iter().enumerate() {
+        shards.push(ShardReport {
+            shard: i,
+            points: out.points_scanned,
+            wall,
+            rebuilds: out.io.rebuilds,
+            final_threshold: out.tree.threshold(),
+            leaf_entries: out.tree.leaf_entry_count(),
+            peak_pages: out.io.peak_pages,
+            splits: out.io.splits,
+            outliers_carried: carried.len() as u64,
+            threshold_trajectory: out.metrics.threshold_trajectory.clone(),
+        });
+        shard_peak_sum += out.io.peak_pages;
+        io.absorb(&out.io);
+        metrics.absorb(&out.metrics);
+        for cf in out.tree.into_leaf_entries() {
+            builder.feed(cf);
+        }
+        carried_outliers.extend(carried);
+    }
+    // Shard-carried outliers get one more chance against the full tree,
+    // then the ordinary end-of-scan disposition (§5.1.3).
+    for cf in carried_outliers {
+        builder.feed_outlier_candidate(cf);
+    }
+    let merged = builder.finish();
+    let merge_wall = merge_started.elapsed();
+
+    io.absorb(&merged.io);
+    metrics.absorb(&merged.metrics);
+    // Shards run concurrently: the honest in-memory peak is the sum of
+    // their individual peaks (each bounded by M/n + transient), or the
+    // merge stage's peak if that is larger.
+    io.peak_pages = shard_peak_sum.max(merged.io.peak_pages);
+    metrics.peak_pages = io.peak_pages;
+
+    ParallelPhase1Output {
+        tree: merged.tree,
+        io,
+        threshold_history: merged.threshold_history,
+        points_scanned: total_points,
+        estimator: merged.estimator,
+        metrics,
+        shards,
+        merge_wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+
+    /// Deterministic scatter of `n` points over `k` well-separated blobs.
+    fn blobs(n: usize, k: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let c = (i % k) as f64 * 100.0;
+                let j = i as f64;
+                Point::xy(c + (j * 0.7).sin() * 2.0, c + (j * 1.3).cos() * 2.0)
+            })
+            .collect()
+    }
+
+    fn total_cf_of(points: &[Point]) -> Cf {
+        let mut cf = Cf::empty(2);
+        for p in points {
+            cf.add_point(p);
+        }
+        cf
+    }
+
+    #[test]
+    fn merged_total_cf_matches_dataset() {
+        let pts = blobs(5000, 4);
+        let cfg = BirchConfig::with_clusters(4)
+            .memory(8 * 1024)
+            .page_size(1024)
+            .outliers(false);
+        for threads in [1, 2, 3, 4] {
+            let out = run(&cfg, 2, &pts, threads);
+            let expect = total_cf_of(&pts);
+            let got = out.tree.total_cf();
+            assert_eq!(got.n(), expect.n(), "threads={threads}");
+            for (a, b) in got.ls().iter().zip(expect.ls()) {
+                assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "threads={threads}");
+            }
+            assert!(
+                (got.ss() - expect.ss()).abs() < 1e-6 * (1.0 + expect.ss()),
+                "threads={threads}"
+            );
+            out.tree.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn shard_reports_cover_all_points() {
+        let pts = blobs(2000, 4);
+        let cfg = BirchConfig::with_clusters(4).memory(8 * 1024);
+        let out = run(&cfg, 2, &pts, 4);
+        assert_eq!(out.shards.len(), 4);
+        let total: u64 = out.shards.iter().map(|s| s.points).sum();
+        assert_eq!(total, 2000);
+        for (i, s) in out.shards.iter().enumerate() {
+            assert_eq!(s.shard, i);
+            assert!(s.leaf_entries > 0);
+            assert!(s.final_threshold >= 0.0);
+        }
+        assert_eq!(out.points_scanned, 2000);
+    }
+
+    #[test]
+    fn merge_threshold_dominates_shards() {
+        let pts = blobs(10_000, 4);
+        let cfg = BirchConfig::with_clusters(4)
+            .memory(8 * 1024)
+            .page_size(1024);
+        let out = run(&cfg, 2, &pts, 4);
+        let max_shard_t = out
+            .shards
+            .iter()
+            .map(|s| s.final_threshold)
+            .fold(0.0, f64::max);
+        assert!(
+            out.tree.threshold() >= max_shard_t,
+            "merged T {} < max shard T {max_shard_t}",
+            out.tree.threshold()
+        );
+        out.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn final_tree_fits_budget() {
+        let pts = blobs(20_000, 4);
+        let cfg = BirchConfig::with_clusters(4)
+            .memory(8 * 1024)
+            .page_size(1024);
+        let out = run(&cfg, 2, &pts, 4);
+        assert!(
+            out.tree.node_count() <= cfg.memory_bytes / cfg.page_bytes,
+            "merged tree {} pages over budget",
+            out.tree.node_count()
+        );
+    }
+
+    #[test]
+    fn concurrent_peak_is_sum_of_shard_peaks() {
+        let pts = blobs(20_000, 4);
+        let cfg = BirchConfig::with_clusters(4)
+            .memory(8 * 1024)
+            .page_size(1024);
+        let out = run(&cfg, 2, &pts, 4);
+        let sum: usize = out.shards.iter().map(|s| s.peak_pages).sum();
+        assert!(out.io.peak_pages >= sum.min(out.io.peak_pages));
+        assert!(out.io.peak_pages >= out.tree.node_count());
+    }
+
+    #[test]
+    fn carried_outliers_rejudged_not_lost_silently() {
+        // Noise points spread across shards: with outlier handling on,
+        // each shard may park some; the merge must account for every
+        // point as either kept in the tree or counted discarded.
+        let mut pts = blobs(8_000, 2);
+        for i in 0..40 {
+            let j = f64::from(i);
+            pts.push(Point::xy(5_000.0 + j * 211.0, -7_000.0 - j * 173.0));
+        }
+        let cfg = BirchConfig::with_clusters(2)
+            .memory(8 * 1024)
+            .page_size(1024);
+        let out = run(&cfg, 2, &pts, 4);
+        let kept = out.tree.total_cf().n();
+        let discarded = out.io.outliers_discarded as f64;
+        assert!(
+            (kept + discarded - pts.len() as f64).abs() < 1e-6,
+            "kept {kept} + discarded {discarded} != {}",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn weighted_shards_preserve_total_weight() {
+        let pts = blobs(1000, 2);
+        let weights: Vec<f64> = (0..1000).map(|i| 1.0 + (i % 3) as f64).collect();
+        let cfg = BirchConfig::with_clusters(2).outliers(false);
+        let out = run_with_sink(&cfg, 2, &pts, Some(&weights), 4, &mut NoopSink);
+        let expect: f64 = weights.iter().sum();
+        assert!((out.tree.total_cf().n() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_shard_matches_serial_phase1_totals() {
+        // threads=1 through the parallel path still conserves the data
+        // and produces a within-budget tree; Birch::fit short-circuits to
+        // the true serial path, but the degenerate shard count must work.
+        let pts = blobs(3000, 3);
+        let cfg = BirchConfig::with_clusters(3).outliers(false);
+        let par = run(&cfg, 2, &pts, 1);
+        let ser = phase1::run(&cfg, 2, pts.iter().map(Cf::from_point));
+        assert_eq!(par.tree.total_cf().n(), ser.tree.total_cf().n());
+        assert_eq!(par.shards.len(), 1);
+    }
+}

@@ -355,17 +355,88 @@ impl<S: EventSink> Phase1Builder<S> {
         }
     }
 
+    /// Raises the tree threshold to at least `t` (rebuilding once), so
+    /// entries built under a *foreign* threshold — another shard's or
+    /// stream's leaf CFs — can be inserted without violating the leaf
+    /// threshold invariant. No-op when the tree is already at or above
+    /// `t`. Counts as an ordinary rebuild in the telemetry.
+    pub(crate) fn ensure_threshold(&mut self, t: f64) {
+        if t <= self.tree.threshold() {
+            return;
+        }
+        let old_t = self.tree.threshold();
+        self.emit(Event::ThresholdRaised {
+            old: old_t,
+            new: t,
+            points_seen: self.points_scanned,
+        });
+        self.emit(Event::RebuildTriggered {
+            old_threshold: old_t,
+            new_threshold: t,
+            leaf_entries: self.tree.leaf_entry_count(),
+            pages: self.tree.node_count(),
+        });
+        let (new_tree, report) = rebuild_observed(
+            &self.tree,
+            t,
+            self.outliers.as_mut(),
+            &mut Tee(&mut self.recorder, &mut self.sink),
+        );
+        self.io.rebuilds += 1;
+        self.note_pages(report.peak_pages);
+        self.threshold_history.push(t);
+        self.tree = new_tree;
+    }
+
+    /// Routes a CF that a previous scan already flagged as a potential
+    /// outlier: try split-free absorption first, park it on the outlier
+    /// disk if there is room, and only fall back to a full insert when
+    /// neither works. The parallel merge stage feeds shard-carried
+    /// outliers through this so they keep §5.1.3 semantics (one more
+    /// re-absorption chance, then the usual end-of-scan disposition)
+    /// instead of being promoted to regular data.
+    pub(crate) fn feed_outlier_candidate(&mut self, cf: Cf) {
+        if self.tree.try_absorb(&cf) {
+            return;
+        }
+        let cf = match self.outliers.as_mut() {
+            Some(store) => match store.spill(cf) {
+                Ok(()) => return,
+                Err(cf) => cf, // disk full: fold into the tree instead
+            },
+            None => cf,
+        };
+        self.insert_checked(cf);
+    }
+
     /// Ends the scan: flushes parked delay-split points, runs the final
     /// outlier re-absorption/discard, and returns the Phase-1 output.
     #[must_use]
-    pub fn finish(mut self) -> Phase1Output {
+    pub fn finish(self) -> Phase1Output {
+        self.finish_inner(false).0
+    }
+
+    /// Like [`Phase1Builder::finish`], but instead of discarding the
+    /// entries still parked on the outlier disk, returns them alongside
+    /// the output. Used by the sharded parallel build (and available for
+    /// any external shard-and-merge scheme): a shard must not declare
+    /// noise unilaterally, because an entry that looks sparse within one
+    /// shard may re-absorb into the merged tree.
+    #[must_use]
+    pub fn finish_keeping_outliers(self) -> (Phase1Output, Vec<Cf>) {
+        self.finish_inner(true)
+    }
+
+    fn finish_inner(mut self, keep_outliers: bool) -> (Phase1Output, Vec<Cf>) {
         // Flush any parked points.
         if self.delay.as_ref().is_some_and(|b| !b.is_empty()) {
             self.rebuild_cycle();
         }
 
-        // Final outlier disposition: one more absorption scan, then discard
-        // what remains (they are the actual noise).
+        // Final outlier disposition: one more absorption scan, then either
+        // discard what remains (they are the actual noise) or hand the
+        // remainder back for a later merge stage to re-judge.
+        let mut carried = Vec::new();
         if let Some(store) = self.outliers.as_mut() {
             if !store.is_empty() {
                 let mean = mean_entry_n(&self.tree);
@@ -375,7 +446,14 @@ impl<S: EventSink> Phase1Builder<S> {
                     &mut Tee(&mut self.recorder, &mut self.sink),
                 );
             }
-            store.finalize_observed(&mut self.tree, &mut Tee(&mut self.recorder, &mut self.sink));
+            if keep_outliers {
+                carried = store.take_remaining();
+            } else {
+                store.finalize_observed(
+                    &mut self.tree,
+                    &mut Tee(&mut self.recorder, &mut self.sink),
+                );
+            }
         }
 
         self.note_pages(self.tree.node_count());
@@ -408,7 +486,7 @@ impl<S: EventSink> Phase1Builder<S> {
             self.io.disk_bytes_read += buf.disk().bytes_read();
         }
 
-        Phase1Output {
+        let out = Phase1Output {
             tree: self.tree,
             io: self.io,
             threshold_history: self.threshold_history,
@@ -416,7 +494,8 @@ impl<S: EventSink> Phase1Builder<S> {
             outliers: self.outliers,
             estimator: self.estimator,
             metrics: self.recorder.report(),
-        }
+        };
+        (out, carried)
     }
 }
 

@@ -117,6 +117,39 @@ impl<S: EventSink> StreamingBirch<S> {
         self.builder.feed(cf);
     }
 
+    /// Merges another stream into this one — the streaming face of the
+    /// sharded parallel build (see [`crate::parallel`]): feed `n` disjoint
+    /// sub-streams on `n` threads, then fold them into one. Exact in the
+    /// totals by the CF Additivity Theorem: the other stream's leaf
+    /// entries are inserted as subclusters, and its still-parked potential
+    /// outliers get re-judged against the combined tree instead of being
+    /// discarded unilaterally.
+    ///
+    /// The receiving tree's threshold is raised to the donor's first (one
+    /// rebuild) so donor entries cannot violate the leaf threshold
+    /// invariant. Like [`push_cf`](StreamingBirch::push_cf),
+    /// [`points_seen`](StreamingBirch::points_seen) counts each absorbed
+    /// subcluster as one feed, not one per original point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn absorb<S2: EventSink>(&mut self, other: StreamingBirch<S2>) {
+        assert_eq!(
+            self.dim, other.dim,
+            "cannot absorb a {}-d stream into a {}-d stream",
+            other.dim, self.dim
+        );
+        let (out, carried) = other.builder.finish_keeping_outliers();
+        self.builder.ensure_threshold(out.tree.threshold());
+        for cf in out.tree.into_leaf_entries() {
+            self.builder.feed(cf);
+        }
+        for cf in carried {
+            self.builder.feed_outlier_candidate(cf);
+        }
+    }
+
     /// Clusters everything seen so far (Phase 3 over the live tree's leaf
     /// entries plus any delay-split-parked points) without disturbing the
     /// stream. Returns an empty vector before the first point. Takes
@@ -216,6 +249,58 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].weight(), 7.0);
+    }
+
+    #[test]
+    fn absorb_merges_substreams_exactly() {
+        // Two disjoint sub-streams absorbed into one must summarize the
+        // same 1200 points as a single stream (CF additivity).
+        let cfg = BirchConfig::with_clusters(3).outliers(false);
+        let mut a = StreamingBirch::new(cfg.clone(), 2);
+        let mut b = StreamingBirch::new(cfg.clone(), 2);
+        for t in 0..600 {
+            a.push(&three_source_point(t));
+        }
+        for t in 600..1200 {
+            b.push(&three_source_point(t));
+        }
+        a.absorb(b);
+        let snap = a.snapshot();
+        assert_eq!(snap.len(), 3);
+        let total: f64 = snap.iter().map(ClusterSummary::weight).sum();
+        assert!((total - 1200.0).abs() < 1e-9);
+        let (_, out) = a.finish();
+        out.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn absorb_raises_threshold_to_donor() {
+        // Donor under memory pressure ends with a high threshold; the
+        // receiver must adopt at least that before taking its entries.
+        let mut a = StreamingBirch::new(BirchConfig::with_clusters(3), 2);
+        let mut b = StreamingBirch::new(BirchConfig::with_clusters(3).memory(8 * 1024), 2);
+        a.push(&three_source_point(0));
+        for t in 0..20_000 {
+            b.push(&three_source_point(t * 7));
+        }
+        let donor_t = b.builder.tree().threshold();
+        assert!(donor_t > 0.0, "donor never rebuilt; test is vacuous");
+        a.absorb(b);
+        let (_, out) = a.finish();
+        assert!(
+            out.tree.threshold() >= donor_t,
+            "receiver T {} < donor T {donor_t}",
+            out.tree.threshold()
+        );
+        out.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot absorb")]
+    fn absorb_dimension_mismatch_panics() {
+        let mut a = StreamingBirch::new(BirchConfig::with_clusters(1), 2);
+        let b = StreamingBirch::new(BirchConfig::with_clusters(1), 3);
+        a.absorb(b);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use crate::cf::Cf;
 use crate::distance::{DistanceMetric, ThresholdKind};
 use crate::node::{ChildEntry, Node, NodeId, NodeKind};
-use crate::obs::{Event, EventSink};
+use crate::obs::{Event, EventSink, NoopSink};
 
 /// Static parameters of a CF-tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -226,67 +226,70 @@ impl CfTree {
     ///
     /// Panics if `ent` is empty or of the wrong dimension.
     pub fn insert_cf(&mut self, ent: Cf) -> InsertOutcome {
-        assert!(!ent.is_empty(), "cannot insert an empty CF");
-        assert_eq!(ent.dim(), self.params.dim, "dimension mismatch");
-        self.total.merge(&ent);
-
-        let (leaf_id, path) = self.descend(&ent);
-
-        // Step 2: try to absorb into the closest leaf entry.
-        if let Some(idx) = self.closest_leaf_entry(leaf_id, &ent) {
-            let tentative = self.node(leaf_id).leaf_entries()[idx].merged(&ent);
-            if self
-                .params
-                .threshold_kind
-                .satisfies(&tentative, self.params.threshold)
-            {
-                self.node_mut(leaf_id).leaf_entries_mut()[idx] = tentative;
-                self.add_to_path(&path, &ent);
-                return InsertOutcome::Absorbed;
-            }
-        }
-
-        // New entry.
-        self.node_mut(leaf_id).leaf_entries_mut().push(ent.clone());
-        self.leaf_entry_count += 1;
-
-        if self.node(leaf_id).entry_count() <= self.params.leaf_capacity {
-            self.add_to_path(&path, &ent);
-            return InsertOutcome::Added;
-        }
-
-        // Step 3: the leaf overflowed — split and propagate upward.
-        let new_leaf = self.split_leaf(leaf_id);
-        self.propagate_split(&path, new_leaf);
-        InsertOutcome::AddedWithSplit
+        self.insert_cf_observed(ent, &mut NoopSink)
     }
 
     /// Like [`CfTree::insert_cf`], but reporting what happened to `sink`:
     /// an [`Event::InsertDescend`] with the descent depth, plus
     /// [`Event::SplitPerformed`] / [`Event::MergeRefinement`] deltas when
-    /// the insert caused any. With [`crate::obs::NoopSink`] this
-    /// monomorphizes to exactly [`CfTree::insert_cf`].
+    /// the insert caused any. This is the single insertion code path —
+    /// [`CfTree::insert_cf`] delegates here with [`NoopSink`], which
+    /// monomorphizes every telemetry branch away.
     ///
     /// # Panics
     ///
     /// Panics if `ent` is empty or of the wrong dimension.
     pub fn insert_cf_observed(&mut self, ent: Cf, sink: &mut impl EventSink) -> InsertOutcome {
-        if !sink.enabled() {
-            return self.insert_cf(ent);
-        }
+        assert!(!ent.is_empty(), "cannot insert an empty CF");
+        assert_eq!(ent.dim(), self.params.dim, "dimension mismatch");
         let before = self.stats;
         // Height-balanced tree: every descent visits height-1 interior
         // levels at the moment of insertion.
         let depth = self.height - 1;
-        let outcome = self.insert_cf(ent);
-        sink.record(&Event::InsertDescend { depth });
-        let splits = self.stats.splits - before.splits;
-        if splits > 0 {
-            sink.record(&Event::SplitPerformed { count: splits });
-        }
-        let refinements = self.stats.merge_refinements - before.merge_refinements;
-        if refinements > 0 {
-            sink.record(&Event::MergeRefinement { count: refinements });
+        self.total.merge(&ent);
+
+        let (leaf_id, path) = self.descend(&ent);
+        let outcome = 'insert: {
+            // Step 2: try to absorb into the closest leaf entry.
+            if let Some(idx) = self.closest_leaf_entry(leaf_id, &ent) {
+                let tentative = self.node(leaf_id).leaf_entries()[idx].merged(&ent);
+                if self
+                    .params
+                    .threshold_kind
+                    .satisfies(&tentative, self.params.threshold)
+                {
+                    self.node_mut(leaf_id).leaf_entries_mut()[idx] = tentative;
+                    self.add_to_path(&path, &ent);
+                    break 'insert InsertOutcome::Absorbed;
+                }
+            }
+
+            // New entry (split-free): update the path, then move `ent` in.
+            if self.node(leaf_id).entry_count() < self.params.leaf_capacity {
+                self.add_to_path(&path, &ent);
+                self.node_mut(leaf_id).leaf_entries_mut().push(ent);
+                self.leaf_entry_count += 1;
+                break 'insert InsertOutcome::Added;
+            }
+
+            // Step 3: the leaf overflows — split and propagate upward.
+            self.node_mut(leaf_id).leaf_entries_mut().push(ent);
+            self.leaf_entry_count += 1;
+            let new_leaf = self.split_leaf(leaf_id);
+            self.propagate_split(&path, new_leaf);
+            InsertOutcome::AddedWithSplit
+        };
+
+        if sink.enabled() {
+            sink.record(&Event::InsertDescend { depth });
+            let splits = self.stats.splits - before.splits;
+            if splits > 0 {
+                sink.record(&Event::SplitPerformed { count: splits });
+            }
+            let refinements = self.stats.merge_refinements - before.merge_refinements;
+            if refinements > 0 {
+                sink.record(&Event::MergeRefinement { count: refinements });
+            }
         }
         outcome
     }

@@ -12,7 +12,10 @@
 
 use birch_core::hierarchical::{agglomerate, StopRule};
 use birch_core::rebuild::rebuild;
-use birch_core::{Cf, CfTree, DistanceMetric, Point, ThresholdKind, TreeParams};
+use birch_core::{
+    parallel, phase1, Birch, BirchConfig, BirchModel, Cf, CfTree, DistanceMetric, Point,
+    ThresholdKind, TreeParams,
+};
 use proptest::prelude::*;
 
 fn pt2() -> impl Strategy<Value = Point> {
@@ -21,6 +24,30 @@ fn pt2() -> impl Strategy<Value = Point> {
 
 fn points(max: usize) -> impl Strategy<Value = Vec<Point>> {
     prop::collection::vec(pt2(), 1..max)
+}
+
+/// Random scatters around four well-separated blob centers, with a few
+/// deterministic anchor points per blob so every blob is always present
+/// (keeps `k = 4` clustering well-posed for the parallel-vs-serial
+/// quality comparison).
+fn blobby(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0usize..4, -2.0f64..2.0, -2.0f64..2.0), 32..max).prop_map(|v| {
+        let mut pts: Vec<Point> = v
+            .into_iter()
+            .map(|(b, dx, dy)| {
+                let c = b as f64 * 100.0;
+                Point::xy(c + dx, c + dy)
+            })
+            .collect();
+        for b in 0..4 {
+            let c = b as f64 * 100.0;
+            for i in 0..5 {
+                let a = f64::from(i) * 1.3;
+                pts.push(Point::xy(c + a.sin(), c + a.cos()));
+            }
+        }
+        pts
+    })
 }
 
 fn small_params(threshold: f64, metric: DistanceMetric) -> TreeParams {
@@ -212,6 +239,63 @@ proptest! {
         }
         prop_assert!((weighted.n() - repeated.n()).abs() < 1e-9);
         prop_assert!((weighted.ss() - repeated.ss()).abs() < 1e-6 * (1.0 + repeated.ss().abs()));
+    }
+
+    /// Sharded Phase 1 conserves the data summary exactly: for any shard
+    /// count, the merged tree's total CF has the *same* N as the serial
+    /// scan (unit weights sum exactly in f64) and LS/SS equal to float
+    /// round-off — the CF Additivity Theorem made operational. Outlier
+    /// handling is off so nothing is ever discarded on either path.
+    #[test]
+    fn parallel_total_cf_matches_serial(
+        pts in blobby(300),
+        threads in prop::sample::select(&[1usize, 2, 4]),
+    ) {
+        let cfg = BirchConfig::with_clusters(4)
+            .memory(4 * 1024)
+            .page_size(1024)
+            .outliers(false)
+            .threads(1);
+        let ser = phase1::run(&cfg, 2, pts.iter().map(Cf::from_point));
+        let par = parallel::run(&cfg, 2, &pts, threads);
+        let (s, p) = (ser.tree.total_cf(), par.tree.total_cf());
+        // Unit-weight counts are integers < 2^53: exactly equal.
+        prop_assert_eq!(p.n(), s.n());
+        for (x, y) in p.ls().iter().zip(s.ls()) {
+            prop_assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()),
+                "LS drift beyond round-off: {} vs {}", x, y);
+        }
+        prop_assert!((p.ss() - s.ss()).abs() <= 1e-9 * (1.0 + s.ss().abs()),
+            "SS drift beyond round-off: {} vs {}", p.ss(), s.ss());
+        prop_assert!(par.tree.check_invariants().is_ok(),
+            "{:?}", par.tree.check_invariants());
+    }
+
+    /// End-to-end quality: the parallel build's Phase-3 clustering has a
+    /// weighted average diameter close to the serial run's on blob data.
+    /// (The totals are exact; the *partition* into leaf entries may differ
+    /// — shard thresholds settle independently — so quality is compared
+    /// with a tolerance, not bit-for-bit.)
+    #[test]
+    fn parallel_weighted_diameter_close_to_serial(
+        pts in blobby(400),
+        threads in prop::sample::select(&[2usize, 4]),
+    ) {
+        let cfg = BirchConfig::with_clusters(4)
+            .memory(8 * 1024)
+            .page_size(1024)
+            .outliers(false);
+        let ser = Birch::new(cfg.clone().threads(1)).fit(&pts).unwrap();
+        let par = Birch::new(cfg.threads(threads)).fit(&pts).unwrap();
+        prop_assert_eq!(par.clusters().len(), ser.clusters().len());
+        let wd = |m: &BirchModel| {
+            let num: f64 = m.clusters().iter().map(|c| c.weight() * c.diameter).sum();
+            let den: f64 = m.clusters().iter().map(|c| c.weight()).sum();
+            num / den
+        };
+        let (ds, dp) = (wd(&ser), wd(&par));
+        prop_assert!((dp - ds).abs() <= 0.5 + 0.25 * ds,
+            "weighted D diverged: parallel {} vs serial {}", dp, ds);
     }
 
     /// Threshold monotonicity: a coarser tree never has more leaf entries.

@@ -3,7 +3,7 @@
 //! ```text
 //! birch-cli generate --preset ds1 --out points.csv [--seed 42] [--per-cluster 1000]
 //! birch-cli cluster  --input points.csv --k 100 [--labeled true] [--metric D2]
-//!                    [--memory-kb 80] [--labels-out labels.csv]
+//!                    [--memory-kb 80] [--threads n] [--labels-out labels.csv]
 //!                    [--summary-out clusters.csv]
 //!                    [--metrics-json metrics.json] [--trace]
 //! ```
@@ -37,8 +37,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  birch-cli generate --preset <ds1|ds2|ds3> --out <file> \
                  [--seed n] [--per-cluster n]\n  birch-cli cluster --input <file> --k <n> \
-                 [--labeled true] [--metric D0..D4] [--memory-kb n] [--labels-out f] \
-                 [--summary-out f] [--metrics-json f] [--trace]"
+                 [--labeled true] [--metric D0..D4] [--memory-kb n] [--threads n] \
+                 [--labels-out f] [--summary-out f] [--metrics-json f] [--trace]"
             );
             ExitCode::from(2)
         }
@@ -171,6 +171,14 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
         let kb: usize = mem.parse().expect("--memory-kb must be an integer");
         config = config.memory(kb * 1024);
     }
+    if let Some(t) = flags.get("threads") {
+        let t: usize = t.parse().expect("--threads must be a positive integer");
+        if t == 0 {
+            eprintln!("error: --threads must be >= 1");
+            return ExitCode::from(2);
+        }
+        config = config.threads(t);
+    }
 
     let trace = flags.contains_key("trace");
     let mut tracer = CliTrace(TraceLog::new(512));
@@ -198,6 +206,17 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
         }
     }
 
+    let stats = model.stats();
+    if !stats.shards.is_empty() {
+        let walls: Vec<f64> = stats.shards.iter().map(|s| s.wall.as_secs_f64()).collect();
+        let slowest = walls.iter().copied().fold(0.0, f64::max);
+        let fastest = walls.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "phase 1: {} shards (wall {fastest:.3}s-{slowest:.3}s), merge {:.3}s",
+            stats.shards.len(),
+            stats.merge_time.as_secs_f64()
+        );
+    }
     println!(
         "found {} clusters in {:.3}s ({} rebuilds, peak {} pages):",
         model.clusters().len(),
