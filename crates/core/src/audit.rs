@@ -1,0 +1,776 @@
+//! Full-tree invariant auditor: the machine-checked statement of what a
+//! valid CF-tree *is*.
+//!
+//! The paper's correctness rests on structural invariants that the code
+//! maintains incrementally across three mutation paths (serial insert,
+//! rebuild, shard merge); this module re-derives every one of them from
+//! scratch and compares. The checked invariants (numbered list with paper
+//! citations and tolerances in DESIGN.md §7):
+//!
+//! 1. **Additivity** (§4.1): every interior `[CF, child]` entry equals the
+//!    CF recomputed bottom-up from the child's subtree, and the tracked
+//!    total CF equals the root's recomputed summary.
+//! 2. **Branching bounds** (§4.2): interior nodes hold ≤ `B` children,
+//!    leaves ≤ `L` entries, and (optionally) the live page count respects
+//!    the budget `M/P`.
+//! 3. **Leaf chain** (§4.2): the `prev`/`next` chain is a complete,
+//!    acyclic, two-way-consistent traversal of exactly the leaves
+//!    reachable from the root.
+//! 4. **Threshold** (§4.2, §5.1): every leaf entry's diameter/radius
+//!    satisfies the current threshold `T` — widened to the largest atomic
+//!    multi-point input CF the tree has accepted as a standalone entry
+//!    (weighted/CF input cannot be split, so such an entry may
+//!    legitimately exceed `T`; see `CfTree::note_atomic_input`).
+//! 5. **Bookkeeping**: uniform leaf depth equal to the recorded height,
+//!    cached `leaf_entry_count` correct, arena ids consistent, free-list
+//!    slots unreachable, and (optionally) end-to-end N conservation
+//!    against the points actually fed.
+//!
+//! Floating-point drift between the incrementally maintained CFs and the
+//! recomputed-from-scratch ones is reported as a *measurable*
+//! ([`AuditReport::interior_drift`] / [`AuditReport::root_drift`]), not
+//! just a pass/fail — BETULA (Lang & Schubert) shows naive `(N, LS, SS)`
+//! arithmetic drifts, so we measure it instead of assuming it away. Drift
+//! beyond the configured tolerance *is* a violation.
+//!
+//! The auditor runs in O(size of tree). It is wired into the test suites
+//! and, behind the `strict-audit` cargo feature, after every mutating
+//! tree operation (debug soak runs; see `CfTree::strict_audit`).
+
+use crate::cf::Cf;
+use crate::node::{NodeId, NodeKind};
+use crate::tree::CfTree;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Tolerances and optional cross-checks for one audit pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditOptions {
+    /// Relative tolerance for CF component comparisons (stored vs
+    /// recomputed): components `x`, `y` match when
+    /// `|x − y| ≤ rel_tol · (1 + max(|x|, |y|))`.
+    pub rel_tol: f64,
+    /// Relative slack on the threshold test: a leaf entry passes when its
+    /// statistic is `≤ T · (1 + threshold_rel_tol) + threshold_abs_tol`
+    /// (the same slack the incremental insert uses, so an entry accepted
+    /// by [`crate::distance::ThresholdKind::satisfies`] never fails the
+    /// audit on round-off alone).
+    pub threshold_rel_tol: f64,
+    /// Absolute slack on the threshold test (covers `T = 0`).
+    pub threshold_abs_tol: f64,
+    /// When set, the live node (= page) count must not exceed this budget.
+    pub max_pages: Option<usize>,
+    /// When set, the tree's total CF weight must equal this value within
+    /// `rel_tol` — end-to-end N conservation (points fed minus points
+    /// resident elsewhere, e.g. the outlier store).
+    pub expected_n: Option<f64>,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-6,
+            threshold_rel_tol: 1e-9,
+            threshold_abs_tol: 1e-12,
+            max_pages: None,
+            expected_n: None,
+        }
+    }
+}
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// An interior `[CF, child]` entry disagrees with the child subtree's
+    /// recomputed CF beyond tolerance (Additivity, §4.1).
+    ParentCfMismatch,
+    /// The tracked total CF disagrees with the root's recomputed summary
+    /// beyond tolerance.
+    RootCfMismatch,
+    /// The tracked total N disagrees with the caller-supplied expected
+    /// value (end-to-end conservation).
+    NConservation,
+    /// A node holds more entries than `B` (interior) or `L` (leaf).
+    NodeOverflow,
+    /// An interior node holds no children.
+    EmptyInterior,
+    /// A leaf stores an empty CF entry.
+    EmptyEntry,
+    /// The live page count exceeds the supplied budget.
+    PageBudgetExceeded,
+    /// The leaf chain revisits a node (cycle).
+    ChainCycle,
+    /// A `prev`/`next` pointer is inconsistent, or the chain contains a
+    /// non-leaf or starts off the head.
+    ChainBroken,
+    /// The chain does not visit exactly the leaves reachable from the
+    /// root.
+    ChainIncomplete,
+    /// A leaf entry's diameter/radius exceeds the threshold `T`.
+    ThresholdViolation,
+    /// A leaf sits at a depth other than the recorded height.
+    DepthMismatch,
+    /// A node is reachable from the root along two paths.
+    NodeRevisited,
+    /// A free-list slot is reachable from the root.
+    FreeNodeReachable,
+    /// The cached `leaf_entry_count` disagrees with the actual count.
+    CountMismatch,
+    /// A node's stamped arena id disagrees with its slot.
+    IdMismatch,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ViolationKind::ParentCfMismatch => "parent CF mismatch",
+            ViolationKind::RootCfMismatch => "root CF mismatch",
+            ViolationKind::NConservation => "N conservation failure",
+            ViolationKind::NodeOverflow => "node overflow",
+            ViolationKind::EmptyInterior => "empty interior node",
+            ViolationKind::EmptyEntry => "empty leaf entry",
+            ViolationKind::PageBudgetExceeded => "page budget exceeded",
+            ViolationKind::ChainCycle => "leaf chain cycle",
+            ViolationKind::ChainBroken => "leaf chain broken",
+            ViolationKind::ChainIncomplete => "leaf chain incomplete",
+            ViolationKind::ThresholdViolation => "threshold violation",
+            ViolationKind::DepthMismatch => "leaf depth mismatch",
+            ViolationKind::NodeRevisited => "node reachable twice",
+            ViolationKind::FreeNodeReachable => "free node reachable",
+            ViolationKind::CountMismatch => "leaf entry count mismatch",
+            ViolationKind::IdMismatch => "arena id mismatch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One invariant violation: which invariant, where, and the evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// The broken invariant.
+    pub kind: ViolationKind,
+    /// The offending node, when the violation is local to one.
+    pub node: Option<NodeId>,
+    /// Human-readable evidence (values, bounds, indices).
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(id) => write!(f, "{} at {:?}: {}", self.kind, id, self.detail),
+            None => write!(f, "{}: {}", self.kind, self.detail),
+        }
+    }
+}
+
+impl std::error::Error for AuditViolation {}
+
+/// Maximum relative floating-point drift observed between incrementally
+/// maintained CFs and CFs recomputed from scratch, per component.
+///
+/// Relative drift of components `x` (stored) and `y` (recomputed) is
+/// `|x − y| / (1 + max(|x|, |y|))`; for `LS` the worst coordinate counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Drift {
+    /// Drift in the point count `N`.
+    pub n: f64,
+    /// Worst-coordinate drift in the linear sum `LS`.
+    pub ls: f64,
+    /// Drift in the square sum `SS`.
+    pub ss: f64,
+}
+
+impl Drift {
+    fn component(x: f64, y: f64) -> f64 {
+        (x - y).abs() / (1.0 + x.abs().max(y.abs()))
+    }
+
+    /// Folds the drift between `stored` and `recomputed` into `self`.
+    fn observe(&mut self, stored: &Cf, recomputed: &Cf) {
+        self.n = self.n.max(Self::component(stored.n(), recomputed.n()));
+        self.ss = self.ss.max(Self::component(stored.ss(), recomputed.ss()));
+        for (&x, &y) in stored.ls().iter().zip(recomputed.ls()) {
+            self.ls = self.ls.max(Self::component(x, y));
+        }
+    }
+
+    /// The worst drift across all components.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.n.max(self.ls).max(self.ss)
+    }
+}
+
+/// Everything a successful audit measured.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Live nodes reachable from the root (= pages in use).
+    pub nodes: usize,
+    /// Leaf nodes among them.
+    pub leaves: usize,
+    /// CF entries across all leaves.
+    pub leaf_entries: usize,
+    /// Tree height (1 = the root is a leaf).
+    pub height: usize,
+    /// Worst drift between any interior `[CF, child]` entry and the
+    /// child subtree's recomputed CF — the accumulated incremental
+    /// round-off of the insert/split/merge arithmetic.
+    pub interior_drift: Drift,
+    /// Drift between the tracked total CF and the root's recomputed
+    /// summary (end-to-end accumulation over the whole run).
+    pub root_drift: Drift,
+}
+
+/// Audits `tree` with default [`AuditOptions`].
+///
+/// # Errors
+///
+/// Returns the first [`AuditViolation`] found.
+pub fn audit(tree: &CfTree) -> Result<AuditReport, AuditViolation> {
+    audit_with(tree, &AuditOptions::default())
+}
+
+/// Audits `tree` against `opts`, verifying every invariant in the module
+/// docs and measuring floating-point drift.
+///
+/// # Errors
+///
+/// Returns the first [`AuditViolation`] found.
+pub fn audit_with(tree: &CfTree, opts: &AuditOptions) -> Result<AuditReport, AuditViolation> {
+    let mut report = AuditReport {
+        height: tree.height,
+        ..AuditReport::default()
+    };
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut dfs_leaves: Vec<NodeId> = Vec::new();
+
+    // ---- Structural DFS: depth, bounds, ids, threshold, Additivity. ----
+    let root_cf = check_subtree(
+        tree,
+        tree.root,
+        1,
+        opts,
+        &mut seen,
+        &mut dfs_leaves,
+        &mut report,
+    )?;
+
+    report.nodes = seen.len();
+    report.leaves = dfs_leaves.len();
+
+    // ---- Free list: no reachable node may sit on it. ----
+    for &id in &tree.free {
+        if seen.contains(&id) {
+            return Err(AuditViolation {
+                kind: ViolationKind::FreeNodeReachable,
+                node: Some(id),
+                detail: format!("{id:?} is on the free list but reachable from the root"),
+            });
+        }
+    }
+
+    // ---- Page budget. ----
+    if let Some(budget) = opts.max_pages {
+        if report.nodes > budget {
+            return Err(AuditViolation {
+                kind: ViolationKind::PageBudgetExceeded,
+                node: None,
+                detail: format!("{} live pages > budget {budget}", report.nodes),
+            });
+        }
+    }
+
+    // ---- Leaf chain: complete, acyclic, two-way consistent. ----
+    check_chain(tree, &dfs_leaves)?;
+
+    // ---- Cached counts. ----
+    if report.leaf_entries != tree.leaf_entry_count {
+        return Err(AuditViolation {
+            kind: ViolationKind::CountMismatch,
+            node: None,
+            detail: format!(
+                "cached leaf_entry_count {} != counted {}",
+                tree.leaf_entry_count, report.leaf_entries
+            ),
+        });
+    }
+
+    // ---- Root Additivity: tracked total vs recomputed-from-scratch. ----
+    if tree.leaf_entry_count > 0 {
+        report.root_drift.observe(&tree.total, &root_cf);
+        if report.root_drift.max() > opts.rel_tol {
+            return Err(AuditViolation {
+                kind: ViolationKind::RootCfMismatch,
+                node: Some(tree.root),
+                detail: format!(
+                    "tracked total {:?} vs recomputed root {root_cf:?} (drift {:.3e})",
+                    tree.total,
+                    report.root_drift.max()
+                ),
+            });
+        }
+    }
+
+    // ---- End-to-end N conservation. ----
+    if let Some(expected) = opts.expected_n {
+        let got = tree.total.n();
+        if (got - expected).abs() > opts.rel_tol * (1.0 + expected.abs()) {
+            return Err(AuditViolation {
+                kind: ViolationKind::NConservation,
+                node: None,
+                detail: format!("tree holds N = {got}, expected {expected}"),
+            });
+        }
+    }
+
+    Ok(report)
+}
+
+/// Recursively audits the subtree at `id`, returning its
+/// recomputed-from-scratch CF.
+fn check_subtree(
+    tree: &CfTree,
+    id: NodeId,
+    depth: usize,
+    opts: &AuditOptions,
+    seen: &mut HashSet<NodeId>,
+    dfs_leaves: &mut Vec<NodeId>,
+    report: &mut AuditReport,
+) -> Result<Cf, AuditViolation> {
+    if !seen.insert(id) {
+        return Err(AuditViolation {
+            kind: ViolationKind::NodeRevisited,
+            node: Some(id),
+            detail: format!("{id:?} reachable along two paths"),
+        });
+    }
+    let node = tree.node_view(id);
+    if node.id() != id {
+        return Err(AuditViolation {
+            kind: ViolationKind::IdMismatch,
+            node: Some(id),
+            detail: format!("arena slot {id:?} holds a node stamped {:?}", node.id()),
+        });
+    }
+    match &node.kind {
+        NodeKind::Leaf { entries, .. } => {
+            if depth != tree.height {
+                return Err(AuditViolation {
+                    kind: ViolationKind::DepthMismatch,
+                    node: Some(id),
+                    detail: format!("leaf at depth {depth}, recorded height {}", tree.height),
+                });
+            }
+            if entries.len() > tree.params.leaf_capacity {
+                return Err(AuditViolation {
+                    kind: ViolationKind::NodeOverflow,
+                    node: Some(id),
+                    detail: format!(
+                        "leaf holds {} entries > L = {}",
+                        entries.len(),
+                        tree.params.leaf_capacity
+                    ),
+                });
+            }
+            let mut cf = Cf::empty(tree.params.dim);
+            let t = tree.params.threshold;
+            // An entry must satisfy T unless it descends from an atomic
+            // multi-point input CF (which the tree cannot split and so
+            // accepts unconditionally); the tree records the worst such
+            // input statistic and the check widens to it.
+            let bound = t.max(tree.max_input_stat);
+            let limit = bound * (1.0 + opts.threshold_rel_tol) + opts.threshold_abs_tol;
+            for (i, e) in entries.iter().enumerate() {
+                if e.is_empty() {
+                    return Err(AuditViolation {
+                        kind: ViolationKind::EmptyEntry,
+                        node: Some(id),
+                        detail: format!("entry {i} is empty"),
+                    });
+                }
+                let stat = tree.params.threshold_kind.statistic(e);
+                if e.n() > 1.0 && stat > limit {
+                    return Err(AuditViolation {
+                        kind: ViolationKind::ThresholdViolation,
+                        node: Some(id),
+                        detail: format!(
+                            "entry {i} has {:?} {stat} > max(T = {t}, atomic input {}) \
+                             (+{:.0e} rel slack)",
+                            tree.params.threshold_kind, tree.max_input_stat, opts.threshold_rel_tol
+                        ),
+                    });
+                }
+                cf.merge(e);
+            }
+            report.leaf_entries += entries.len();
+            dfs_leaves.push(id);
+            Ok(cf)
+        }
+        NodeKind::Interior { children } => {
+            if children.is_empty() {
+                return Err(AuditViolation {
+                    kind: ViolationKind::EmptyInterior,
+                    node: Some(id),
+                    detail: "interior node with no children".to_string(),
+                });
+            }
+            if children.len() > tree.params.branching {
+                return Err(AuditViolation {
+                    kind: ViolationKind::NodeOverflow,
+                    node: Some(id),
+                    detail: format!(
+                        "interior holds {} children > B = {}",
+                        children.len(),
+                        tree.params.branching
+                    ),
+                });
+            }
+            let mut cf = Cf::empty(tree.params.dim);
+            for (i, c) in children.iter().enumerate() {
+                let child_cf =
+                    check_subtree(tree, c.child, depth + 1, opts, seen, dfs_leaves, report)?;
+                let mut drift = Drift::default();
+                drift.observe(&c.cf, &child_cf);
+                report.interior_drift.observe(&c.cf, &child_cf);
+                if drift.max() > opts.rel_tol {
+                    return Err(AuditViolation {
+                        kind: ViolationKind::ParentCfMismatch,
+                        node: Some(id),
+                        detail: format!(
+                            "entry {i} stores {:?} but child {:?} recomputes to {child_cf:?} \
+                             (drift {:.3e})",
+                            c.cf,
+                            c.child,
+                            drift.max()
+                        ),
+                    });
+                }
+                cf.merge(&child_cf);
+            }
+            Ok(cf)
+        }
+    }
+}
+
+/// Verifies the leaf chain is an acyclic, two-way-consistent traversal of
+/// exactly `dfs_leaves` (as a set; order may legitimately differ from DFS
+/// order after interior splits redistribute children by proximity).
+fn check_chain(tree: &CfTree, dfs_leaves: &[NodeId]) -> Result<(), AuditViolation> {
+    let mut chain: Vec<NodeId> = Vec::with_capacity(dfs_leaves.len());
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut prev: Option<NodeId> = None;
+    let mut cur = Some(tree.first_leaf);
+    while let Some(id) = cur {
+        if !visited.insert(id) {
+            return Err(AuditViolation {
+                kind: ViolationKind::ChainCycle,
+                node: Some(id),
+                detail: format!("chain revisits {id:?} after {} hops", chain.len()),
+            });
+        }
+        let (p, n) = match &tree.node_view(id).kind {
+            NodeKind::Leaf { prev, next, .. } => (*prev, *next),
+            NodeKind::Interior { .. } => {
+                return Err(AuditViolation {
+                    kind: ViolationKind::ChainBroken,
+                    node: Some(id),
+                    detail: format!("chain reaches interior node {id:?}"),
+                });
+            }
+        };
+        if p != prev {
+            return Err(AuditViolation {
+                kind: ViolationKind::ChainBroken,
+                node: Some(id),
+                detail: format!("prev pointer {p:?} but predecessor in chain is {prev:?}"),
+            });
+        }
+        chain.push(id);
+        prev = Some(id);
+        cur = n;
+    }
+
+    if chain.len() != dfs_leaves.len() || !dfs_leaves.iter().all(|id| visited.contains(id)) {
+        let missing: Vec<NodeId> = dfs_leaves
+            .iter()
+            .filter(|id| !visited.contains(id))
+            .copied()
+            .collect();
+        let extra: Vec<NodeId> = chain
+            .iter()
+            .filter(|id| !dfs_leaves.contains(id))
+            .copied()
+            .collect();
+        return Err(AuditViolation {
+            kind: ViolationKind::ChainIncomplete,
+            node: None,
+            detail: format!(
+                "chain visits {} leaves, DFS finds {}; unreached {missing:?}, stray {extra:?}",
+                chain.len(),
+                dfs_leaves.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{DistanceMetric, ThresholdKind};
+    use crate::node::NodeKind;
+    use crate::point::Point;
+    use crate::tree::TreeParams;
+
+    fn params(threshold: f64) -> TreeParams {
+        TreeParams {
+            dim: 2,
+            branching: 3,
+            leaf_capacity: 3,
+            threshold,
+            threshold_kind: ThresholdKind::Diameter,
+            metric: DistanceMetric::D2,
+            merge_refinement: true,
+        }
+    }
+
+    /// A multi-level tree with several leaves, for corrupting.
+    fn grown_tree() -> CfTree {
+        let mut t = CfTree::new(params(0.5));
+        for i in 0..60 {
+            let i = f64::from(i);
+            t.insert_point(&Point::xy(
+                (i * 3.7).rem_euclid(40.0),
+                (i * 1.9).rem_euclid(40.0),
+            ));
+        }
+        assert!(t.height() >= 2, "need a multi-level tree to corrupt");
+        audit(&t).unwrap();
+        t
+    }
+
+    fn first_interior_with_child(t: &CfTree) -> NodeId {
+        // The root of a multi-level tree is interior.
+        t.root
+    }
+
+    #[test]
+    fn clean_tree_reports_structure() {
+        let t = grown_tree();
+        let r = audit(&t).unwrap();
+        assert_eq!(r.leaf_entries, t.leaf_entry_count());
+        assert_eq!(r.height, t.height());
+        assert!(r.leaves >= 2);
+        assert!(r.nodes >= r.leaves);
+        // Incremental maintenance drifts, but far below tolerance here.
+        assert!(r.interior_drift.max() <= 1e-9, "{:?}", r.interior_drift);
+        assert!(r.root_drift.max() <= 1e-9, "{:?}", r.root_drift);
+    }
+
+    #[test]
+    fn empty_tree_audits_clean() {
+        let t = CfTree::new(params(1.0));
+        let r = audit(&t).unwrap();
+        assert_eq!(r.nodes, 1);
+        assert_eq!(r.leaf_entries, 0);
+    }
+
+    // ---- Seeded corruptions: the auditor self-test. Each corruption is
+    // crafted to break exactly one invariant so the reported kind is
+    // deterministic. ----
+
+    #[test]
+    fn detects_bad_parent_cf() {
+        let mut t = grown_tree();
+        let nid = first_interior_with_child(&t);
+        if let NodeKind::Interior { children } = &mut t.nodes[nid.index()].kind {
+            let bump = Cf::from_point(&Point::xy(1e6, -1e6));
+            children[0].cf.merge(&bump);
+        }
+        // Keep the tracked total consistent so only Additivity breaks:
+        // the recomputed root is built from leaves, which are untouched.
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::ParentCfMismatch, "{v}");
+        assert_eq!(v.node, Some(nid));
+    }
+
+    #[test]
+    fn detects_broken_leaf_chain_prev() {
+        let mut t = grown_tree();
+        // Corrupt the second leaf's prev pointer.
+        let second = t.leaf_ids().nth(1).expect("at least two leaves");
+        if let NodeKind::Leaf { prev, .. } = &mut t.nodes[second.index()].kind {
+            *prev = None;
+        }
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::ChainBroken, "{v}");
+        assert_eq!(v.node, Some(second));
+    }
+
+    #[test]
+    fn detects_leaf_chain_cycle() {
+        let mut t = grown_tree();
+        let head = t.first_leaf;
+        let second = t.leaf_ids().nth(1).expect("at least two leaves");
+        // Point the second leaf back at the head: a 2-cycle. Fix the
+        // head's prev so the cycle is the first inconsistency met.
+        if let NodeKind::Leaf { next, .. } = &mut t.nodes[second.index()].kind {
+            *next = Some(head);
+        }
+        let v = audit(&t).unwrap_err();
+        assert!(
+            matches!(
+                v.kind,
+                ViolationKind::ChainCycle | ViolationKind::ChainBroken
+            ),
+            "{v}"
+        );
+    }
+
+    #[test]
+    fn detects_chain_missing_a_leaf() {
+        let mut t = grown_tree();
+        // Splice the second leaf out of the chain (next skips it) without
+        // touching the tree structure: the spliced-out leaf stays
+        // reachable from the root, so the chain is incomplete.
+        let leaves: Vec<NodeId> = t.leaf_ids().collect();
+        assert!(leaves.len() >= 3, "need >= 3 leaves to splice");
+        let (a, b, c) = (leaves[0], leaves[1], leaves[2]);
+        if let NodeKind::Leaf { next, .. } = &mut t.nodes[a.index()].kind {
+            *next = Some(c);
+        }
+        if let NodeKind::Leaf { prev, .. } = &mut t.nodes[c.index()].kind {
+            *prev = Some(a);
+        }
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::ChainIncomplete, "{v}");
+        assert!(v.detail.contains(&format!("{b:?}")), "{v}");
+    }
+
+    #[test]
+    fn detects_oversize_node() {
+        let mut t = grown_tree();
+        // Shrink the recorded capacity under a leaf that is fuller: pure
+        // bounds violation, no CF touched.
+        let fullest = t
+            .leaf_ids()
+            .max_by_key(|&id| t.node_view(id).entry_count())
+            .unwrap();
+        let n = t.node_view(fullest).entry_count();
+        assert!(n >= 2);
+        t.params.leaf_capacity = n - 1;
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::NodeOverflow, "{v}");
+    }
+
+    #[test]
+    fn detects_threshold_violation() {
+        let mut t = grown_tree();
+        // The scattered fixture points all live in single-point entries
+        // (statistic 0), so plant a close pair that absorbs into one
+        // multi-point entry with a nonzero diameter.
+        t.insert_point(&Point::xy(200.0, 200.0));
+        t.insert_point(&Point::xy(200.1, 200.1));
+        audit(&t).unwrap();
+        // Lower T below what the existing entries were built under.
+        let worst = t
+            .leaf_entries()
+            .filter(|e| e.n() > 1.0)
+            .map(|e| t.params.threshold_kind.statistic(e))
+            .fold(0.0f64, f64::max);
+        assert!(worst > 0.0, "need a multi-point entry");
+        t.params.threshold = worst / 2.0;
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::ThresholdViolation, "{v}");
+    }
+
+    #[test]
+    fn detects_total_cf_drift() {
+        let mut t = grown_tree();
+        t.total.merge(&Cf::from_point(&Point::xy(0.0, 0.0)));
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::RootCfMismatch, "{v}");
+    }
+
+    #[test]
+    fn detects_page_budget_excess() {
+        let t = grown_tree();
+        let opts = AuditOptions {
+            max_pages: Some(t.node_count() - 1),
+            ..AuditOptions::default()
+        };
+        let v = audit_with(&t, &opts).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::PageBudgetExceeded, "{v}");
+        let ok = AuditOptions {
+            max_pages: Some(t.node_count()),
+            ..AuditOptions::default()
+        };
+        audit_with(&t, &ok).unwrap();
+    }
+
+    #[test]
+    fn detects_n_conservation_failure() {
+        let t = grown_tree();
+        let opts = AuditOptions {
+            expected_n: Some(t.total_cf().n() + 5.0),
+            ..AuditOptions::default()
+        };
+        let v = audit_with(&t, &opts).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::NConservation, "{v}");
+        let ok = AuditOptions {
+            expected_n: Some(t.total_cf().n()),
+            ..AuditOptions::default()
+        };
+        audit_with(&t, &ok).unwrap();
+    }
+
+    #[test]
+    fn detects_cached_count_mismatch() {
+        let mut t = grown_tree();
+        t.leaf_entry_count += 1;
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::CountMismatch, "{v}");
+    }
+
+    #[test]
+    fn detects_id_mismatch() {
+        let mut t = grown_tree();
+        let second = t.leaf_ids().nth(1).expect("two leaves");
+        t.nodes[second.index()].id = NodeId(999);
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::IdMismatch, "{v}");
+    }
+
+    #[test]
+    fn violation_renders_node_and_kind() {
+        let mut t = grown_tree();
+        let nid = first_interior_with_child(&t);
+        if let NodeKind::Interior { children } = &mut t.nodes[nid.index()].kind {
+            children[0].cf.merge(&Cf::from_point(&Point::xy(1e6, 0.0)));
+        }
+        let msg = audit(&t).unwrap_err().to_string();
+        assert!(msg.contains("parent CF mismatch"), "{msg}");
+        assert!(msg.contains("NodeId"), "{msg}");
+    }
+
+    #[test]
+    fn drift_is_measured_not_assumed() {
+        // A long absorb-heavy run accumulates real (tiny) drift; the
+        // report must expose it as a number rather than hiding it.
+        let mut t = CfTree::new(TreeParams {
+            threshold: 2.0,
+            ..params(2.0)
+        });
+        let mut x = 0.0f64;
+        for i in 0..5000 {
+            x = (x * 1.000_1 + f64::from(i) * 0.013).rem_euclid(25.0);
+            t.insert_point(&Point::xy(x, 25.0 - x));
+        }
+        let r = audit(&t).unwrap();
+        assert!(r.root_drift.max() < 1e-6);
+        assert!(r.interior_drift.max() < 1e-6);
+        // The measurement is finite and non-negative by construction.
+        assert!(r.root_drift.max() >= 0.0);
+    }
+}

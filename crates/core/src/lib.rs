@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod birch;
 pub mod cf;
 pub mod config;
@@ -59,6 +60,7 @@ pub mod stream;
 pub mod threshold;
 pub mod tree;
 
+pub use audit::{audit, audit_with, AuditOptions, AuditReport, AuditViolation, ViolationKind};
 pub use birch::{Birch, BirchModel, ClusterSummary, RunStats};
 pub use cf::Cf;
 pub use config::BirchConfig;

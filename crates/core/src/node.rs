@@ -51,11 +51,19 @@ pub enum NodeKind {
     },
 }
 
+/// Sentinel id of a node not yet placed in an arena.
+const UNALLOCATED: NodeId = NodeId(u32::MAX);
+
 /// A CF-tree node (one simulated page).
 #[derive(Debug, Clone)]
 pub struct Node {
     /// The node payload.
     pub kind: NodeKind,
+    /// The arena slot this node occupies, stamped by the tree's allocator
+    /// ([`UNALLOCATED`] until then). Lets accessors and the auditor name
+    /// the node in diagnostics, and lets the auditor verify arena
+    /// consistency.
+    pub(crate) id: NodeId,
 }
 
 impl Node {
@@ -68,6 +76,7 @@ impl Node {
                 prev: None,
                 next: None,
             },
+            id: UNALLOCATED,
         }
     }
 
@@ -78,6 +87,32 @@ impl Node {
             kind: NodeKind::Interior {
                 children: Vec::new(),
             },
+            id: UNALLOCATED,
+        }
+    }
+
+    /// The arena id stamped on this node at allocation.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// A short human-readable identity for diagnostics, e.g.
+    /// `"n7 (leaf, 3 entries)"`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let id = if self.id == UNALLOCATED {
+            "n?".to_string()
+        } else {
+            format!("n{}", self.id.0)
+        };
+        match &self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                format!("{id} (leaf, {} entries)", entries.len())
+            }
+            NodeKind::Interior { children } => {
+                format!("{id} (interior, {} children)", children.len())
+            }
         }
     }
 
@@ -101,15 +136,20 @@ impl Node {
     pub fn leaf_entries(&self) -> &[Cf] {
         match &self.kind {
             NodeKind::Leaf { entries, .. } => entries,
-            NodeKind::Interior { .. } => panic!("leaf_entries on interior node"),
+            NodeKind::Interior { .. } => {
+                panic!("leaf_entries on interior node {}", self.describe())
+            }
         }
     }
 
     /// Mutable leaf entries, panicking if this is an interior node.
     pub fn leaf_entries_mut(&mut self) -> &mut Vec<Cf> {
+        if matches!(self.kind, NodeKind::Interior { .. }) {
+            panic!("leaf_entries_mut on interior node {}", self.describe());
+        }
         match &mut self.kind {
             NodeKind::Leaf { entries, .. } => entries,
-            NodeKind::Interior { .. } => panic!("leaf_entries_mut on interior node"),
+            NodeKind::Interior { .. } => unreachable!(),
         }
     }
 
@@ -118,15 +158,18 @@ impl Node {
     pub fn children(&self) -> &[ChildEntry] {
         match &self.kind {
             NodeKind::Interior { children } => children,
-            NodeKind::Leaf { .. } => panic!("children on leaf node"),
+            NodeKind::Leaf { .. } => panic!("children on leaf node {}", self.describe()),
         }
     }
 
     /// Mutable interior children, panicking if this is a leaf.
     pub fn children_mut(&mut self) -> &mut Vec<ChildEntry> {
+        if matches!(self.kind, NodeKind::Leaf { .. }) {
+            panic!("children_mut on leaf node {}", self.describe());
+        }
         match &mut self.kind {
             NodeKind::Interior { children } => children,
-            NodeKind::Leaf { .. } => panic!("children_mut on leaf node"),
+            NodeKind::Leaf { .. } => unreachable!(),
         }
     }
 
@@ -201,6 +244,25 @@ mod tests {
     fn children_on_leaf_panics() {
         let n = Node::new_leaf();
         let _ = n.children();
+    }
+
+    #[test]
+    fn describe_names_id_kind_and_occupancy() {
+        let n = Node::new_interior();
+        assert_eq!(n.describe(), "n? (interior, 0 children)");
+        let mut l = Node::new_leaf();
+        l.id = NodeId(4);
+        l.leaf_entries_mut()
+            .push(Cf::from_point(&Point::xy(0.0, 0.0)));
+        assert_eq!(l.describe(), "n4 (leaf, 1 entries)");
+    }
+
+    #[test]
+    #[should_panic(expected = "children_mut on leaf node n9 (leaf, 0 entries)")]
+    fn panic_message_names_the_node() {
+        let mut n = Node::new_leaf();
+        n.id = NodeId(9);
+        let _ = n.children_mut();
     }
 
     #[test]

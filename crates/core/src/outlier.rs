@@ -119,6 +119,21 @@ impl OutlierStore {
         &self.disk
     }
 
+    /// Installs a fault-injection plan on the underlying disk (tests and
+    /// soak runs): spills then fail deterministically, exercising the
+    /// fold-back and reabsorb-after-full degradation paths.
+    pub fn set_fault_plan(&mut self, plan: birch_pager::FaultPlan) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// Total number of data points parked on disk (sum of the parked
+    /// entries' weights), read without touching the I/O counters — the
+    /// auditor's N-conservation term.
+    #[must_use]
+    pub fn parked_n(&self) -> f64 {
+        self.disk.peek().iter().map(Cf::n).sum()
+    }
+
     /// Parks a potential outlier on disk. On a full disk the entry is
     /// handed back so the caller can fold it into the tree instead.
     pub fn spill(&mut self, entry: Cf) -> Result<(), Cf> {
@@ -182,8 +197,10 @@ impl OutlierStore {
             } else {
                 report.retained += 1;
                 if let Err(cf) = self.spill(cf) {
-                    // Disk shrank? Cannot happen with drain-then-refill, but
-                    // fold into the tree rather than lose data.
+                    // Refill refused: unreachable with drain-then-refill on
+                    // a healthy disk, but an injected fault or force-full
+                    // degradation lands here — fold into the tree rather
+                    // than lose data.
                     tree.insert_cf(cf);
                     report.retained -= 1;
                     report.absorbed += 1;
@@ -275,6 +292,18 @@ impl DelaySplitBuffer {
     #[must_use]
     pub fn disk(&self) -> &SimDisk<Cf> {
         &self.disk
+    }
+
+    /// Installs a fault-injection plan on the underlying disk.
+    pub fn set_fault_plan(&mut self, plan: birch_pager::FaultPlan) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// Total points parked (sum of parked weights), counter-free — the
+    /// auditor's N-conservation term.
+    #[must_use]
+    pub fn parked_n(&self) -> f64 {
+        self.disk.peek().iter().map(Cf::n).sum()
     }
 
     /// Parks a point (as a singleton CF); returns it on a full buffer.

@@ -233,6 +233,7 @@ fn merge_shards<S: EventSink>(
         builder.feed_outlier_candidate(cf);
     }
     let merged = builder.finish();
+    merged.tree.strict_audit("merge_shards");
     let merge_wall = merge_started.elapsed();
 
     io.absorb(&merged.io);

@@ -64,6 +64,10 @@ pub struct Phase1Builder<S: EventSink = NoopSink> {
     io: IoStats,
     threshold_history: Vec<f64>,
     points_scanned: u64,
+    /// Total weight (N) of every CF fed in, including outlier candidates —
+    /// the auditor's end-to-end conservation baseline: until `finish`,
+    /// every fed point is either in the tree or parked on a disk.
+    fed_n: f64,
     /// Always-on aggregator: `finish()` fills `io`'s event-derived
     /// counters from it, so the tree, the rebuild machinery, and the
     /// builder never keep parallel tallies of the same mutations.
@@ -157,6 +161,7 @@ fn builder<S: EventSink>(config: &BirchConfig, dim: usize, sink: S) -> Phase1Bui
         io: IoStats::default(),
         threshold_history: Vec::new(),
         points_scanned: 0,
+        fed_n: 0.0,
         recorder: MetricsRecorder::new(),
         sink,
         started: Instant::now(),
@@ -243,6 +248,40 @@ impl<S: EventSink> Phase1Builder<S> {
         out
     }
 
+    /// Mutable access to the outlier store (if outlier handling is on) —
+    /// lets tests and soak harnesses install a
+    /// [`birch_pager::FaultPlan`] on its disk mid-run.
+    pub fn outliers_mut(&mut self) -> Option<&mut OutlierStore> {
+        self.outliers.as_mut()
+    }
+
+    /// Mutable access to the delay-split buffer (if delay-split is on),
+    /// for the same fault-injection purpose.
+    pub fn delay_mut(&mut self) -> Option<&mut DelaySplitBuffer> {
+        self.delay.as_mut()
+    }
+
+    /// Audits the live tree with run-level cross-checks layered on top of
+    /// the structural invariants: the page budget (with the documented
+    /// one-insert-plus-rebuild-transient slack of `height + 1` pages) and
+    /// end-to-end N conservation — every point fed so far must be in the
+    /// tree or parked on the outlier/delay-split disks, since nothing is
+    /// discarded before `finish` (§5.1.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invariant violation found.
+    pub fn audit(&self) -> Result<crate::audit::AuditReport, crate::audit::AuditViolation> {
+        let parked = self.outliers.as_ref().map_or(0.0, OutlierStore::parked_n)
+            + self.delay.as_ref().map_or(0.0, DelaySplitBuffer::parked_n);
+        let opts = crate::audit::AuditOptions {
+            max_pages: Some(self.max_pages + self.tree.height() + 1),
+            expected_n: Some(self.fed_n - parked),
+            ..crate::audit::AuditOptions::default()
+        };
+        crate::audit::audit_with(&self.tree, &opts)
+    }
+
     /// Feeds one CF (a point or a pre-aggregated subcluster).
     ///
     /// # Panics
@@ -250,6 +289,7 @@ impl<S: EventSink> Phase1Builder<S> {
     /// Panics if `cf` is empty or of the wrong dimension.
     pub fn feed(&mut self, cf: Cf) {
         self.points_scanned += 1;
+        self.fed_n += cf.n();
         if self.delay_mode {
             // §5.1.4: memory is exhausted — absorb what fits without
             // growing the tree, park the rest on disk.
@@ -394,8 +434,15 @@ impl<S: EventSink> Phase1Builder<S> {
     /// neither works. The parallel merge stage feeds shard-carried
     /// outliers through this so they keep §5.1.3 semantics (one more
     /// re-absorption chance, then the usual end-of-scan disposition)
-    /// instead of being promoted to regular data.
-    pub(crate) fn feed_outlier_candidate(&mut self, cf: Cf) {
+    /// instead of being promoted to regular data. Public so external
+    /// shard-and-merge schemes (and fault-injection tests) can drive the
+    /// same path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cf` is empty or of the wrong dimension.
+    pub fn feed_outlier_candidate(&mut self, cf: Cf) {
+        self.fed_n += cf.n();
         if self.tree.try_absorb(&cf) {
             return;
         }

@@ -108,6 +108,7 @@ pub fn condense_with_sink<S: EventSink>(
         }
         io.outliers_discarded += store.finalize_observed(&mut tree, sink);
     }
+    tree.strict_audit("condense");
     tree
 }
 
@@ -191,5 +192,94 @@ mod tests {
         assert!(out.leaf_entry_count() <= 2);
         let total: f64 = out.leaf_entries().map(Cf::n).sum();
         assert!((total - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn condensed_tree_respects_smaller_page_budget() {
+        // Condensing to fewer entries must also shrink the page count:
+        // rebuilds never add nodes (Reducibility), so the output's node
+        // count is bounded by the input's and consistent with its own
+        // entry count.
+        let tree = scatter_tree(2000);
+        let pages_before = tree.node_count();
+        let entries_before = tree.leaf_entry_count();
+        let mut est = ThresholdEstimator::new(Some(2000));
+        let mut io = IoStats::default();
+        let out = condense(tree, 64, &mut est, None, &mut io);
+        assert!(out.leaf_entry_count() <= 64);
+        assert!(
+            out.node_count() <= pages_before,
+            "condense grew the tree: {} -> {} pages",
+            pages_before,
+            out.node_count()
+        );
+        assert!(out.leaf_entry_count() < entries_before);
+        out.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn condense_conserves_total_cf_exactly_in_n() {
+        // Without an outlier store nothing may be dropped: N is conserved
+        // to within float tolerance, and LS/SS within relative tolerance.
+        let tree = scatter_tree(1500);
+        let before = tree.total_cf().clone();
+        let mut est = ThresholdEstimator::new(Some(1500));
+        let mut io = IoStats::default();
+        let out = condense(tree, 50, &mut est, None, &mut io);
+        let after = out.total_cf();
+        assert!((before.n() - after.n()).abs() < 1e-9);
+        for (x, y) in before.ls().iter().zip(after.ls()) {
+            assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+        assert!((before.ss() - after.ss()).abs() <= 1e-6 * (1.0 + before.ss().abs()));
+    }
+
+    #[test]
+    fn condense_output_passes_full_audit() {
+        let tree = scatter_tree(1200);
+        let mut est = ThresholdEstimator::new(Some(1200));
+        let mut io = IoStats::default();
+        let out = condense(tree, 100, &mut est, None, &mut io);
+        let report = crate::audit::audit(&out).unwrap();
+        assert_eq!(report.leaf_entries, out.leaf_entry_count());
+        assert!(report.root_drift.max() <= 1e-6);
+    }
+
+    #[test]
+    fn condense_with_store_conserves_n_across_tree_plus_disk() {
+        use crate::outlier::{OutlierConfig, OutlierStore};
+        let mut t = CfTree::new(TreeParams {
+            threshold: 0.5,
+            ..TreeParams::for_dim(2)
+        });
+        for _ in 0..400 {
+            t.insert_point(&Point::xy(0.0, 0.0));
+        }
+        for i in 0..50 {
+            let i = f64::from(i);
+            t.insert_point(&Point::xy(
+                200.0 + (i * 37.0).rem_euclid(500.0),
+                300.0 + (i * 53.0).rem_euclid(500.0),
+            ));
+        }
+        let mut est = ThresholdEstimator::new(Some(450));
+        let mut io = IoStats::default();
+        // Fold-back-at-end configuration: condense finalizes the store by
+        // re-inserting every still-parked entry, so the output tree must
+        // hold every point — conservation is exact, not approximate.
+        let cfg = OutlierConfig {
+            discard_at_end: false,
+            ..OutlierConfig::default()
+        };
+        let mut store = OutlierStore::new(64 * 1024, 32, cfg);
+        let out = condense(t, 10, &mut est, Some(&mut store), &mut io);
+        assert_eq!(io.outliers_discarded, 0);
+        assert!(store.is_empty());
+        assert!(
+            (out.total_cf().n() - 450.0).abs() < 1e-6,
+            "tree holds {} of 450 points",
+            out.total_cf().n()
+        );
+        out.check_invariants().unwrap();
     }
 }

@@ -151,6 +151,7 @@ pub fn rebuild_observed(
     }
 
     let new_tree = builder.finish();
+    new_tree.strict_audit("rebuild");
     report.new_pages = new_tree.node_count();
     if sink.enabled() {
         if report.entries_spilled > 0 {
@@ -253,6 +254,7 @@ impl SpineBuilder {
     /// (top-down, mirroring the old path) as needed.
     fn append(&mut self, ent: Cf) {
         self.ensure_spine();
+        self.tree.note_atomic_input(&ent);
         let leaf = self.spine[self.height - 1].expect("spine materialized");
         match &mut self.tree.nodes[leaf.index()].kind {
             NodeKind::Leaf { entries, .. } => entries.push(ent.clone()),

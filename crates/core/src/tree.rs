@@ -108,6 +108,12 @@ pub struct CfTree {
     pub(crate) leaf_entry_count: usize,
     pub(crate) total: Cf,
     pub(crate) stats: TreeStats,
+    /// Largest threshold statistic of any *atomic* input CF that landed as
+    /// its own leaf entry. Point input keeps this at 0; weighted/CF input
+    /// (e.g. `push_cf`) may exceed `T`, and such an entry is legitimate
+    /// because an input CF cannot be split. The auditor widens its
+    /// threshold check by this amount.
+    pub(crate) max_input_stat: f64,
 }
 
 impl CfTree {
@@ -119,7 +125,8 @@ impl CfTree {
     #[must_use]
     pub fn new(params: TreeParams) -> Self {
         params.validate();
-        let root = Node::new_leaf();
+        let mut root = Node::new_leaf();
+        root.id = NodeId(0);
         Self {
             params,
             nodes: vec![root],
@@ -130,6 +137,20 @@ impl CfTree {
             leaf_entry_count: 0,
             total: Cf::empty(params.dim),
             stats: TreeStats::default(),
+            max_input_stat: 0.0,
+        }
+    }
+
+    /// Records that `ent` landed as its own leaf entry (rather than being
+    /// absorbed into an existing one, which is threshold-checked). An
+    /// atomic multi-point input may carry any spread, so the auditor's
+    /// threshold invariant must allow entries up to this statistic.
+    pub(crate) fn note_atomic_input(&mut self, ent: &Cf) {
+        if ent.n() > 1.0 {
+            let s = self.params.threshold_kind.statistic(ent);
+            if s > self.max_input_stat {
+                self.max_input_stat = s;
+            }
         }
     }
 
@@ -195,12 +216,14 @@ impl CfTree {
         &mut self.nodes[id.index()]
     }
 
-    pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
+    pub(crate) fn alloc(&mut self, mut node: Node) -> NodeId {
         if let Some(id) = self.free.pop() {
+            node.id = id;
             self.nodes[id.index()] = node;
             id
         } else {
             let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+            node.id = id;
             self.nodes.push(node);
             id
         }
@@ -265,6 +288,7 @@ impl CfTree {
             }
 
             // New entry (split-free): update the path, then move `ent` in.
+            self.note_atomic_input(&ent);
             if self.node(leaf_id).entry_count() < self.params.leaf_capacity {
                 self.add_to_path(&path, &ent);
                 self.node_mut(leaf_id).leaf_entries_mut().push(ent);
@@ -291,6 +315,7 @@ impl CfTree {
                 sink.record(&Event::MergeRefinement { count: refinements });
             }
         }
+        self.strict_audit("insert_cf");
         outcome
     }
 
@@ -316,6 +341,7 @@ impl CfTree {
         self.node_mut(leaf_id).leaf_entries_mut()[idx] = tentative;
         self.add_to_path(&path, ent);
         self.total.merge(ent);
+        self.strict_audit("try_absorb");
         true
     }
 
@@ -332,10 +358,12 @@ impl CfTree {
         if self.node(leaf_id).entry_count() >= self.params.leaf_capacity {
             return false;
         }
+        self.note_atomic_input(ent);
         self.node_mut(leaf_id).leaf_entries_mut().push(ent.clone());
         self.leaf_entry_count += 1;
         self.add_to_path(&path, ent);
         self.total.merge(ent);
+        self.strict_audit("try_add_no_split");
         true
     }
 
@@ -675,131 +703,41 @@ impl CfTree {
     /// Verifies every structural invariant of the CF-tree; returns a
     /// description of the first violation. Intended for tests and debugging
     /// (cost is O(size of tree)).
+    ///
+    /// This is a thin compatibility wrapper over [`crate::audit::audit`],
+    /// which additionally reports structure and floating-point-drift
+    /// measurements — prefer calling the auditor directly for those.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let mut seen = std::collections::HashSet::new();
-        let mut leaves_dfs = Vec::new();
-        self.check_node(self.root, 1, &mut seen, &mut leaves_dfs)?;
-
-        // Height: every leaf at the recorded height.
-        // (check_node already verified uniform depth == self.height.)
-
-        // The leaf chain must visit exactly the DFS leaves, each once.
-        // (Order can differ from DFS: an interior split redistributes
-        // children by proximity, not sibling order.)
-        let chain: Vec<NodeId> = self.leaf_ids().collect();
-        let mut chain_sorted = chain.clone();
-        chain_sorted.sort_unstable();
-        chain_sorted.dedup();
-        let mut dfs_sorted = leaves_dfs.clone();
-        dfs_sorted.sort_unstable();
-        if chain_sorted.len() != chain.len() {
-            return Err("leaf chain visits a node twice".to_string());
-        }
-        if chain_sorted != dfs_sorted {
-            return Err(format!(
-                "leaf chain {chain:?} is not a permutation of the DFS leaves {leaves_dfs:?}"
-            ));
-        }
-        // prev pointers consistent.
-        let mut prev = None;
-        for &id in &chain {
-            match &self.node(id).kind {
-                NodeKind::Leaf { prev: p, .. } => {
-                    if *p != prev {
-                        return Err(format!("leaf {id:?} has wrong prev pointer"));
-                    }
-                }
-                NodeKind::Interior { .. } => return Err(format!("{id:?} in chain not a leaf")),
-            }
-            prev = Some(id);
-        }
-
-        // Entry count bookkeeping.
-        let counted: usize = chain.iter().map(|&id| self.node(id).entry_count()).sum();
-        if counted != self.leaf_entry_count {
-            return Err(format!(
-                "leaf_entry_count {} != counted {}",
-                self.leaf_entry_count, counted
-            ));
-        }
-
-        // Total CF equals the root summary.
-        if self.leaf_entry_count > 0 {
-            let root_cf = self.summary(self.root);
-            if !cf_close(&root_cf, &self.total) {
-                return Err(format!(
-                    "total CF drifted: root {root_cf:?} vs tracked {:?}",
-                    self.total
-                ));
-            }
-        }
-        Ok(())
+        crate::audit::audit(self)
+            .map(|_| ())
+            .map_err(|v| v.to_string())
     }
 
-    fn check_node(
-        &self,
-        id: NodeId,
-        depth: usize,
-        seen: &mut std::collections::HashSet<NodeId>,
-        leaves: &mut Vec<NodeId>,
-    ) -> Result<(), String> {
-        if !seen.insert(id) {
-            return Err(format!("node {id:?} reachable twice"));
-        }
-        match &self.node(id).kind {
-            NodeKind::Leaf { entries, .. } => {
-                if depth != self.height {
-                    return Err(format!(
-                        "leaf {id:?} at depth {depth}, expected height {}",
-                        self.height
-                    ));
-                }
-                if entries.len() > self.params.leaf_capacity {
-                    return Err(format!(
-                        "leaf {id:?} has {} entries > L={}",
-                        entries.len(),
-                        self.params.leaf_capacity
-                    ));
-                }
-                for (i, e) in entries.iter().enumerate() {
-                    if e.is_empty() {
-                        return Err(format!("leaf {id:?} entry {i} is empty"));
-                    }
-                    let stat = self.params.threshold_kind.statistic(e);
-                    if e.n() > 1.0 && stat > self.params.threshold * (1.0 + 1e-9) + 1e-12 {
-                        return Err(format!(
-                            "leaf {id:?} entry {i} violates threshold: {stat} > {}",
-                            self.params.threshold
-                        ));
-                    }
-                }
-                leaves.push(id);
-            }
-            NodeKind::Interior { children } => {
-                if children.is_empty() {
-                    return Err(format!("interior {id:?} has no children"));
-                }
-                if children.len() > self.params.branching {
-                    return Err(format!(
-                        "interior {id:?} has {} children > B={}",
-                        children.len(),
-                        self.params.branching
-                    ));
-                }
-                for (i, c) in children.iter().enumerate() {
-                    let child_cf = self.summary(c.child);
-                    if !cf_close(&child_cf, &c.cf) {
-                        return Err(format!(
-                            "interior {id:?} entry {i} CF {:?} != child summary {:?}",
-                            c.cf, child_cf
-                        ));
-                    }
-                    self.check_node(c.child, depth + 1, seen, leaves)?;
-                }
-            }
-        }
-        Ok(())
+    /// Runs a full [`crate::audit::audit`] of this tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invariant violation found.
+    pub fn audit(&self) -> Result<crate::audit::AuditReport, crate::audit::AuditViolation> {
+        crate::audit::audit(self)
     }
+
+    /// With the `strict-audit` feature enabled, audits the whole tree and
+    /// panics on the first violation, naming the operation that produced
+    /// the state. Called after every mutating tree operation; turns a
+    /// debug soak run into a per-operation correctness proof.
+    #[cfg(feature = "strict-audit")]
+    pub(crate) fn strict_audit(&self, op: &str) {
+        if let Err(v) = crate::audit::audit(self) {
+            panic!("strict-audit after {op}: {v}");
+        }
+    }
+
+    /// Without the `strict-audit` feature this is a no-op the optimizer
+    /// removes entirely.
+    #[cfg(not(feature = "strict-audit"))]
+    #[inline(always)]
+    pub(crate) fn strict_audit(&self, _op: &str) {}
 }
 
 struct LeafIter<'a> {
@@ -911,13 +849,6 @@ fn rebalance_to_capacity<T>(
         let item = from.swap_remove(best);
         to.push(item);
     }
-}
-
-fn cf_close(a: &Cf, b: &Cf) -> bool {
-    let scale = |x: f64, y: f64| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()));
-    scale(a.n(), b.n())
-        && scale(a.ss(), b.ss())
-        && a.ls().iter().zip(b.ls()).all(|(&x, &y)| scale(x, y))
 }
 
 #[cfg(test)]

@@ -13,8 +13,8 @@
 use birch_core::hierarchical::{agglomerate, StopRule};
 use birch_core::rebuild::rebuild;
 use birch_core::{
-    parallel, phase1, Birch, BirchConfig, BirchModel, Cf, CfTree, DistanceMetric, Point,
-    ThresholdKind, TreeParams,
+    audit_with, parallel, phase1, AuditOptions, Birch, BirchConfig, BirchModel, Cf, CfTree,
+    DistanceMetric, Point, ThresholdKind, TreeParams,
 };
 use proptest::prelude::*;
 
@@ -147,7 +147,10 @@ proptest! {
     }
 
     /// After any insertion sequence the tree passes its full structural
-    /// audit and conserves the data summary.
+    /// audit and conserves the data summary. Small cases audit after
+    /// *every* insert (catching transient corruption the end state would
+    /// hide); large cases audit once at the end with the N-conservation
+    /// cross-check enabled.
     #[test]
     fn tree_invariants_hold(
         pts in points(200),
@@ -155,13 +158,20 @@ proptest! {
         metric in prop::sample::select(&DistanceMetric::ALL),
     ) {
         let mut tree = CfTree::new(small_params(threshold, metric));
-        for p in &pts {
+        let audit_each = pts.len() <= 40;
+        for (i, p) in pts.iter().enumerate() {
             tree.insert_point(p);
+            if audit_each {
+                let r = tree.audit();
+                prop_assert!(r.is_ok(), "audit after insert {}: {}", i, r.unwrap_err());
+            }
         }
-        prop_assert!(tree.check_invariants().is_ok(),
-            "{:?}", tree.check_invariants());
-        let total = tree.total_cf();
-        prop_assert!((total.n() - pts.len() as f64).abs() < 1e-9);
+        let opts = AuditOptions {
+            expected_n: Some(pts.len() as f64),
+            ..AuditOptions::default()
+        };
+        let report = audit_with(&tree, &opts);
+        prop_assert!(report.is_ok(), "final audit: {}", report.unwrap_err());
     }
 
     /// Rebuild with a larger threshold: never more pages or entries, and
@@ -177,8 +187,14 @@ proptest! {
             tree.insert_point(p);
         }
         let (new_tree, report) = rebuild(&tree, t0 + grow, None);
-        prop_assert!(new_tree.check_invariants().is_ok(),
-            "{:?}", new_tree.check_invariants());
+        // Full audit of the rebuilt tree, with conservation against the
+        // old tree's N (no outlier store: nothing may be dropped).
+        let opts = AuditOptions {
+            expected_n: Some(tree.total_cf().n()),
+            ..AuditOptions::default()
+        };
+        let audit = audit_with(&new_tree, &opts);
+        prop_assert!(audit.is_ok(), "rebuilt-tree audit: {}", audit.unwrap_err());
         // Reducibility Theorem: S_{i+1} <= S_i, and the rebuild transient
         // needs at most h extra pages.
         prop_assert!(report.new_pages <= report.old_pages,
@@ -267,8 +283,14 @@ proptest! {
         }
         prop_assert!((p.ss() - s.ss()).abs() <= 1e-9 * (1.0 + s.ss().abs()),
             "SS drift beyond round-off: {} vs {}", p.ss(), s.ss());
-        prop_assert!(par.tree.check_invariants().is_ok(),
-            "{:?}", par.tree.check_invariants());
+        // Full audit of the merged tree, conservation included (outliers
+        // are off, so the merged tree must hold every point).
+        let opts = AuditOptions {
+            expected_n: Some(pts.len() as f64),
+            ..AuditOptions::default()
+        };
+        let audit = audit_with(&par.tree, &opts);
+        prop_assert!(audit.is_ok(), "merged-tree audit: {}", audit.unwrap_err());
     }
 
     /// End-to-end quality: the parallel build's Phase-3 clustering has a

@@ -12,7 +12,8 @@
 
 use std::fmt;
 
-/// Error returned when a spill would exceed the disk budget `R`.
+/// Error returned when a spill would exceed the disk budget `R` (or when
+/// an injected fault refuses the write).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskError {
     /// Bytes currently used.
@@ -21,19 +22,108 @@ pub struct DiskError {
     pub capacity: usize,
     /// Bytes the caller tried to write.
     pub requested: usize,
+    /// Whether the failure came from the disk's [`FaultPlan`] rather than
+    /// genuine capacity exhaustion. Callers must handle both identically;
+    /// the flag exists so tests can assert the fault actually fired.
+    pub injected: bool,
 }
 
 impl fmt::Display for DiskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "disk budget exhausted: {}/{} bytes used, write of {} bytes refused",
-            self.used, self.capacity, self.requested
+            "disk budget exhausted: {}/{} bytes used, write of {} bytes refused{}",
+            self.used,
+            self.capacity,
+            self.requested,
+            if self.injected {
+                " (injected fault)"
+            } else {
+                ""
+            }
         )
     }
 }
 
 impl std::error::Error for DiskError {}
+
+/// Deterministic fault-injection plan for a [`SimDisk`].
+///
+/// Faulted writes fail exactly like genuine disk-full writes (the record
+/// is handed back with a [`DiskError`]), so every degradation path the
+/// production code has for a full disk — fold the entry back into the
+/// tree, trigger a re-absorption pass, carry outliers into the shard
+/// merge — can be exercised on purpose. All sources of failure are
+/// deterministic: the k-th-write list is exact, the random source is a
+/// seeded xorshift64 stream advanced once per write attempt, and
+/// force-full is a byte watermark.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// 1-based write-attempt indices that must fail.
+    fail_writes: Vec<u64>,
+    /// Seeded random failures: `(xorshift64 state, probability)`.
+    random: Option<(u64, f64)>,
+    /// Once lifetime `bytes_written` reaches this watermark, the disk
+    /// reports itself full forever (models a device degrading mid-run).
+    force_full_after_bytes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails the `k`-th write attempt (1-based, counted over the disk's
+    /// lifetime including previously faulted attempts). Chainable.
+    #[must_use]
+    pub fn fail_write(mut self, k: u64) -> Self {
+        self.fail_writes.push(k);
+        self
+    }
+
+    /// Fails each write attempt independently with probability `prob`,
+    /// drawn from a xorshift64 stream seeded with `seed` — the same seed
+    /// always fails the same attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= prob <= 1.0` and `seed != 0` (xorshift64 has
+    /// a fixed point at zero).
+    #[must_use]
+    pub fn fail_randomly(mut self, seed: u64, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        assert_ne!(seed, 0, "xorshift64 seed must be non-zero");
+        self.random = Some((seed, prob));
+        self
+    }
+
+    /// Reports the disk as full once its lifetime `bytes_written` reaches
+    /// `bytes` — permanently, even after drains free space. Chainable.
+    #[must_use]
+    pub fn force_full_after(mut self, bytes: u64) -> Self {
+        self.force_full_after_bytes = Some(bytes);
+        self
+    }
+
+    /// Whether the per-attempt sources (k-th write, random) fail `attempt`.
+    /// Advances the random stream exactly once per call, so the decision
+    /// sequence depends only on the seed and the attempt order.
+    fn fires_on(&mut self, attempt: u64) -> bool {
+        let mut fire = self.fail_writes.contains(&attempt);
+        if let Some((state, prob)) = &mut self.random {
+            // xorshift64 (Marsaglia): full-period over non-zero u64.
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            // Top 53 bits -> uniform in [0, 1).
+            let u = (*state >> 11) as f64 / (1u64 << 53) as f64;
+            fire |= u < *prob;
+        }
+        fire
+    }
+}
 
 /// An append-only simulated spill disk holding records of type `T`.
 ///
@@ -50,6 +140,9 @@ pub struct SimDisk<T> {
     bytes_read: u64,
     writes: u64,
     reads: u64,
+    fault_plan: FaultPlan,
+    write_attempts: u64,
+    faults_injected: u64,
 }
 
 impl<T> SimDisk<T> {
@@ -70,7 +163,17 @@ impl<T> SimDisk<T> {
             bytes_read: 0,
             writes: 0,
             reads: 0,
+            fault_plan: FaultPlan::default(),
+            write_attempts: 0,
+            faults_injected: 0,
         }
+    }
+
+    /// Installs a [`FaultPlan`]; subsequent write attempts and space
+    /// checks consult it. Replaces any previous plan (and its random
+    /// stream position).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
     }
 
     /// Number of records currently on disk.
@@ -97,10 +200,17 @@ impl<T> SimDisk<T> {
         self.capacity_bytes
     }
 
-    /// Whether one more record fits.
+    /// Whether one more record fits. A [`FaultPlan::force_full_after`]
+    /// watermark that has been reached makes this permanently `false`.
     #[must_use]
     pub fn has_space(&self) -> bool {
-        self.used_bytes() + self.record_bytes <= self.capacity_bytes
+        !self.forced_full() && self.used_bytes() + self.record_bytes <= self.capacity_bytes
+    }
+
+    fn forced_full(&self) -> bool {
+        self.fault_plan
+            .force_full_after_bytes
+            .is_some_and(|limit| self.bytes_written >= limit)
     }
 
     /// Appends a record.
@@ -108,20 +218,40 @@ impl<T> SimDisk<T> {
     /// # Errors
     ///
     /// Returns [`DiskError`] (and gives the record back via the error's
-    /// context being recoverable by the caller) when the disk is full.
+    /// context being recoverable by the caller) when the disk is full or
+    /// the installed [`FaultPlan`] fails this attempt.
     pub fn write(&mut self, record: T) -> Result<(), (T, DiskError)> {
-        if !self.has_space() {
-            let err = DiskError {
-                used: self.used_bytes(),
-                capacity: self.capacity_bytes,
-                requested: self.record_bytes,
-            };
-            return Err((record, err));
+        self.write_attempts += 1;
+        let attempt = self.write_attempts;
+        let mut injected = self.fault_plan.fires_on(attempt);
+        if !injected && !self.has_space() {
+            // Distinguish a genuinely full disk from the force-full
+            // watermark, which is also an injected condition.
+            injected =
+                self.forced_full() && self.used_bytes() + self.record_bytes <= self.capacity_bytes;
+        } else if !injected {
+            self.records.push(record);
+            self.bytes_written += self.record_bytes as u64;
+            self.writes += 1;
+            return Ok(());
         }
-        self.records.push(record);
-        self.bytes_written += self.record_bytes as u64;
-        self.writes += 1;
-        Ok(())
+        if injected {
+            self.faults_injected += 1;
+        }
+        let err = DiskError {
+            used: self.used_bytes(),
+            capacity: self.capacity_bytes,
+            requested: self.record_bytes,
+            injected,
+        };
+        Err((record, err))
+    }
+
+    /// The records currently on disk, without touching any read counter —
+    /// an auditor's view, not an I/O operation.
+    #[must_use]
+    pub fn peek(&self) -> &[T] {
+        &self.records
     }
 
     /// Drains every record off the disk, in write order, counting one read
@@ -165,6 +295,21 @@ impl<T> SimDisk<T> {
     #[must_use]
     pub fn reads(&self) -> u64 {
         self.reads
+    }
+
+    /// Total write attempts over the disk's lifetime, including refused
+    /// and faulted ones (the [`FaultPlan`]'s attempt counter).
+    #[must_use]
+    pub fn write_attempts(&self) -> u64 {
+        self.write_attempts
+    }
+
+    /// How many write failures the [`FaultPlan`] injected (k-th-write,
+    /// random, or force-full failures that genuine capacity would have
+    /// allowed).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
     }
 }
 
@@ -219,5 +364,75 @@ mod tests {
         let mut d: SimDisk<u8> = SimDisk::new(0, 32);
         assert!(!d.has_space());
         assert!(d.write(1).is_err());
+    }
+
+    #[test]
+    fn fault_plan_fails_exactly_the_kth_write() {
+        let mut d: SimDisk<u32> = SimDisk::new(4096, 32);
+        d.set_fault_plan(FaultPlan::new().fail_write(3));
+        d.write(1).unwrap();
+        d.write(2).unwrap();
+        let (rec, err) = d.write(3).unwrap_err();
+        assert_eq!(rec, 3);
+        assert!(err.injected);
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // The 4th attempt succeeds again; only attempt 3 was doomed.
+        d.write(4).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.faults_injected(), 1);
+        assert_eq!(d.write_attempts(), 4);
+        assert_eq!(d.writes(), 3);
+    }
+
+    #[test]
+    fn random_faults_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut d: SimDisk<u32> = SimDisk::new(1 << 20, 32);
+            d.set_fault_plan(FaultPlan::new().fail_randomly(seed, 0.3));
+            (0..200u32).map(|i| d.write(i).is_err()).collect::<Vec<_>>()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must fail the same attempts");
+        assert_ne!(a, c, "different seeds should differ");
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!((20..=100).contains(&failures), "p=0.3 over 200: {failures}");
+    }
+
+    #[test]
+    fn force_full_after_watermark_is_permanent() {
+        let mut d: SimDisk<u32> = SimDisk::new(4096, 32);
+        d.set_fault_plan(FaultPlan::new().force_full_after(64));
+        d.write(1).unwrap();
+        d.write(2).unwrap();
+        // Watermark reached: full forever, even after a drain frees space.
+        assert!(!d.has_space());
+        let (_, err) = d.write(3).unwrap_err();
+        assert!(err.injected);
+        let _ = d.drain_all();
+        assert!(d.is_empty());
+        assert!(!d.has_space(), "degradation must survive drains");
+        assert!(d.write(4).is_err());
+        assert_eq!(d.faults_injected(), 2);
+    }
+
+    #[test]
+    fn genuine_full_is_not_reported_as_injected() {
+        let mut d: SimDisk<u32> = SimDisk::new(32, 32);
+        d.set_fault_plan(FaultPlan::new().fail_write(99));
+        d.write(1).unwrap();
+        let (_, err) = d.write(2).unwrap_err();
+        assert!(!err.injected);
+        assert_eq!(d.faults_injected(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_touch_read_counters() {
+        let mut d: SimDisk<u32> = SimDisk::new(4096, 32);
+        d.write(7).unwrap();
+        assert_eq!(d.peek(), &[7]);
+        assert_eq!(d.reads(), 0);
+        assert_eq!(d.bytes_read(), 0);
     }
 }

@@ -31,6 +31,6 @@ pub mod layout;
 pub mod stats;
 
 pub use budget::{BudgetError, MemoryBudget};
-pub use disk::{DiskError, SimDisk};
+pub use disk::{DiskError, FaultPlan, SimDisk};
 pub use layout::PageLayout;
 pub use stats::IoStats;

@@ -153,6 +153,92 @@ fn metrics_json_matches_stdout() {
     }
 }
 
+/// `--threads 4 --metrics-json` must emit the schema-v2 parallel fields,
+/// and `--threads 1` must produce artifacts byte-identical to the serial
+/// path (no `--threads` flag at all) — the degenerate shard count is not
+/// allowed to perturb the clustering.
+#[test]
+fn threads_flag_schema_v2_and_serial_identity() {
+    let data = tmp("threads-data.csv");
+    let metrics = tmp("threads-metrics.json");
+
+    let out = cli()
+        .args(["generate", "--preset", "ds1", "--out"])
+        .arg(&data)
+        .args(["--per-cluster", "40", "--seed", "23"])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Parallel run: schema-v2 JSON with thread/merge/shard fields.
+    let out = cli()
+        .args(["cluster", "--input"])
+        .arg(&data)
+        .args(["--k", "100", "--threads", "4", "--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .expect("run cluster --threads 4");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"schema_version\":2"), "{json}");
+    assert!(json.contains("\"threads\":4"), "{json}");
+    assert!(json.contains("\"merge_s\":"), "{json}");
+    assert!(json.contains("\"shards\":[{\"shard\":0,"), "{json}");
+
+    // `--threads 1` vs the serial default: byte-identical artifacts.
+    // BIRCH_THREADS is scrubbed so the flagless run really is serial even
+    // under the CI matrix that exports it.
+    let run = |threads: Option<&str>, tag: &str| {
+        let summary = tmp(&format!("threads-summary-{tag}.csv"));
+        let labels = tmp(&format!("threads-labels-{tag}.csv"));
+        let mut cmd = cli();
+        cmd.env_remove("BIRCH_THREADS")
+            .args(["cluster", "--input"])
+            .arg(&data)
+            .args(["--k", "100", "--summary-out"])
+            .arg(&summary)
+            .arg("--labels-out")
+            .arg(&labels);
+        if let Some(t) = threads {
+            cmd.args(["--threads", t]);
+        }
+        let out = cmd.output().expect("run cluster");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let s = std::fs::read(&summary).unwrap();
+        let l = std::fs::read(&labels).unwrap();
+        for p in [&summary, &labels] {
+            std::fs::remove_file(p).ok();
+        }
+        (s, l)
+    };
+    let (summary_one, labels_one) = run(Some("1"), "one");
+    let (summary_ser, labels_ser) = run(None, "ser");
+    assert!(
+        summary_one == summary_ser,
+        "--threads 1 summary differs from the serial path"
+    );
+    assert!(
+        labels_one == labels_ser,
+        "--threads 1 labels differ from the serial path"
+    );
+
+    for p in [&data, &metrics] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
 #[test]
 fn cluster_rejects_missing_file() {
     let out = cli()
