@@ -2,6 +2,8 @@
 //! CPU cost analysis: inserting a point costs O(d·B·(1+log_B(M/P))) CF
 //! distance evaluations plus one CF update).
 
+use birch_bench::scalar_distance_replica;
+use birch_core::distance::{farthest_pair, CfBlock};
 use birch_core::{Cf, DistanceMetric, Point};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -57,5 +59,48 @@ fn bench_distances(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_add_point, bench_merge, bench_distances);
+/// The split seeding scan (§4.3: farthest pair among L+1 entries) as a
+/// pairwise matrix, kernel vs scalar, per metric at dim 16.
+fn bench_split_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cf_split_matrix");
+    let dim = 16;
+    let entries: Vec<Cf> = (0..32).map(|i| make_cf(dim, 4, f64::from(i))).collect();
+    let block = CfBlock::from_cfs(&entries);
+    for metric in [DistanceMetric::D2, DistanceMetric::D4] {
+        group.bench_with_input(
+            BenchmarkId::new("scalar", metric),
+            &metric,
+            |bencher, &m| {
+                bencher.iter(|| {
+                    let mut far: Option<(usize, usize, f64)> = None;
+                    for i in 0..entries.len() {
+                        for j in (i + 1)..entries.len() {
+                            let d = scalar_distance_replica(m, &entries[i], &entries[j]);
+                            if far.is_none_or(|(_, _, fd)| d > fd) {
+                                far = Some((i, j, d));
+                            }
+                        }
+                    }
+                    black_box(far)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kernel", metric),
+            &metric,
+            |bencher, &m| {
+                bencher.iter(|| black_box(farthest_pair(m, black_box(&block))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_add_point,
+    bench_merge,
+    bench_distances,
+    bench_split_matrix
+);
 criterion_main!(benches);

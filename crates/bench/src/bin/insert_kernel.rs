@@ -1,0 +1,290 @@
+//! Insert-path kernel microbenchmark: batched SoA distance kernels vs the
+//! seed-era scalar loop, swept over dimensionality.
+//!
+//! Three hot loops are timed per dim ∈ {2, 8, 32, 128} × metric ∈ D0–D4:
+//!
+//! * `descent` — the §4.3 closest-child scan at B = 25: scalar first-min
+//!   over a `Vec<Cf>` (every `‖LS‖²` re-derived per call) vs one
+//!   [`closest_among`] sweep over a [`CfBlock`].
+//! * `split` — the §4.3 split seeding: farthest pair among L+1 = 32
+//!   entries, scalar double loop vs [`farthest_pair`].
+//! * `phase3` — the Phase-3 heap-init pairwise matrix over 64 leaf
+//!   entries, scalar vs [`pair_in_block`].
+//!
+//! Both sides compute bit-identical distances (the scalar baseline is
+//! [`scalar_distance_replica`]); only the memory layout and norm reuse
+//! differ, so the reported speedup isolates exactly the PR's claim.
+//! Writes `BENCH_insert_kernel.json` and finishes with two end-to-end
+//! `# METRICS` lines (D0 descent-prune off/on) so the new distance-call
+//! counters land in the committed bench trajectory.
+//!
+//! ```text
+//! cargo run --release -p birch-bench --bin insert_kernel \
+//!     [-- --seed 42 --reps 5 --out BENCH_insert_kernel.json]
+//! ```
+
+use birch_bench::{print_header, print_metrics, print_row, scalar_distance_replica};
+use birch_core::distance::{closest_among, farthest_pair, pair_in_block, CfBlock};
+use birch_core::{Birch, BirchConfig, Cf, DistanceMetric, Point};
+use std::time::Instant;
+
+const DIMS: [usize; 4] = [2, 8, 32, 128];
+const DESCENT_FANOUT: usize = 25;
+const SPLIT_ENTRIES: usize = 32;
+const PHASE3_ENTRIES: usize = 64;
+
+/// xorshift64 — deterministic input without external RNG crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn make_cfs(dim: usize, count: usize, rng: &mut Rng) -> Vec<Cf> {
+    (0..count)
+        .map(|_| {
+            let mut cf = Cf::empty(dim);
+            for _ in 0..3 {
+                cf.add_point(&Point::new((0..dim).map(|_| rng.f64() * 50.0).collect()));
+            }
+            cf
+        })
+        .collect()
+}
+
+/// Min-of-`reps` wall time per call of `f`, each rep running `iters`
+/// calls back to back.
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            sink += f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    assert!(sink.is_finite(), "benchmark kernels must stay finite");
+    best
+}
+
+struct Row {
+    dim: usize,
+    metric: DistanceMetric,
+    op: &'static str,
+    scalar_ns: f64,
+    kernel_ns: f64,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("null")
+    }
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut reps = 5usize;
+    let mut out_path = String::from("BENCH_insert_kernel.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("--reps must be an integer");
+                assert!(reps >= 1, "--reps must be >= 1");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out needs a value");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: insert_kernel [--seed n] [--reps n] [--out f]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+    }
+
+    println!(
+        "Insert-path kernels vs scalar baseline: dims {DIMS:?}, reps={reps} (min wall kept)\n"
+    );
+    let widths = [5, 7, 8, 11, 11, 8];
+    print_header(
+        &["dim", "metric", "op", "scalar-ns", "kernel-ns", "speedup"],
+        &widths,
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &dim in &DIMS {
+        // Scale inner iterations down as dims grow to keep runtime flat.
+        let iters = (200_000 / dim).max(500);
+        for metric in DistanceMetric::ALL {
+            let mut rng = Rng(seed ^ (dim as u64) << 8 ^ metric as u64);
+
+            // -- descent: closest child among B candidates.
+            let cands = make_cfs(dim, DESCENT_FANOUT, &mut rng);
+            let probe = make_cfs(dim, 1, &mut rng).pop().unwrap();
+            let block = CfBlock::from_cfs(&cands);
+            let scalar_ns = time_ns(reps, iters, || {
+                let mut best: Option<(usize, f64)> = None;
+                for (i, cand) in cands.iter().enumerate() {
+                    let d = scalar_distance_replica(metric, &probe, cand);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+                best.map_or(0.0, |(_, d)| d)
+            });
+            let kernel_ns = time_ns(reps, iters, || {
+                closest_among(metric, &probe, &block).map_or(0.0, |(_, d)| d)
+            });
+            rows.push(Row {
+                dim,
+                metric,
+                op: "descent",
+                scalar_ns,
+                kernel_ns,
+            });
+
+            // -- split: farthest pair among L+1 entries.
+            let entries = make_cfs(dim, SPLIT_ENTRIES, &mut rng);
+            let eblock = CfBlock::from_cfs(&entries);
+            let pair_iters = (iters / 20).max(50);
+            let scalar_ns = time_ns(reps, pair_iters, || {
+                let mut far: Option<(usize, usize, f64)> = None;
+                for i in 0..entries.len() {
+                    for j in (i + 1)..entries.len() {
+                        let d = scalar_distance_replica(metric, &entries[i], &entries[j]);
+                        if far.is_none_or(|(_, _, fd)| d > fd) {
+                            far = Some((i, j, d));
+                        }
+                    }
+                }
+                far.map_or(0.0, |(_, _, d)| d)
+            });
+            let kernel_ns = time_ns(reps, pair_iters, || {
+                farthest_pair(metric, &eblock).map_or(0.0, |(_, _, d)| d)
+            });
+            rows.push(Row {
+                dim,
+                metric,
+                op: "split",
+                scalar_ns,
+                kernel_ns,
+            });
+
+            // -- phase3: the heap-init pairwise matrix over leaf entries.
+            let leaves = make_cfs(dim, PHASE3_ENTRIES, &mut rng);
+            let lblock = CfBlock::from_cfs(&leaves);
+            let mat_iters = (iters / 80).max(20);
+            let scalar_ns = time_ns(reps, mat_iters, || {
+                let mut acc = 0.0;
+                for i in 0..leaves.len() {
+                    for j in (i + 1)..leaves.len() {
+                        acc += scalar_distance_replica(metric, &leaves[i], &leaves[j]);
+                    }
+                }
+                acc
+            });
+            let kernel_ns = time_ns(reps, mat_iters, || {
+                let mut acc = 0.0;
+                for i in 0..lblock.len() {
+                    for j in (i + 1)..lblock.len() {
+                        acc += pair_in_block(metric, &lblock, i, j);
+                    }
+                }
+                acc
+            });
+            rows.push(Row {
+                dim,
+                metric,
+                op: "phase3",
+                scalar_ns,
+                kernel_ns,
+            });
+        }
+    }
+
+    for r in &rows {
+        print_row(
+            &[
+                format!("{}", r.dim),
+                format!("{}", r.metric),
+                r.op.to_string(),
+                format!("{:.1}", r.scalar_ns),
+                format!("{:.1}", r.kernel_ns),
+                format!("{:.2}", r.scalar_ns / r.kernel_ns),
+            ],
+            &widths,
+        );
+    }
+
+    let mut json = format!(
+        "{{\"bench\":\"insert_kernel\",\"seed\":{seed},\"reps\":{reps},\
+         \"descent_fanout\":{DESCENT_FANOUT},\"split_entries\":{SPLIT_ENTRIES},\
+         \"phase3_entries\":{PHASE3_ENTRIES},\"rows\":["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"dim\":{},\"metric\":\"{}\",\"op\":\"{}\",\"scalar_ns\":{},\
+             \"kernel_ns\":{},\"speedup\":{}}}",
+            r.dim,
+            r.metric,
+            r.op,
+            json_f64(r.scalar_ns),
+            json_f64(r.kernel_ns),
+            json_f64(r.scalar_ns / r.kernel_ns),
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nresults written to {out_path}");
+
+    // End-to-end counter datapoints: a fixed D0 workload with the descent
+    // prune off vs on. The clusterings are identical (the prune is
+    // selection-exact); only the distance-call counters move.
+    let mut rng = Rng(seed ^ 0xE2E);
+    let pts: Vec<Point> = (0..20_000)
+        .map(|i| {
+            let c = f64::from(i % 10) * 40.0;
+            Point::xy(c + rng.f64() * 3.0, c + rng.f64() * 3.0)
+        })
+        .collect();
+    for (label, prune) in [
+        ("insert_kernel_prune_off", false),
+        ("insert_kernel_prune_on", true),
+    ] {
+        let config = BirchConfig::with_clusters(10)
+            .memory(32 * 1024)
+            .metric(DistanceMetric::D0)
+            .descend_prune(prune)
+            .total_points(pts.len() as u64);
+        let model = Birch::new(config).fit(&pts).expect("fit succeeds");
+        print_metrics(label, &model);
+    }
+}

@@ -14,9 +14,65 @@
 
 #![forbid(unsafe_code)]
 
-use birch_core::{Birch, BirchConfig, BirchModel, Cf};
+use birch_core::{Birch, BirchConfig, BirchModel, Cf, DistanceMetric};
 use birch_datagen::{presets, Dataset, DatasetSpec};
 use std::time::{Duration, Instant};
+
+/// Pre-memoization replica of [`DistanceMetric::distance`]: every `‖LS‖²`
+/// self-term is re-derived with a fresh dot product instead of read from
+/// the [`Cf::ls_sq`] cache, and operands are walked through each `Cf`'s
+/// own boxed `LS` — the seed-era arithmetic the batched kernels replaced.
+///
+/// The kernel benches and the `insert_kernel` bin use this as their
+/// scalar baseline. Results are bit-identical to the production path
+/// (the memo is itself refreshed by exact recomputation, and the operand
+/// order below matches `distance.rs` term for term); only the cost
+/// differs.
+#[must_use]
+pub fn scalar_distance_replica(metric: DistanceMetric, a: &Cf, b: &Cf) -> f64 {
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+    let (na, nb) = (a.n(), b.n());
+    match metric {
+        DistanceMetric::D0 => a
+            .ls()
+            .iter()
+            .zip(b.ls())
+            .map(|(&x, &y)| {
+                let d = x / na - y / nb;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt(),
+        DistanceMetric::D1 => a
+            .ls()
+            .iter()
+            .zip(b.ls())
+            .map(|(&x, &y)| (x / na - y / nb).abs())
+            .sum(),
+        DistanceMetric::D2 => {
+            let num = nb * a.ss() + na * b.ss() - 2.0 * dot(a.ls(), b.ls());
+            (num.max(0.0) / (na * nb)).sqrt()
+        }
+        DistanceMetric::D3 => {
+            let n = na + nb;
+            if n <= 1.0 {
+                return 0.0;
+            }
+            let ss = a.ss() + b.ss();
+            let merged = dot(a.ls(), a.ls()) + 2.0 * dot(a.ls(), b.ls()) + dot(b.ls(), b.ls());
+            let num = 2.0 * n * ss - 2.0 * merged;
+            (num.max(0.0) / (n * (n - 1.0))).sqrt()
+        }
+        DistanceMetric::D4 => {
+            let n = na + nb;
+            let merged = dot(a.ls(), a.ls()) + 2.0 * dot(a.ls(), b.ls()) + dot(b.ls(), b.ls());
+            let inc = dot(a.ls(), a.ls()) / na + dot(b.ls(), b.ls()) / nb - merged / n;
+            inc.max(0.0).sqrt()
+        }
+    }
+}
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -221,6 +277,40 @@ mod tests {
             seed: 0,
         };
         assert_eq!(args.n_per_cluster(1000), 2);
+    }
+
+    #[test]
+    fn scalar_replica_bit_matches_production_distance() {
+        use birch_core::Point;
+        let mk = |seed: u64, n: usize, dim: usize| {
+            let mut cf = Cf::empty(dim);
+            let mut s = seed;
+            for _ in 0..n {
+                let coords: Vec<f64> = (0..dim)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        (s >> 11) as f64 / (1u64 << 53) as f64 * 20.0
+                    })
+                    .collect();
+                cf.add_point(&Point::new(coords));
+            }
+            cf
+        };
+        for dim in [2usize, 8, 32] {
+            let a = mk(0xA11CE, 5, dim);
+            let b = mk(0xB0B, 3, dim);
+            for metric in DistanceMetric::ALL {
+                let replica = scalar_distance_replica(metric, &a, &b);
+                let production = metric.distance(&a, &b);
+                assert_eq!(
+                    replica.to_bits(),
+                    production.to_bits(),
+                    "replica diverged under {metric:?} at dim {dim}: {replica} vs {production}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!    cached `leaf_entry_count` correct, arena ids consistent, free-list
 //!    slots unreachable, and (optionally) end-to-end N conservation
 //!    against the points actually fed.
+//! 6. **Cached statistics**: every CF's memoized `‖LS‖²` matches a
+//!    from-scratch `LS·LS` within tolerance (drift is additionally
+//!    reported as the measurable [`AuditReport::norm_cache_drift`] —
+//!    exactly `0` under the current refresh-by-recomputation policy), and
+//!    every node's flat SoA mirror ([`crate::distance::CfBlock`]) matches
+//!    its entries bit for bit.
 //!
 //! Floating-point drift between the incrementally maintained CFs and the
 //! recomputed-from-scratch ones is reported as a *measurable*
@@ -38,7 +44,7 @@
 //! tree operation (debug soak runs; see `CfTree::strict_audit`).
 
 use crate::cf::Cf;
-use crate::node::{NodeId, NodeKind};
+use crate::node::{Node, NodeId, NodeKind};
 use crate::tree::CfTree;
 use std::collections::HashSet;
 use std::fmt;
@@ -118,6 +124,11 @@ pub enum ViolationKind {
     CountMismatch,
     /// A node's stamped arena id disagrees with its slot.
     IdMismatch,
+    /// A CF's memoized `‖LS‖²` disagrees with a from-scratch `LS·LS`
+    /// beyond tolerance.
+    NormCacheMismatch,
+    /// A node's flat SoA mirror disagrees with its entries.
+    BlockDesync,
 }
 
 impl fmt::Display for ViolationKind {
@@ -139,6 +150,8 @@ impl fmt::Display for ViolationKind {
             ViolationKind::FreeNodeReachable => "free node reachable",
             ViolationKind::CountMismatch => "leaf entry count mismatch",
             ViolationKind::IdMismatch => "arena id mismatch",
+            ViolationKind::NormCacheMismatch => "norm cache mismatch",
+            ViolationKind::BlockDesync => "block mirror desync",
         };
         f.write_str(name)
     }
@@ -220,6 +233,12 @@ pub struct AuditReport {
     /// Drift between the tracked total CF and the root's recomputed
     /// summary (end-to-end accumulation over the whole run).
     pub root_drift: Drift,
+    /// Worst relative drift between any CF's memoized `‖LS‖²` and a
+    /// from-scratch `LS·LS` dot product. The cache is refreshed by exact
+    /// recomputation after every `LS` mutation, so this is `0` unless the
+    /// refresh policy regresses — the measurable exists to catch exactly
+    /// that.
+    pub norm_cache_drift: f64,
 }
 
 /// Audits `tree` with default [`AuditOptions`].
@@ -327,6 +346,79 @@ pub fn audit_with(tree: &CfTree, opts: &AuditOptions) -> Result<AuditReport, Aud
     Ok(report)
 }
 
+/// Verifies a node's SoA mirror matches its entries bit for bit. The
+/// mutators copy each statistic into the mirror verbatim, so anything
+/// short of bit equality means a mutation bypassed them.
+fn check_block_sync(node: &Node, id: NodeId) -> Result<(), AuditViolation> {
+    let block = node.block();
+    let count = node.entry_count();
+    if block.len() != count {
+        return Err(AuditViolation {
+            kind: ViolationKind::BlockDesync,
+            node: Some(id),
+            detail: format!(
+                "mirror holds {} rows, node holds {count} entries",
+                block.len()
+            ),
+        });
+    }
+    for i in 0..count {
+        let cf = match &node.kind {
+            NodeKind::Leaf { entries, .. } => &entries[i],
+            NodeKind::Interior { children } => &children[i].cf,
+        };
+        let exact = block.row_n(i).to_bits() == cf.n().to_bits()
+            && block.row_ss(i).to_bits() == cf.ss().to_bits()
+            && block.row_ls_sq(i).to_bits() == cf.ls_sq().to_bits()
+            && block.row_ls(i).len() == cf.ls().len()
+            && block
+                .row_ls(i)
+                .iter()
+                .zip(cf.ls())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !exact {
+            return Err(AuditViolation {
+                kind: ViolationKind::BlockDesync,
+                node: Some(id),
+                detail: format!(
+                    "mirror row {i} (n {}, ss {}, ‖LS‖² {}) disagrees with entry {cf:?}",
+                    block.row_n(i),
+                    block.row_ss(i),
+                    block.row_ls_sq(i)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Measures the drift between a CF's memoized `‖LS‖²` and a from-scratch
+/// `LS·LS`, folding it into the report and failing beyond tolerance.
+fn check_norm_cache(
+    cf: &Cf,
+    id: NodeId,
+    what: &str,
+    i: usize,
+    opts: &AuditOptions,
+    report: &mut AuditReport,
+) -> Result<(), AuditViolation> {
+    let recomputed: f64 = cf.ls().iter().map(|x| x * x).sum();
+    let drift = Drift::component(cf.ls_sq(), recomputed);
+    report.norm_cache_drift = report.norm_cache_drift.max(drift);
+    if drift > opts.rel_tol {
+        return Err(AuditViolation {
+            kind: ViolationKind::NormCacheMismatch,
+            node: Some(id),
+            detail: format!(
+                "{what} {i} caches ‖LS‖² = {} but LS·LS recomputes to {recomputed} \
+                 (drift {drift:.3e})",
+                cf.ls_sq()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Recursively audits the subtree at `id`, returning its
 /// recomputed-from-scratch CF.
 fn check_subtree(
@@ -353,6 +445,7 @@ fn check_subtree(
             detail: format!("arena slot {id:?} holds a node stamped {:?}", node.id()),
         });
     }
+    check_block_sync(node, id)?;
     match &node.kind {
         NodeKind::Leaf { entries, .. } => {
             if depth != tree.height {
@@ -389,6 +482,10 @@ fn check_subtree(
                         detail: format!("entry {i} is empty"),
                     });
                 }
+                // Before the threshold test: the statistic itself reads
+                // the memoized norm, so a poisoned cache must be reported
+                // as a cache failure, not a threshold one.
+                check_norm_cache(e, id, "entry", i, opts, report)?;
                 let stat = tree.params.threshold_kind.statistic(e);
                 if e.n() > 1.0 && stat > limit {
                     return Err(AuditViolation {
@@ -428,6 +525,7 @@ fn check_subtree(
             }
             let mut cf = Cf::empty(tree.params.dim);
             for (i, c) in children.iter().enumerate() {
+                check_norm_cache(&c.cf, id, "child", i, opts, report)?;
                 let child_cf =
                     check_subtree(tree, c.child, depth + 1, opts, seen, dfs_leaves, report)?;
                 let mut drift = Drift::default();
@@ -532,6 +630,7 @@ mod tests {
             threshold_kind: ThresholdKind::Diameter,
             metric: DistanceMetric::D2,
             merge_refinement: true,
+            descend_prune: false,
         }
     }
 
@@ -588,8 +687,10 @@ mod tests {
             let bump = Cf::from_point(&Point::xy(1e6, -1e6));
             children[0].cf.merge(&bump);
         }
-        // Keep the tracked total consistent so only Additivity breaks:
-        // the recomputed root is built from leaves, which are untouched.
+        // Resync the SoA mirror so only Additivity breaks; the tracked
+        // total also stays consistent because the recomputed root is built
+        // from leaves, which are untouched.
+        t.nodes[nid.index()].rebuild_block();
         let v = audit(&t).unwrap_err();
         assert_eq!(v.kind, ViolationKind::ParentCfMismatch, "{v}");
         assert_eq!(v.node, Some(nid));
@@ -734,6 +835,44 @@ mod tests {
     }
 
     #[test]
+    fn detects_norm_cache_mismatch() {
+        let mut t = grown_tree();
+        let leaf = t.first_leaf;
+        if let NodeKind::Leaf { entries, .. } = &mut t.nodes[leaf.index()].kind {
+            entries[0].corrupt_ls_sq_for_test(0.5);
+        }
+        // Resync the mirror so the poisoned cache is the only defect.
+        t.nodes[leaf.index()].rebuild_block();
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::NormCacheMismatch, "{v}");
+        assert_eq!(v.node, Some(leaf));
+    }
+
+    #[test]
+    fn detects_block_desync() {
+        let mut t = grown_tree();
+        let leaf = t.first_leaf;
+        // Mutate an entry's CF behind the mutators' back: the SoA mirror
+        // goes stale, which must be caught before anything downstream
+        // (threshold, Additivity) trips over the same mutation.
+        if let NodeKind::Leaf { entries, .. } = &mut t.nodes[leaf.index()].kind {
+            entries[0].merge(&Cf::from_point(&Point::xy(3.0, 3.0)));
+        }
+        let v = audit(&t).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::BlockDesync, "{v}");
+        assert_eq!(v.node, Some(leaf));
+    }
+
+    #[test]
+    fn norm_cache_drift_is_exactly_zero() {
+        // The refresh-by-recomputation policy promises a bit-exact cache;
+        // the measurable must read 0, not merely "within tolerance".
+        let t = grown_tree();
+        let r = audit(&t).unwrap();
+        assert_eq!(r.norm_cache_drift, 0.0);
+    }
+
+    #[test]
     fn detects_id_mismatch() {
         let mut t = grown_tree();
         let second = t.leaf_ids().nth(1).expect("two leaves");
@@ -749,6 +888,7 @@ mod tests {
         if let NodeKind::Interior { children } = &mut t.nodes[nid.index()].kind {
             children[0].cf.merge(&Cf::from_point(&Point::xy(1e6, 0.0)));
         }
+        t.nodes[nid.index()].rebuild_block();
         let msg = audit(&t).unwrap_err().to_string();
         assert!(msg.contains("parent CF mismatch"), "{msg}");
         assert!(msg.contains("NodeId"), "{msg}");

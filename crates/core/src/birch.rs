@@ -380,10 +380,6 @@ impl Birch {
             recorder.absorb_report(&out.metrics);
             (out.tree, out.estimator, recorder)
         } else {
-            let input = points.iter().enumerate().map(|(i, p)| match weights {
-                Some(w) => Cf::from_weighted_point(p, w[i]),
-                None => Cf::from_point(p),
-            });
             let Phase1Output {
                 tree,
                 io,
@@ -392,7 +388,7 @@ impl Birch {
                 outliers,
                 estimator,
                 metrics,
-            } = phase1::run_with_sink(&config, dim, input, &mut *sink);
+            } = phase1::run_points_with_sink(&config, dim, points, weights, &mut *sink);
             stats.io = io;
             stats.threshold_history = threshold_history;
             drop(outliers); // counters already folded into io by phase 1

@@ -20,6 +20,16 @@ use crate::point::{dot, Point};
 use std::fmt;
 
 /// A Clustering Feature: the exact sufficient statistics of a subcluster.
+///
+/// Alongside the paper's `(N, LS, SS)` triple, a derived statistic
+/// `‖LS‖² = LS·LS` is memoized (BETULA-style cached derived statistics):
+/// radius, diameter and the closed-form distances D3/D4 all need it, and
+/// without the cache every tree-descent distance call re-derives it with a
+/// full O(d) dot product. The cache is refreshed by *exact recomputation*
+/// after every mutation of `LS` — the refresh costs the same O(d) as an
+/// algebraic incremental update would, but keeps the cached value
+/// bit-identical to a from-scratch `dot(ls, ls)` forever (zero drift by
+/// construction; the auditor still measures it as a regression guard).
 #[derive(Clone, PartialEq)]
 pub struct Cf {
     /// Total (weighted) number of points, `N`.
@@ -28,6 +38,8 @@ pub struct Cf {
     ls: Box<[f64]>,
     /// Scalar square sum `SS = Σ wᵢ·Xᵢ·Xᵢ`.
     ss: f64,
+    /// Memoized `‖LS‖² = dot(LS, LS)`, refreshed on every mutation of `ls`.
+    ls_sq: f64,
 }
 
 impl Cf {
@@ -43,6 +55,7 @@ impl Cf {
             n: 0.0,
             ls: vec![0.0; dim].into_boxed_slice(),
             ss: 0.0,
+            ls_sq: 0.0,
         }
     }
 
@@ -61,10 +74,13 @@ impl Cf {
     pub fn from_weighted_point(p: &Point, w: f64) -> Self {
         assert!(w.is_finite() && w > 0.0, "weight must be positive, got {w}");
         let ls: Vec<f64> = p.iter().map(|c| c * w).collect();
+        let ls = ls.into_boxed_slice();
+        let ls_sq = dot(&ls, &ls);
         Self {
             n: w,
-            ls: ls.into_boxed_slice(),
+            ls,
             ss: w * dot(p, p),
+            ls_sq,
         }
     }
 
@@ -114,6 +130,58 @@ impl Cf {
         self.ss
     }
 
+    /// Memoized `‖LS‖² = dot(LS, LS)`.
+    ///
+    /// Bit-identical to recomputing `dot(self.ls(), self.ls())` from
+    /// scratch: every mutation of `LS` refreshes the cache by exact
+    /// recomputation, so callers may substitute this value anywhere the
+    /// dot product appears without changing a single result bit.
+    #[must_use]
+    pub fn ls_sq(&self) -> f64 {
+        self.ls_sq
+    }
+
+    /// Test-only corruption of the memoized norm, giving the auditor's
+    /// norm-cache check a deterministic failure to detect.
+    #[cfg(test)]
+    pub(crate) fn corrupt_ls_sq_for_test(&mut self, delta: f64) {
+        self.ls_sq += delta;
+    }
+
+    /// Reassigns this CF to a single unweighted point, reusing the `LS`
+    /// buffer. Bitwise-equal to `*self = Cf::from_point(p)` without the
+    /// per-point heap allocation — the insert hot path's scratch entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn assign_point(&mut self, p: &Point) {
+        self.assign_weighted_point(p, 1.0);
+    }
+
+    /// Reassigns this CF to a single point with weight `w > 0`, reusing
+    /// the `LS` buffer (see [`Cf::assign_point`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive weight.
+    pub fn assign_weighted_point(&mut self, p: &Point, w: f64) {
+        assert!(w.is_finite() && w > 0.0, "weight must be positive, got {w}");
+        assert_eq!(
+            p.dim(),
+            self.dim(),
+            "dimension mismatch: point {} vs CF {}",
+            p.dim(),
+            self.dim()
+        );
+        self.n = w;
+        for (l, c) in self.ls.iter_mut().zip(p.iter()) {
+            *l = c * w;
+        }
+        self.ss = w * dot(p, p);
+        self.ls_sq = dot(&self.ls, &self.ls);
+    }
+
     /// Adds one unweighted point (Additivity Theorem with a singleton).
     pub fn add_point(&mut self, p: &Point) {
         self.add_weighted_point(p, 1.0);
@@ -138,6 +206,7 @@ impl Cf {
             *l += w * c;
         }
         self.ss += w * dot(p, p);
+        self.ls_sq = dot(&self.ls, &self.ls);
     }
 
     /// Merges another CF into this one (the Additivity Theorem).
@@ -158,6 +227,7 @@ impl Cf {
             *l += o;
         }
         self.ss += other.ss;
+        self.ls_sq = dot(&self.ls, &self.ls);
     }
 
     /// Returns the merge of two CFs without mutating either.
@@ -199,6 +269,7 @@ impl Cf {
             self.ls.iter_mut().for_each(|l| *l = 0.0);
             self.ss = 0.0;
         }
+        self.ls_sq = dot(&self.ls, &self.ls);
     }
 
     /// Centroid `X0 = LS / N` (paper eq. 1).
@@ -220,7 +291,7 @@ impl Cf {
         if self.is_empty() {
             return 0.0;
         }
-        (self.ss - dot(&self.ls, &self.ls) / self.n).max(0.0)
+        (self.ss - self.ls_sq / self.n).max(0.0)
     }
 
     /// Radius `R = sqrt(Σ‖Xᵢ − X0‖² / N)` (paper eq. 2): average distance
@@ -241,7 +312,7 @@ impl Cf {
         if self.n <= 1.0 {
             return 0.0;
         }
-        let num = 2.0 * self.n * self.ss - 2.0 * dot(&self.ls, &self.ls);
+        let num = 2.0 * self.n * self.ss - 2.0 * self.ls_sq;
         (num.max(0.0) / (self.n * (self.n - 1.0))).sqrt()
     }
 }
@@ -414,5 +485,44 @@ mod tests {
         let cf = Cf::from_point(&Point::xy(1.0, 2.0));
         let s = format!("{cf:?}");
         assert!(s.starts_with("CF(N=1.0"));
+    }
+
+    #[test]
+    fn ls_sq_cache_is_bit_exact_across_mutations() {
+        let mut cf = Cf::empty(2);
+        assert_eq!(cf.ls_sq(), 0.0);
+        cf.add_point(&Point::xy(1.5, -2.25));
+        assert_eq!(cf.ls_sq().to_bits(), dot(cf.ls(), cf.ls()).to_bits());
+        cf.add_weighted_point(&Point::xy(0.3, 0.7), 2.5);
+        assert_eq!(cf.ls_sq().to_bits(), dot(cf.ls(), cf.ls()).to_bits());
+        let other = Cf::from_points(&pts(&[[4.0, 1.0], [-2.0, 3.0]]));
+        cf.merge(&other);
+        assert_eq!(cf.ls_sq().to_bits(), dot(cf.ls(), cf.ls()).to_bits());
+        cf.subtract(&other);
+        assert_eq!(cf.ls_sq().to_bits(), dot(cf.ls(), cf.ls()).to_bits());
+    }
+
+    #[test]
+    fn assign_point_matches_from_point_bitwise() {
+        let p = Point::xy(3.25, -7.5);
+        let mut scratch = Cf::from_point(&Point::xy(99.0, 99.0));
+        scratch.assign_point(&p);
+        let fresh = Cf::from_point(&p);
+        assert!(scratch == fresh);
+        assert_eq!(scratch.ls_sq().to_bits(), fresh.ls_sq().to_bits());
+
+        scratch.assign_weighted_point(&p, 2.0);
+        let fresh_w = Cf::from_weighted_point(&p, 2.0);
+        assert!(scratch == fresh_w);
+        assert_eq!(scratch.ls_sq().to_bits(), fresh_w.ls_sq().to_bits());
+    }
+
+    #[test]
+    fn subtract_to_empty_resets_ls_sq() {
+        let a = Cf::from_point(&Point::xy(5.0, 5.0));
+        let mut m = a.clone();
+        m.subtract(&a);
+        assert!(m.is_empty());
+        assert_eq!(m.ls_sq(), 0.0);
     }
 }

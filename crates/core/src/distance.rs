@@ -149,8 +149,12 @@ fn d2(a: &Cf, b: &Cf) -> f64 {
 }
 
 /// ‖LS_a + LS_b‖² without materializing the merged vector.
+///
+/// Reads the memoized [`Cf::ls_sq`] for the two self-terms — bit-identical
+/// to recomputing `dot(ls, ls)` (the cache is refreshed by exact
+/// recomputation), but one dot product instead of three.
 fn merged_ls_sq(a: &Cf, b: &Cf) -> f64 {
-    dot(a.ls(), a.ls()) + 2.0 * dot(a.ls(), b.ls()) + dot(b.ls(), b.ls())
+    a.ls_sq() + 2.0 * dot(a.ls(), b.ls()) + b.ls_sq()
 }
 
 fn d3(a: &Cf, b: &Cf) -> f64 {
@@ -165,8 +169,373 @@ fn d3(a: &Cf, b: &Cf) -> f64 {
 
 fn d4(a: &Cf, b: &Cf) -> f64 {
     let n = a.n() + b.n();
-    let inc = dot(a.ls(), a.ls()) / a.n() + dot(b.ls(), b.ls()) / b.n() - merged_ls_sq(a, b) / n;
+    let inc = a.ls_sq() / a.n() + b.ls_sq() / b.n() - merged_ls_sq(a, b) / n;
     inc.max(0.0).sqrt()
+}
+
+// ---------------------------------------------------------------------
+// Batched distance kernels over a flat SoA block of CFs.
+//
+// The tree-descent inner loop (§4.3: "find the closest child") walks a
+// node's entries calling `DistanceMetric::distance` once per entry; with
+// `Vec<Cf>` each call chases a separate `Box<[f64]>`. A `CfBlock` lays the
+// same entries out as one dim-strided `LS` slab plus parallel `(n, ss,
+// ‖LS‖²)` arrays, so the scan is a linear sweep over contiguous memory and
+// the D3/D4 self-terms come from the cached norms. Accumulation inside
+// every row kernel is per-element sequential in the exact same operand
+// order as the scalar `d0..d4` above — no reassociation — so a kernel scan
+// returns bit-identical distances (and therefore identical argmins,
+// including tie order) to the scalar reference.
+// ---------------------------------------------------------------------
+
+/// A flat, cache-resident mirror of a sequence of CFs: one dim-strided
+/// `LS` slab plus parallel `(N, SS, ‖LS‖²)` arrays.
+///
+/// The dimensionality is fixed lazily by the first row pushed, so an empty
+/// block is dimension-agnostic (a fresh tree node can own one before any
+/// entry exists).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CfBlock {
+    /// Row width; 0 until the first push fixes it.
+    dim: usize,
+    /// Per-row weighted point count `N`.
+    n: Vec<f64>,
+    /// Per-row scalar square sum `SS`.
+    ss: Vec<f64>,
+    /// Per-row memoized `‖LS‖²` (copied from [`Cf::ls_sq`]).
+    ls_sq: Vec<f64>,
+    /// Row-major `LS` slab: row `i` occupies `ls[i*dim .. (i+1)*dim]`.
+    ls: Vec<f64>,
+}
+
+impl CfBlock {
+    /// An empty block with no fixed dimensionality yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A block mirroring `cfs` in order.
+    #[must_use]
+    pub fn from_cfs<'a, I: IntoIterator<Item = &'a Cf>>(cfs: I) -> Self {
+        let mut b = Self::new();
+        for cf in cfs {
+            b.push(cf);
+        }
+        b
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Whether the block holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n.is_empty()
+    }
+
+    /// Row width (0 while the block has never held a row).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn fix_dim(&mut self, dim: usize) {
+        if self.dim == 0 {
+            self.dim = dim;
+        }
+        assert_eq!(
+            dim, self.dim,
+            "dimension mismatch: CF {dim} vs block {}",
+            self.dim
+        );
+    }
+
+    /// Appends a row mirroring `cf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cf`'s dimension disagrees with earlier rows.
+    pub fn push(&mut self, cf: &Cf) {
+        self.fix_dim(cf.dim());
+        self.n.push(cf.n());
+        self.ss.push(cf.ss());
+        self.ls_sq.push(cf.ls_sq());
+        self.ls.extend_from_slice(cf.ls());
+    }
+
+    /// Overwrites row `i` with `cf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `i` or dimension mismatch.
+    pub fn set(&mut self, i: usize, cf: &Cf) {
+        self.fix_dim(cf.dim());
+        self.n[i] = cf.n();
+        self.ss[i] = cf.ss();
+        self.ls_sq[i] = cf.ls_sq();
+        self.ls[i * self.dim..(i + 1) * self.dim].copy_from_slice(cf.ls());
+    }
+
+    /// Inserts a row mirroring `cf` at position `i`, shifting later rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()` or on dimension mismatch.
+    pub fn insert(&mut self, i: usize, cf: &Cf) {
+        self.fix_dim(cf.dim());
+        self.n.insert(i, cf.n());
+        self.ss.insert(i, cf.ss());
+        self.ls_sq.insert(i, cf.ls_sq());
+        self.ls
+            .splice(i * self.dim..i * self.dim, cf.ls().iter().copied());
+    }
+
+    /// Removes row `i`, shifting later rows down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn remove(&mut self, i: usize) {
+        self.n.remove(i);
+        self.ss.remove(i);
+        self.ls_sq.remove(i);
+        self.ls.drain(i * self.dim..(i + 1) * self.dim);
+    }
+
+    /// Removes every row (the dimensionality stays fixed).
+    pub fn clear(&mut self) {
+        self.n.clear();
+        self.ss.clear();
+        self.ls_sq.clear();
+        self.ls.clear();
+    }
+
+    /// Row `i`'s weighted point count `N`.
+    #[must_use]
+    pub fn row_n(&self, i: usize) -> f64 {
+        self.n[i]
+    }
+
+    /// Row `i`'s scalar square sum `SS`.
+    #[must_use]
+    pub fn row_ss(&self, i: usize) -> f64 {
+        self.ss[i]
+    }
+
+    /// Row `i`'s memoized `‖LS‖²`.
+    #[must_use]
+    pub fn row_ls_sq(&self, i: usize) -> f64 {
+        self.ls_sq[i]
+    }
+
+    /// Row `i`'s `LS` slice inside the slab.
+    #[must_use]
+    pub fn row_ls(&self, i: usize) -> &[f64] {
+        &self.ls[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Distance from `a` to block row `i` — bit-identical to
+/// `metric.distance(a, &row_i_cf)`.
+///
+/// # Panics
+///
+/// Panics if `a` is empty, `i` is out of range, or dimensions disagree.
+#[must_use]
+pub fn distance_to_row(metric: DistanceMetric, a: &Cf, block: &CfBlock, i: usize) -> f64 {
+    assert!(!a.is_empty(), "distance from an empty cluster is undefined");
+    assert_eq!(
+        a.dim(),
+        block.dim(),
+        "dimension mismatch: {} vs {}",
+        a.dim(),
+        block.dim()
+    );
+    row_distance(
+        metric,
+        (a.n(), a.ss(), a.ls_sq(), a.ls()),
+        (
+            block.row_n(i),
+            block.row_ss(i),
+            block.row_ls_sq(i),
+            block.row_ls(i),
+        ),
+    )
+}
+
+/// Distance between block rows `i` and `j` — bit-identical to
+/// `metric.distance(&row_i_cf, &row_j_cf)`.
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
+#[must_use]
+pub fn pair_in_block(metric: DistanceMetric, block: &CfBlock, i: usize, j: usize) -> f64 {
+    row_distance(
+        metric,
+        (
+            block.row_n(i),
+            block.row_ss(i),
+            block.row_ls_sq(i),
+            block.row_ls(i),
+        ),
+        (
+            block.row_n(j),
+            block.row_ss(j),
+            block.row_ls_sq(j),
+            block.row_ls(j),
+        ),
+    )
+}
+
+/// The shared row kernel: each arm repeats the scalar `d0..d4` arithmetic
+/// verbatim (same operand order, sequential per-element accumulation) over
+/// `(n, ss, ‖LS‖², ls)` views instead of `&Cf`s.
+fn row_distance(
+    metric: DistanceMetric,
+    (na, ssa, lsq_a, lsa): (f64, f64, f64, &[f64]),
+    (nb, ssb, lsq_b, lsb): (f64, f64, f64, &[f64]),
+) -> f64 {
+    match metric {
+        DistanceMetric::D0 => lsa
+            .iter()
+            .zip(lsb)
+            .map(|(&x, &y)| {
+                let d = x / na - y / nb;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt(),
+        DistanceMetric::D1 => lsa
+            .iter()
+            .zip(lsb)
+            .map(|(&x, &y)| (x / na - y / nb).abs())
+            .sum(),
+        DistanceMetric::D2 => {
+            let num = nb * ssa + na * ssb - 2.0 * dot(lsa, lsb);
+            (num.max(0.0) / (na * nb)).sqrt()
+        }
+        DistanceMetric::D3 => {
+            let n = na + nb;
+            if n <= 1.0 {
+                return 0.0;
+            }
+            let ss = ssa + ssb;
+            let merged = lsq_a + 2.0 * dot(lsa, lsb) + lsq_b;
+            let num = 2.0 * n * ss - 2.0 * merged;
+            (num.max(0.0) / (n * (n - 1.0))).sqrt()
+        }
+        DistanceMetric::D4 => {
+            let n = na + nb;
+            let merged = lsq_a + 2.0 * dot(lsa, lsb) + lsq_b;
+            let inc = lsq_a / na + lsq_b / nb - merged / n;
+            inc.max(0.0).sqrt()
+        }
+    }
+}
+
+/// First-minimum closest row to `ent`: the batched form of the descent
+/// scan (`best` starts at `+∞`, strictly-smaller wins, so the earliest of
+/// tied rows is kept — the same tie-break as `CfTree::descend` and
+/// `CfTree::closest_leaf_entry`). Returns `None` on an empty block.
+#[must_use]
+pub fn closest_among(metric: DistanceMetric, ent: &Cf, block: &CfBlock) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_d = f64::INFINITY;
+    for i in 0..block.len() {
+        let d = distance_to_row(metric, ent, block, i);
+        if d < best_d {
+            best_d = d;
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+/// [`closest_among`] with the D0 triangle-inequality lower-bound prune.
+///
+/// For D0 (centroid Euclidean distance) the reverse triangle inequality
+/// gives `D0(a, b) ≥ |‖c_a‖ − ‖c_b‖|`, and each centroid norm is
+/// `sqrt(‖LS‖²)/N` — O(1) from the cached norms. A row whose lower bound
+/// strictly exceeds the best distance so far cannot win the strict `<`
+/// comparison, so skipping it provably never changes the selected index
+/// (tie order included). Non-D0 metrics fall back to the plain scan.
+///
+/// Returns `(best, evaluated, pruned)`: the winning `(index, distance)`,
+/// how many full distance evaluations ran, and how many rows the bound
+/// skipped.
+#[must_use]
+pub fn closest_among_pruned(
+    metric: DistanceMetric,
+    ent: &Cf,
+    block: &CfBlock,
+) -> (Option<(usize, f64)>, u64, u64) {
+    if metric != DistanceMetric::D0 {
+        let best = closest_among(metric, ent, block);
+        return (best, block.len() as u64, 0);
+    }
+    let ent_norm = ent.ls_sq().sqrt() / ent.n();
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_d = f64::INFINITY;
+    let mut evaluated = 0u64;
+    let mut pruned = 0u64;
+    for i in 0..block.len() {
+        let row_norm = block.row_ls_sq(i).sqrt() / block.row_n(i);
+        if (ent_norm - row_norm).abs() > best_d {
+            pruned += 1;
+            continue;
+        }
+        evaluated += 1;
+        let d = distance_to_row(metric, ent, block, i);
+        if d < best_d {
+            best_d = d;
+            best = Some((i, d));
+        }
+    }
+    (best, evaluated, pruned)
+}
+
+/// First-minimum closest pair among the block's rows (`i < j`, earliest
+/// pair wins ties) — the batched form of the §4.3 merging-refinement scan.
+/// Returns `None` when the block has fewer than two rows.
+#[must_use]
+pub fn closest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    for i in 0..block.len() {
+        for j in (i + 1)..block.len() {
+            let d = pair_in_block(metric, block, i, j);
+            if best.is_none_or(|(_, _, bd)| d < bd) {
+                best = Some((i, j, d));
+            }
+        }
+    }
+    best
+}
+
+/// First-maximum farthest pair among the block's rows (`i < j`, earliest
+/// pair wins ties) — the batched form of the split seeding scan (§4.2:
+/// "the farthest pair of entries"). Returns `None` when the block has
+/// fewer than two rows.
+#[must_use]
+pub fn farthest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, usize, f64)> {
+    if block.len() < 2 {
+        return None;
+    }
+    let (mut far, mut far_d) = ((0, 1), f64::NEG_INFINITY);
+    for i in 0..block.len() {
+        for j in (i + 1)..block.len() {
+            let d = pair_in_block(metric, block, i, j);
+            if d > far_d {
+                far = (i, j);
+                far_d = d;
+            }
+        }
+    }
+    Some((far.0, far.1, far_d))
 }
 
 /// What cluster statistic the CF-tree threshold `T` constrains (§4.2: the
@@ -337,5 +706,160 @@ mod tests {
     fn default_metric_is_d2_and_default_threshold_is_diameter() {
         assert_eq!(DistanceMetric::default(), DistanceMetric::D2);
         assert_eq!(ThresholdKind::default(), ThresholdKind::Diameter);
+    }
+
+    /// A varied set of multi-point CFs for kernel-vs-scalar comparisons.
+    fn kernel_fixture() -> Vec<Cf> {
+        vec![
+            cf_of(&[[0.0, 0.0], [1.0, 1.0]]),
+            cf_of(&[[5.0, -3.0]]),
+            cf_of(&[[2.5, 2.5], [2.5, 2.5], [3.0, 2.0]]),
+            cf_of(&[[-7.0, 4.0], [-6.5, 4.5]]),
+            cf_of(&[[100.0, 100.0]]),
+            cf_of(&[[0.1, 0.2], [0.3, 0.4], [0.5, 0.6], [0.7, 0.8]]),
+        ]
+    }
+
+    #[test]
+    fn block_rows_mirror_cfs() {
+        let cfs = kernel_fixture();
+        let b = CfBlock::from_cfs(&cfs);
+        assert_eq!(b.len(), cfs.len());
+        assert_eq!(b.dim(), 2);
+        for (i, cf) in cfs.iter().enumerate() {
+            assert_eq!(b.row_n(i), cf.n());
+            assert_eq!(b.row_ss(i), cf.ss());
+            assert_eq!(b.row_ls_sq(i).to_bits(), cf.ls_sq().to_bits());
+            assert_eq!(b.row_ls(i), cf.ls());
+        }
+    }
+
+    #[test]
+    fn block_mutators_keep_rows_in_sync() {
+        let cfs = kernel_fixture();
+        let mut b = CfBlock::from_cfs(&cfs[..3]);
+        b.set(1, &cfs[3]);
+        assert_eq!(b.row_ls(1), cfs[3].ls());
+        b.insert(0, &cfs[4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.row_ls(0), cfs[4].ls());
+        assert_eq!(b.row_ls(1), cfs[0].ls());
+        b.remove(2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.row_ls(2), cfs[2].ls());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.dim(), 2, "dim survives clear");
+    }
+
+    #[test]
+    fn row_kernels_are_bit_identical_to_scalar() {
+        let cfs = kernel_fixture();
+        let b = CfBlock::from_cfs(&cfs);
+        let probe = cf_of(&[[1.0, -1.0], [2.0, 0.5]]);
+        for m in DistanceMetric::ALL {
+            for i in 0..cfs.len() {
+                let scalar = m.distance(&probe, &cfs[i]);
+                let kernel = distance_to_row(m, &probe, &b, i);
+                assert_eq!(scalar.to_bits(), kernel.to_bits(), "{m} row {i}");
+                for j in (i + 1)..cfs.len() {
+                    let scalar = m.distance(&cfs[i], &cfs[j]);
+                    let kernel = pair_in_block(m, &b, i, j);
+                    assert_eq!(scalar.to_bits(), kernel.to_bits(), "{m} pair {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closest_among_matches_first_min_reference() {
+        let cfs = kernel_fixture();
+        let b = CfBlock::from_cfs(&cfs);
+        let probe = cf_of(&[[2.0, 2.0]]);
+        for m in DistanceMetric::ALL {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, cf) in cfs.iter().enumerate() {
+                let d = m.distance(&probe, cf);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            let got = closest_among(m, &probe, &b);
+            assert_eq!(got.map(|(i, _)| i), best.map(|(i, _)| i), "{m}");
+            assert_eq!(
+                got.map(|(_, d)| d.to_bits()),
+                best.map(|(_, d)| d.to_bits()),
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn closest_among_keeps_earliest_of_tied_rows() {
+        // Two identical rows: the scan must return the first.
+        let twin = cf_of(&[[3.0, 3.0]]);
+        let b = CfBlock::from_cfs([&cf_of(&[[9.0, 9.0]]), &twin, &twin.clone()]);
+        let probe = cf_of(&[[3.0, 2.0]]);
+        for m in DistanceMetric::ALL {
+            let (i, _) = closest_among(m, &probe, &b).unwrap();
+            assert_eq!(i, 1, "{m} broke tie order");
+        }
+    }
+
+    #[test]
+    fn pruned_scan_picks_identical_winner_and_counts() {
+        // Rows with widely spread centroid norms so the D0 bound prunes.
+        let rows: Vec<Cf> = (0..40)
+            .map(|i| {
+                let x = f64::from(i) * 25.0;
+                cf_of(&[[x, x * 0.5]])
+            })
+            .collect();
+        let b = CfBlock::from_cfs(&rows);
+        let probe = cf_of(&[[26.0, 12.0]]);
+        let plain = closest_among(DistanceMetric::D0, &probe, &b);
+        let (pruned_best, evaluated, pruned) = closest_among_pruned(DistanceMetric::D0, &probe, &b);
+        assert_eq!(plain.map(|(i, _)| i), pruned_best.map(|(i, _)| i));
+        assert_eq!(
+            plain.map(|(_, d)| d.to_bits()),
+            pruned_best.map(|(_, d)| d.to_bits())
+        );
+        assert!(pruned > 0, "spread norms must prune something");
+        assert_eq!(evaluated + pruned, rows.len() as u64);
+        // Non-D0 metrics fall back to the plain scan, nothing pruned.
+        let (_, ev2, pr2) = closest_among_pruned(DistanceMetric::D2, &probe, &b);
+        assert_eq!((ev2, pr2), (rows.len() as u64, 0));
+    }
+
+    #[test]
+    fn pair_scans_match_scalar_reference() {
+        let cfs = kernel_fixture();
+        let b = CfBlock::from_cfs(&cfs);
+        for m in DistanceMetric::ALL {
+            // Scalar closest-pair reference (first minimum).
+            let mut best: Option<(usize, usize, f64)> = None;
+            let (mut far, mut far_d) = ((0, 1), f64::NEG_INFINITY);
+            for i in 0..cfs.len() {
+                for j in (i + 1)..cfs.len() {
+                    let d = m.distance(&cfs[i], &cfs[j]);
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((i, j, d));
+                    }
+                    if d > far_d {
+                        far = (i, j);
+                        far_d = d;
+                    }
+                }
+            }
+            let got = closest_pair(m, &b).unwrap();
+            let want = best.unwrap();
+            assert_eq!((got.0, got.1), (want.0, want.1), "{m} closest pair");
+            assert_eq!(got.2.to_bits(), want.2.to_bits(), "{m}");
+            let gf = farthest_pair(m, &b).unwrap();
+            assert_eq!((gf.0, gf.1), far, "{m} farthest pair");
+            assert_eq!(gf.2.to_bits(), far_d.to_bits(), "{m}");
+        }
+        assert!(farthest_pair(DistanceMetric::D0, &CfBlock::new()).is_none());
+        assert!(closest_pair(DistanceMetric::D0, &CfBlock::new()).is_none());
     }
 }

@@ -14,7 +14,7 @@
 //! `m` input entries — fine for the condensed trees Phase 2 produces.
 
 use crate::cf::Cf;
-use crate::distance::DistanceMetric;
+use crate::distance::{pair_in_block, CfBlock, DistanceMetric};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
@@ -106,10 +106,29 @@ pub fn agglomerate(entries: &[Cf], metric: DistanceMetric, stop: StopRule) -> Hi
         x
     }
 
-    let mut heap = BinaryHeap::with_capacity(m * (m.saturating_sub(1)) / 2);
+    // A pair farther apart than the distance threshold can never merge —
+    // the pop loop stops at the first such pair — so under that rule it
+    // need not enter the heap at all, shrinking the O(m²) heap to the
+    // pairs that can actually participate.
+    let push_cutoff = match stop {
+        StopRule::ClusterCount(_) => f64::INFINITY,
+        StopRule::DistanceThreshold(t) => t,
+    };
+    let mut heap = match stop {
+        // Exact-k keeps every pair; pre-size the full matrix.
+        StopRule::ClusterCount(_) => BinaryHeap::with_capacity(m * (m.saturating_sub(1)) / 2),
+        // The cutoff makes the population data-dependent; let it grow.
+        StopRule::DistanceThreshold(_) => BinaryHeap::new(),
+    };
+    // The initial O(m²) matrix sweeps one contiguous SoA block, reusing
+    // each entry's cached ‖LS‖² instead of re-deriving it per pair.
+    let block = CfBlock::from_cfs(entries);
     for i in 0..m {
         for j in (i + 1)..m {
-            let d = metric.distance(&entries[i], &entries[j]);
+            let d = pair_in_block(metric, &block, i, j);
+            if d > push_cutoff {
+                continue;
+            }
             heap.push(Candidate {
                 dist: d,
                 a: i,
@@ -157,6 +176,9 @@ pub fn agglomerate(entries: &[Cf], metric: DistanceMetric, stop: StopRule) -> Hi
             }
             if let Some(other) = slot {
                 let d = metric.distance(&merged_cf, other);
+                if d > push_cutoff {
+                    continue;
+                }
                 heap.push(Candidate {
                     dist: d,
                     a: c.a,

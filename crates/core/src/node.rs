@@ -7,8 +7,16 @@
 //!
 //! Nodes live in a `Vec` arena indexed by [`NodeId`] — cache-friendly, no
 //! `Rc<RefCell<…>>`, and page accounting is just arena occupancy.
+//!
+//! Each node additionally owns a [`CfBlock`]: a flat, dim-strided SoA
+//! mirror of its entries' `LS` vectors plus parallel `(N, SS, ‖LS‖²)`
+//! arrays. The descent scan and the split pairwise matrix sweep the block
+//! instead of chasing one `Box<[f64]>` per entry. Every mutation goes
+//! through the mutator methods below, which keep the mirror in sync; the
+//! auditor cross-checks block-vs-entries exactly.
 
 use crate::cf::Cf;
+use crate::distance::CfBlock;
 
 /// Index of a node in the tree's arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -57,8 +65,15 @@ const UNALLOCATED: NodeId = NodeId(u32::MAX);
 /// A CF-tree node (one simulated page).
 #[derive(Debug, Clone)]
 pub struct Node {
-    /// The node payload.
+    /// The node payload. Public for *reads* and for leaf-chain `prev`/
+    /// `next` surgery; CF-entry mutations must go through the mutator
+    /// methods so the SoA [`CfBlock`] mirror stays in sync (direct `kind`
+    /// surgery that touches CFs must call [`Node::rebuild_block`]).
     pub kind: NodeKind,
+    /// Flat SoA mirror of the entries' CF statistics, kept in sync by the
+    /// mutator methods. For a leaf, row `i` mirrors `entries[i]`; for an
+    /// interior node, row `i` mirrors `children[i].cf`.
+    block: CfBlock,
     /// The arena slot this node occupies, stamped by the tree's allocator
     /// ([`UNALLOCATED`] until then). Lets accessors and the auditor name
     /// the node in diagnostics, and lets the auditor verify arena
@@ -76,6 +91,7 @@ impl Node {
                 prev: None,
                 next: None,
             },
+            block: CfBlock::new(),
             id: UNALLOCATED,
         }
     }
@@ -87,6 +103,7 @@ impl Node {
             kind: NodeKind::Interior {
                 children: Vec::new(),
             },
+            block: CfBlock::new(),
             id: UNALLOCATED,
         }
     }
@@ -142,17 +159,6 @@ impl Node {
         }
     }
 
-    /// Mutable leaf entries, panicking if this is an interior node.
-    pub fn leaf_entries_mut(&mut self) -> &mut Vec<Cf> {
-        if matches!(self.kind, NodeKind::Interior { .. }) {
-            panic!("leaf_entries_mut on interior node {}", self.describe());
-        }
-        match &mut self.kind {
-            NodeKind::Leaf { entries, .. } => entries,
-            NodeKind::Interior { .. } => unreachable!(),
-        }
-    }
-
     /// Interior children, panicking if this is a leaf.
     #[must_use]
     pub fn children(&self) -> &[ChildEntry] {
@@ -162,15 +168,251 @@ impl Node {
         }
     }
 
-    /// Mutable interior children, panicking if this is a leaf.
-    pub fn children_mut(&mut self) -> &mut Vec<ChildEntry> {
-        if matches!(self.kind, NodeKind::Leaf { .. }) {
-            panic!("children_mut on leaf node {}", self.describe());
+    /// The flat SoA mirror of this node's entry CFs (leaf entries or
+    /// interior child CFs, in sibling order).
+    #[must_use]
+    pub fn block(&self) -> &CfBlock {
+        &self.block
+    }
+
+    /// Rebuilds the SoA mirror from the entries. Needed only after direct
+    /// `kind` surgery that bypassed the mutators (e.g. the auditor's
+    /// seeded-corruption tests); the mutators keep the mirror in sync on
+    /// their own.
+    pub fn rebuild_block(&mut self) {
+        self.block.clear();
+        match &self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                for e in entries {
+                    self.block.push(e);
+                }
+            }
+            NodeKind::Interior { children } => {
+                for c in children {
+                    self.block.push(&c.cf);
+                }
+            }
         }
+    }
+
+    // ---- Leaf mutators (each keeps the SoA mirror in sync). ----
+
+    /// Appends a CF entry to a leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an interior node.
+    pub fn push_leaf_entry(&mut self, cf: Cf) {
         match &mut self.kind {
-            NodeKind::Interior { children } => children,
-            NodeKind::Leaf { .. } => unreachable!(),
+            NodeKind::Leaf { entries, .. } => {
+                self.block.push(&cf);
+                entries.push(cf);
+            }
+            NodeKind::Interior { .. } => {
+                panic!("push_leaf_entry on interior node {}", self.describe())
+            }
         }
+    }
+
+    /// Overwrites leaf entry `idx` with `cf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an interior node or `idx` is out of range.
+    pub fn set_leaf_entry(&mut self, idx: usize, cf: Cf) {
+        match &mut self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                self.block.set(idx, &cf);
+                entries[idx] = cf;
+            }
+            NodeKind::Interior { .. } => {
+                panic!("set_leaf_entry on interior node {}", self.describe())
+            }
+        }
+    }
+
+    /// Takes all leaf entries out (leaving the leaf empty but keeping its
+    /// chain links), clearing the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an interior node.
+    pub fn take_leaf_entries(&mut self) -> Vec<Cf> {
+        match &mut self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                self.block.clear();
+                std::mem::take(entries)
+            }
+            NodeKind::Interior { .. } => {
+                panic!("take_leaf_entries on interior node {}", self.describe())
+            }
+        }
+    }
+
+    /// Replaces the leaf's entries wholesale (chain links untouched),
+    /// rebuilding the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an interior node.
+    pub fn set_leaf_entries(&mut self, new_entries: Vec<Cf>) {
+        match &mut self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                *entries = new_entries;
+            }
+            NodeKind::Interior { .. } => {
+                panic!("set_leaf_entries on interior node {}", self.describe())
+            }
+        }
+        self.rebuild_block();
+    }
+
+    /// Appends a batch of leaf entries, extending the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an interior node.
+    pub fn append_leaf_entries<I: IntoIterator<Item = Cf>>(&mut self, new_entries: I) {
+        match &mut self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                for cf in new_entries {
+                    self.block.push(&cf);
+                    entries.push(cf);
+                }
+            }
+            NodeKind::Interior { .. } => {
+                panic!("append_leaf_entries on interior node {}", self.describe())
+            }
+        }
+    }
+
+    // ---- Interior mutators (each keeps the SoA mirror in sync). ----
+
+    /// Appends a `[CF, child]` routing entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf.
+    pub fn push_child(&mut self, entry: ChildEntry) {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                self.block.push(&entry.cf);
+                children.push(entry);
+            }
+            NodeKind::Leaf { .. } => panic!("push_child on leaf node {}", self.describe()),
+        }
+    }
+
+    /// Inserts a `[CF, child]` routing entry at `idx`, shifting later
+    /// siblings right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf or `idx > len`.
+    pub fn insert_child(&mut self, idx: usize, entry: ChildEntry) {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                self.block.insert(idx, &entry.cf);
+                children.insert(idx, entry);
+            }
+            NodeKind::Leaf { .. } => panic!("insert_child on leaf node {}", self.describe()),
+        }
+    }
+
+    /// Removes the routing entry at `idx`, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf or `idx` is out of range.
+    pub fn remove_child(&mut self, idx: usize) -> ChildEntry {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                self.block.remove(idx);
+                children.remove(idx)
+            }
+            NodeKind::Leaf { .. } => panic!("remove_child on leaf node {}", self.describe()),
+        }
+    }
+
+    /// Overwrites the CF of the routing entry at `idx` (child id kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf or `idx` is out of range.
+    pub fn set_child_cf(&mut self, idx: usize, cf: Cf) {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                self.block.set(idx, &cf);
+                children[idx].cf = cf;
+            }
+            NodeKind::Leaf { .. } => panic!("set_child_cf on leaf node {}", self.describe()),
+        }
+    }
+
+    /// Merges `ent` into the CF of the routing entry at `idx` — the
+    /// descent path update of §4.2 ("update the CF entries on the path").
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf or `idx` is out of range.
+    pub fn merge_into_child_cf(&mut self, idx: usize, ent: &Cf) {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                children[idx].cf.merge(ent);
+                self.block.set(idx, &children[idx].cf);
+            }
+            NodeKind::Leaf { .. } => {
+                panic!("merge_into_child_cf on leaf node {}", self.describe())
+            }
+        }
+    }
+
+    /// Takes all routing entries out (leaving the interior node empty),
+    /// clearing the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf.
+    pub fn take_children(&mut self) -> Vec<ChildEntry> {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                self.block.clear();
+                std::mem::take(children)
+            }
+            NodeKind::Leaf { .. } => panic!("take_children on leaf node {}", self.describe()),
+        }
+    }
+
+    /// Appends a batch of routing entries, extending the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf.
+    pub fn append_children<I: IntoIterator<Item = ChildEntry>>(&mut self, new_children: I) {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                for entry in new_children {
+                    self.block.push(&entry.cf);
+                    children.push(entry);
+                }
+            }
+            NodeKind::Leaf { .. } => panic!("append_children on leaf node {}", self.describe()),
+        }
+    }
+
+    /// Replaces the routing entries wholesale, rebuilding the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf.
+    pub fn set_children(&mut self, new_children: Vec<ChildEntry>) {
+        match &mut self.kind {
+            NodeKind::Interior { children } => {
+                *children = new_children;
+            }
+            NodeKind::Leaf { .. } => panic!("set_children on leaf node {}", self.describe()),
+        }
+        self.rebuild_block();
     }
 
     /// Exact CF summary of this node: the sum of its entries.
@@ -203,40 +445,126 @@ mod tests {
     use super::*;
     use crate::point::Point;
 
+    /// The block mirror must match the entries row for row.
+    fn assert_block_in_sync(n: &Node) {
+        let b = n.block();
+        match &n.kind {
+            NodeKind::Leaf { entries, .. } => {
+                assert_eq!(b.len(), entries.len());
+                for (i, e) in entries.iter().enumerate() {
+                    assert_eq!(b.row_n(i), e.n());
+                    assert_eq!(b.row_ss(i), e.ss());
+                    assert_eq!(b.row_ls_sq(i).to_bits(), e.ls_sq().to_bits());
+                    assert_eq!(b.row_ls(i), e.ls());
+                }
+            }
+            NodeKind::Interior { children } => {
+                assert_eq!(b.len(), children.len());
+                for (i, c) in children.iter().enumerate() {
+                    assert_eq!(b.row_n(i), c.cf.n());
+                    assert_eq!(b.row_ls(i), c.cf.ls());
+                }
+            }
+        }
+    }
+
     #[test]
     fn leaf_basics() {
         let mut n = Node::new_leaf();
         assert!(n.is_leaf());
         assert_eq!(n.entry_count(), 0);
-        n.leaf_entries_mut()
-            .push(Cf::from_point(&Point::xy(1.0, 2.0)));
+        n.push_leaf_entry(Cf::from_point(&Point::xy(1.0, 2.0)));
         assert_eq!(n.entry_count(), 1);
         assert_eq!(n.leaf_entries().len(), 1);
+        assert_block_in_sync(&n);
     }
 
     #[test]
     fn interior_basics() {
         let mut n = Node::new_interior();
         assert!(!n.is_leaf());
-        n.children_mut().push(ChildEntry {
+        n.push_child(ChildEntry {
             cf: Cf::from_point(&Point::xy(0.0, 0.0)),
             child: NodeId(7),
         });
         assert_eq!(n.entry_count(), 1);
         assert_eq!(n.children()[0].child, NodeId(7));
+        assert_block_in_sync(&n);
     }
 
     #[test]
     fn summary_sums_entries() {
         let mut n = Node::new_leaf();
-        n.leaf_entries_mut()
-            .push(Cf::from_point(&Point::xy(1.0, 0.0)));
-        n.leaf_entries_mut()
-            .push(Cf::from_point(&Point::xy(3.0, 4.0)));
+        n.push_leaf_entry(Cf::from_point(&Point::xy(1.0, 0.0)));
+        n.push_leaf_entry(Cf::from_point(&Point::xy(3.0, 4.0)));
         let s = n.summary(2);
         assert_eq!(s.n(), 2.0);
         assert_eq!(s.ls(), &[4.0, 4.0]);
         assert_eq!(s.ss(), 26.0);
+    }
+
+    #[test]
+    fn leaf_mutators_keep_block_in_sync() {
+        let mut n = Node::new_leaf();
+        n.push_leaf_entry(Cf::from_point(&Point::xy(1.0, 0.0)));
+        n.push_leaf_entry(Cf::from_point(&Point::xy(2.0, 0.0)));
+        n.set_leaf_entry(0, Cf::from_point(&Point::xy(-5.0, 3.0)));
+        assert_block_in_sync(&n);
+        let taken = n.take_leaf_entries();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(n.entry_count(), 0);
+        assert_block_in_sync(&n);
+        n.set_leaf_entries(taken);
+        assert_eq!(n.entry_count(), 2);
+        assert_block_in_sync(&n);
+        n.append_leaf_entries(vec![Cf::from_point(&Point::xy(9.0, 9.0))]);
+        assert_eq!(n.entry_count(), 3);
+        assert_block_in_sync(&n);
+    }
+
+    #[test]
+    fn interior_mutators_keep_block_in_sync() {
+        let mut n = Node::new_interior();
+        for i in 0..3 {
+            n.push_child(ChildEntry {
+                cf: Cf::from_point(&Point::xy(f64::from(i), 0.0)),
+                child: NodeId(i as u32),
+            });
+        }
+        n.insert_child(
+            1,
+            ChildEntry {
+                cf: Cf::from_point(&Point::xy(7.0, 7.0)),
+                child: NodeId(9),
+            },
+        );
+        assert_eq!(n.children()[1].child, NodeId(9));
+        assert_block_in_sync(&n);
+        n.set_child_cf(2, Cf::from_point(&Point::xy(-1.0, -1.0)));
+        assert_block_in_sync(&n);
+        n.merge_into_child_cf(0, &Cf::from_point(&Point::xy(0.5, 0.5)));
+        assert_eq!(n.children()[0].cf.n(), 2.0);
+        assert_block_in_sync(&n);
+        let removed = n.remove_child(1);
+        assert_eq!(removed.child, NodeId(9));
+        assert_block_in_sync(&n);
+        let kids = n.take_children();
+        assert_eq!(kids.len(), 3);
+        assert_block_in_sync(&n);
+        n.set_children(kids);
+        assert_block_in_sync(&n);
+    }
+
+    #[test]
+    fn rebuild_block_resyncs_after_direct_surgery() {
+        let mut n = Node::new_leaf();
+        n.push_leaf_entry(Cf::from_point(&Point::xy(1.0, 1.0)));
+        // Bypass the mutators, as the auditor's corruption tests do.
+        if let NodeKind::Leaf { entries, .. } = &mut n.kind {
+            entries[0].merge(&Cf::from_point(&Point::xy(5.0, 5.0)));
+        }
+        n.rebuild_block();
+        assert_block_in_sync(&n);
     }
 
     #[test]
@@ -252,17 +580,19 @@ mod tests {
         assert_eq!(n.describe(), "n? (interior, 0 children)");
         let mut l = Node::new_leaf();
         l.id = NodeId(4);
-        l.leaf_entries_mut()
-            .push(Cf::from_point(&Point::xy(0.0, 0.0)));
+        l.push_leaf_entry(Cf::from_point(&Point::xy(0.0, 0.0)));
         assert_eq!(l.describe(), "n4 (leaf, 1 entries)");
     }
 
     #[test]
-    #[should_panic(expected = "children_mut on leaf node n9 (leaf, 0 entries)")]
+    #[should_panic(expected = "push_child on leaf node n9 (leaf, 0 entries)")]
     fn panic_message_names_the_node() {
         let mut n = Node::new_leaf();
         n.id = NodeId(9);
-        let _ = n.children_mut();
+        n.push_child(ChildEntry {
+            cf: Cf::from_point(&Point::xy(0.0, 0.0)),
+            child: NodeId(0),
+        });
     }
 
     #[test]
@@ -270,5 +600,12 @@ mod tests {
     fn leaf_entries_on_interior_panics() {
         let n = Node::new_interior();
         let _ = n.leaf_entries();
+    }
+
+    #[test]
+    #[should_panic(expected = "push_leaf_entry on interior node")]
+    fn push_leaf_entry_on_interior_panics() {
+        let mut n = Node::new_interior();
+        n.push_leaf_entry(Cf::from_point(&Point::xy(0.0, 0.0)));
     }
 }

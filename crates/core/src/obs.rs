@@ -442,6 +442,17 @@ pub struct MetricsReport {
     pub outliers_discarded: u64,
     /// Page high-water mark observed via events.
     pub peak_pages: usize,
+    /// Distance evaluations performed by the insert hot path (descent
+    /// closest-child scans plus closest-leaf-entry scans) — populated from
+    /// [`TreeStats`] by the Phase-1 driver rather than from events, since
+    /// one counter bump per distance would drown the event stream.
+    ///
+    /// [`TreeStats`]: crate::tree::TreeStats
+    pub distance_calls: u64,
+    /// Descent-scan candidates skipped by the D0 lower-bound prune
+    /// (always 0 with `descend_prune` off). Same provenance as
+    /// [`MetricsReport::distance_calls`].
+    pub distance_calls_pruned: u64,
     /// `insert_depth_histogram[d]` = insertions that descended `d`
     /// interior levels.
     pub insert_depth_histogram: Vec<u64>,
@@ -468,6 +479,8 @@ impl MetricsReport {
         self.outliers_reabsorbed += other.outliers_reabsorbed;
         self.outliers_discarded += other.outliers_discarded;
         self.peak_pages = self.peak_pages.max(other.peak_pages);
+        self.distance_calls += other.distance_calls;
+        self.distance_calls_pruned += other.distance_calls_pruned;
         if self.insert_depth_histogram.len() < other.insert_depth_histogram.len() {
             self.insert_depth_histogram
                 .resize(other.insert_depth_histogram.len(), 0);
@@ -492,7 +505,8 @@ impl MetricsReport {
         format!(
             "{{\"inserts\":{},\"splits\":{},\"merge_refinements\":{},\"rebuilds\":{},\
              \"thresholds_raised\":{},\"outliers_spilled\":{},\"outliers_reabsorbed\":{},\
-             \"outliers_discarded\":{},\"events\":{}}}",
+             \"outliers_discarded\":{},\"distance_calls\":{},\"distance_calls_pruned\":{},\
+             \"events\":{}}}",
             self.inserts,
             self.splits,
             self.merge_refinements,
@@ -501,6 +515,8 @@ impl MetricsReport {
             self.outliers_spilled,
             self.outliers_reabsorbed,
             self.outliers_discarded,
+            self.distance_calls,
+            self.distance_calls_pruned,
             self.events
         )
     }

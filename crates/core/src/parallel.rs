@@ -139,12 +139,12 @@ pub fn run_with_sink<S: EventSink>(
                     match wpart {
                         Some(w) => {
                             for (p, &wi) in part.iter().zip(w) {
-                                b.feed(Cf::from_weighted_point(p, wi));
+                                b.feed_weighted_point(p, wi);
                             }
                         }
                         None => {
                             for p in part {
-                                b.feed(Cf::from_point(p));
+                                b.feed_point(p);
                             }
                         }
                     }

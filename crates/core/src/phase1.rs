@@ -68,6 +68,15 @@ pub struct Phase1Builder<S: EventSink = NoopSink> {
     /// the auditor's end-to-end conservation baseline: until `finish`,
     /// every fed point is either in the tree or parked on a disk.
     fed_n: f64,
+    /// Reusable scratch CF for the point-feed path ([`Cf::assign_point`]),
+    /// so feeding a point costs zero heap allocations once warmed up.
+    scratch: Option<Cf>,
+    /// Distance-call totals of trees already replaced by rebuilds — the
+    /// live tree's [`TreeStats`](crate::tree::TreeStats) reset on every
+    /// swap, so lifetime totals are `retired + tree.stats()`.
+    retired_distance_calls: u64,
+    /// Pruned-candidate totals of replaced trees (same bookkeeping).
+    retired_distance_calls_pruned: u64,
     /// Always-on aggregator: `finish()` fills `io`'s event-derived
     /// counters from it, so the tree, the rebuild machinery, and the
     /// builder never keep parallel tallies of the same mutations.
@@ -105,6 +114,40 @@ where
     let mut b = builder(config, dim, sink);
     for cf in input {
         b.feed(cf);
+    }
+    b.finish()
+}
+
+/// Runs Phase 1 over a slice of points (optionally weighted) using the
+/// builder's allocation-free scratch-CF feed path — the preferred entry
+/// point for point data; [`run`] remains for pre-aggregated CF input.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, a point has the wrong
+/// dimension, or `weights` is shorter than `points`.
+pub fn run_points_with_sink<S>(
+    config: &BirchConfig,
+    dim: usize,
+    points: &[crate::point::Point],
+    weights: Option<&[f64]>,
+    sink: S,
+) -> Phase1Output
+where
+    S: EventSink,
+{
+    let mut b = builder(config, dim, sink);
+    match weights {
+        Some(w) => {
+            for (p, &wi) in points.iter().zip(w) {
+                b.feed_weighted_point(p, wi);
+            }
+        }
+        None => {
+            for p in points {
+                b.feed_point(p);
+            }
+        }
     }
     b.finish()
 }
@@ -149,6 +192,7 @@ fn builder<S: EventSink>(config: &BirchConfig, dim: usize, sink: S) -> Phase1Bui
         threshold_kind: config.threshold_kind,
         metric: config.metric,
         merge_refinement: config.merge_refinement,
+        descend_prune: config.descend_prune,
     };
 
     let mut b = Phase1Builder {
@@ -162,6 +206,9 @@ fn builder<S: EventSink>(config: &BirchConfig, dim: usize, sink: S) -> Phase1Bui
         threshold_history: Vec::new(),
         points_scanned: 0,
         fed_n: 0.0,
+        scratch: None,
+        retired_distance_calls: 0,
+        retired_distance_calls_pruned: 0,
         recorder: MetricsRecorder::new(),
         sink,
         started: Instant::now(),
@@ -311,10 +358,70 @@ impl<S: EventSink> Phase1Builder<S> {
         }
     }
 
+    /// Feeds one unweighted data point through an internal scratch CF, so
+    /// a warm builder pays zero heap allocations per point (the
+    /// `Cf::from_point` route boxes a fresh `LS` vector every time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` has the wrong dimension.
+    pub fn feed_point(&mut self, p: &crate::point::Point) {
+        self.feed_weighted_point(p, 1.0);
+    }
+
+    /// Weighted variant of [`Phase1Builder::feed_point`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` has the wrong dimension or `w` is not positive and
+    /// finite.
+    pub fn feed_weighted_point(&mut self, p: &crate::point::Point, w: f64) {
+        let mut scratch = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| Cf::empty(self.tree.dim()));
+        scratch.assign_weighted_point(p, w);
+        self.feed_ref(&scratch);
+        self.scratch = Some(scratch);
+    }
+
+    /// Borrowed-CF feed: identical routing to [`Phase1Builder::feed`], but
+    /// clones `cf` only when it must outlive the call (parked on the
+    /// delay-split disk, or stored as a new leaf entry).
+    fn feed_ref(&mut self, cf: &Cf) {
+        self.points_scanned += 1;
+        self.fed_n += cf.n();
+        if self.delay_mode {
+            if self.tree.try_absorb(cf) {
+                return;
+            }
+            let parked = self
+                .delay
+                .as_mut()
+                .expect("delay_mode implies a delay buffer")
+                .park(cf.clone());
+            if let Err(cf) = parked {
+                // Buffer full: time to actually rebuild, then insert.
+                self.rebuild_cycle();
+                self.insert_checked(cf);
+            }
+        } else {
+            self.tree
+                .insert_cf_ref_observed(cf, &mut Tee(&mut self.recorder, &mut self.sink));
+            self.react_to_pressure();
+        }
+    }
+
     /// Inserts and reacts to memory pressure.
     fn insert_checked(&mut self, cf: Cf) {
         self.tree
             .insert_cf_observed(cf, &mut Tee(&mut self.recorder, &mut self.sink));
+        self.react_to_pressure();
+    }
+
+    /// The post-insert memory check shared by the owned and borrowed feed
+    /// paths.
+    fn react_to_pressure(&mut self) {
         self.note_pages(self.tree.node_count());
         if self.tree.node_count() > self.max_pages {
             let can_delay = self.delay.as_ref().is_some_and(DelaySplitBuffer::has_space);
@@ -324,6 +431,14 @@ impl<S: EventSink> Phase1Builder<S> {
                 self.rebuild_cycle();
             }
         }
+    }
+
+    /// Banks the live tree's distance-call counters before it is replaced
+    /// by a rebuild, so lifetime totals survive the swap.
+    fn retire_tree_counters(&mut self) {
+        let s = self.tree.stats();
+        self.retired_distance_calls += s.distance_calls;
+        self.retired_distance_calls_pruned += s.distance_calls_pruned;
     }
 
     /// Rebuilds (possibly repeatedly) until the tree fits in memory, then
@@ -379,6 +494,7 @@ impl<S: EventSink> Phase1Builder<S> {
             self.io.rebuilds += 1;
             self.note_pages(report.peak_pages);
             self.threshold_history.push(t_next);
+            self.retire_tree_counters();
             self.tree = new_tree;
 
             // Outlier disk full? Scan it for re-absorption (§5.1.3).
@@ -425,6 +541,7 @@ impl<S: EventSink> Phase1Builder<S> {
         self.io.rebuilds += 1;
         self.note_pages(report.peak_pages);
         self.threshold_history.push(t);
+        self.retire_tree_counters();
         self.tree = new_tree;
     }
 
@@ -533,6 +650,13 @@ impl<S: EventSink> Phase1Builder<S> {
             self.io.disk_bytes_read += buf.disk().bytes_read();
         }
 
+        let mut metrics = self.recorder.report();
+        {
+            let s = self.tree.stats();
+            metrics.distance_calls = self.retired_distance_calls + s.distance_calls;
+            metrics.distance_calls_pruned =
+                self.retired_distance_calls_pruned + s.distance_calls_pruned;
+        }
         let out = Phase1Output {
             tree: self.tree,
             io: self.io,
@@ -540,7 +664,7 @@ impl<S: EventSink> Phase1Builder<S> {
             points_scanned: self.points_scanned,
             outliers: self.outliers,
             estimator: self.estimator,
-            metrics: self.recorder.report(),
+            metrics,
         };
         (out, carried)
     }

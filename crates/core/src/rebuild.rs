@@ -256,25 +256,22 @@ impl SpineBuilder {
         self.ensure_spine();
         self.tree.note_atomic_input(&ent);
         let leaf = self.spine[self.height - 1].expect("spine materialized");
-        match &mut self.tree.nodes[leaf.index()].kind {
-            NodeKind::Leaf { entries, .. } => entries.push(ent.clone()),
-            NodeKind::Interior { .. } => unreachable!("spine bottom is a leaf"),
-        }
+        self.tree.nodes[leaf.index()].push_leaf_entry(ent.clone());
         self.tree.leaf_entry_count += 1;
         self.tree.total.merge(&ent);
         // Every spine interior's entry for its spine child is its *last*
         // child entry (children are appended rightward only).
         for lvl in 0..self.height - 1 {
-            let node = self.spine[lvl].expect("spine materialized");
+            let nid = self.spine[lvl].expect("spine materialized");
             let child = self.spine[lvl + 1].expect("spine materialized");
-            match &mut self.tree.nodes[node.index()].kind {
-                NodeKind::Interior { children } => {
-                    let last = children.last_mut().expect("spine child attached");
-                    debug_assert_eq!(last.child, child, "spine child not rightmost");
-                    last.cf.merge(&ent);
-                }
-                NodeKind::Leaf { .. } => unreachable!("spine interior level"),
-            }
+            let node = &mut self.tree.nodes[nid.index()];
+            let last = node.entry_count() - 1;
+            debug_assert_eq!(
+                node.children()[last].child,
+                child,
+                "spine child not rightmost"
+            );
+            node.merge_into_child_cf(last, &ent);
         }
     }
 
@@ -291,7 +288,7 @@ impl SpineBuilder {
             for lvl in (0..h.saturating_sub(1)).rev() {
                 let cf = self.tree.nodes[child.index()].summary(self.tree.dim());
                 let mut node = Node::new_interior();
-                node.children_mut().push(ChildEntry { cf, child });
+                node.push_child(ChildEntry { cf, child });
                 let id = self.tree.alloc(node);
                 self.spine[lvl] = Some(id);
                 child = id;
@@ -328,12 +325,7 @@ impl SpineBuilder {
                 self.tree.alloc(Node::new_interior())
             };
             let cf = Cf::empty(self.tree.dim());
-            match &mut self.tree.nodes[parent.index()].kind {
-                NodeKind::Interior { children } => {
-                    children.push(ChildEntry { cf, child: id });
-                }
-                NodeKind::Leaf { .. } => unreachable!("parent is interior"),
-            }
+            self.tree.nodes[parent.index()].push_child(ChildEntry { cf, child: id });
             self.spine[lvl] = Some(id);
         }
     }
@@ -379,6 +371,7 @@ mod tests {
             threshold_kind: ThresholdKind::Diameter,
             metric: DistanceMetric::D2,
             merge_refinement: true,
+            descend_prune: false,
         }
     }
 

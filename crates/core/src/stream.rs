@@ -95,7 +95,7 @@ impl<S: EventSink> StreamingBirch<S> {
     ///
     /// Panics on dimension mismatch.
     pub fn push(&mut self, p: &Point) {
-        self.builder.feed(Cf::from_point(p));
+        self.builder.feed_point(p);
     }
 
     /// Pushes one weighted point (`w > 0`).
@@ -104,7 +104,7 @@ impl<S: EventSink> StreamingBirch<S> {
     ///
     /// Panics on dimension mismatch or non-positive weight.
     pub fn push_weighted(&mut self, p: &Point, w: f64) {
-        self.builder.feed(Cf::from_weighted_point(p, w));
+        self.builder.feed_weighted_point(p, w);
     }
 
     /// Pushes a pre-aggregated subcluster (e.g. another tree's leaf

@@ -26,7 +26,10 @@
 //!    space-utilization damage done by skewed input order.
 
 use crate::cf::Cf;
-use crate::distance::{DistanceMetric, ThresholdKind};
+use crate::distance::{
+    closest_among, closest_among_pruned, closest_pair, farthest_pair, pair_in_block, CfBlock,
+    DistanceMetric, ThresholdKind,
+};
 use crate::node::{ChildEntry, Node, NodeId, NodeKind};
 use crate::obs::{Event, EventSink, NoopSink};
 
@@ -47,6 +50,13 @@ pub struct TreeParams {
     pub metric: DistanceMetric,
     /// Whether to run the §4.3 merging refinement after splits.
     pub merge_refinement: bool,
+    /// Whether the descent's closest-child/closest-entry scans may skip
+    /// candidates using the D0 triangle-inequality lower bound (see
+    /// [`crate::distance::closest_among_pruned`]). Off by default; only
+    /// effective under [`DistanceMetric::D0`], and provably never changes
+    /// which candidate is selected — only how many distances are evaluated
+    /// (observable via [`TreeStats::distance_calls_pruned`]).
+    pub descend_prune: bool,
 }
 
 impl TreeParams {
@@ -62,6 +72,7 @@ impl TreeParams {
             threshold_kind: ThresholdKind::default(),
             metric: DistanceMetric::default(),
             merge_refinement: true,
+            descend_prune: false,
         }
     }
 
@@ -94,6 +105,16 @@ pub struct TreeStats {
     pub splits: u64,
     /// Merging refinements performed (§4.3).
     pub merge_refinements: u64,
+    /// Full distance evaluations performed by the insert hot path — the
+    /// closest-child scans of the descent plus the closest-leaf-entry scan
+    /// (the §6.1 CPU cost model's inner loop). Distances computed during
+    /// splits, refinement, or Dmin probes are not counted: this counter
+    /// exists to measure the descent workload the lower-bound prune acts
+    /// on.
+    pub distance_calls: u64,
+    /// Descent-scan candidates skipped by the D0 triangle-inequality lower
+    /// bound ([`TreeParams::descend_prune`]). Always 0 with pruning off.
+    pub distance_calls_pruned: u64,
 }
 
 /// A height-balanced tree of Clustering Features.
@@ -263,41 +284,57 @@ impl CfTree {
     ///
     /// Panics if `ent` is empty or of the wrong dimension.
     pub fn insert_cf_observed(&mut self, ent: Cf, sink: &mut impl EventSink) -> InsertOutcome {
-        assert!(!ent.is_empty(), "cannot insert an empty CF");
-        assert_eq!(ent.dim(), self.params.dim, "dimension mismatch");
+        self.insert_entry(EntInput::Owned(ent), sink)
+    }
+
+    /// Borrowed-entry insertion for the scratch-CF feed path: identical to
+    /// [`CfTree::insert_cf_observed`] but clones `ent` only when it
+    /// actually becomes a new leaf entry. An absorbed input (the common
+    /// case once the tree is warm) allocates nothing.
+    pub(crate) fn insert_cf_ref_observed(
+        &mut self,
+        ent: &Cf,
+        sink: &mut impl EventSink,
+    ) -> InsertOutcome {
+        self.insert_entry(EntInput::Ref(ent), sink)
+    }
+
+    fn insert_entry(&mut self, ent: EntInput<'_>, sink: &mut impl EventSink) -> InsertOutcome {
+        assert!(!ent.get().is_empty(), "cannot insert an empty CF");
+        assert_eq!(ent.get().dim(), self.params.dim, "dimension mismatch");
         let before = self.stats;
         // Height-balanced tree: every descent visits height-1 interior
         // levels at the moment of insertion.
         let depth = self.height - 1;
-        self.total.merge(&ent);
+        self.total.merge(ent.get());
 
-        let (leaf_id, path) = self.descend(&ent);
+        let (leaf_id, path) = self.descend(ent.get());
         let outcome = 'insert: {
             // Step 2: try to absorb into the closest leaf entry.
-            if let Some(idx) = self.closest_leaf_entry(leaf_id, &ent) {
-                let tentative = self.node(leaf_id).leaf_entries()[idx].merged(&ent);
+            if let Some(idx) = self.closest_leaf_entry(leaf_id, ent.get()) {
+                let tentative = self.node(leaf_id).leaf_entries()[idx].merged(ent.get());
                 if self
                     .params
                     .threshold_kind
                     .satisfies(&tentative, self.params.threshold)
                 {
-                    self.node_mut(leaf_id).leaf_entries_mut()[idx] = tentative;
-                    self.add_to_path(&path, &ent);
+                    self.node_mut(leaf_id).set_leaf_entry(idx, tentative);
+                    self.add_to_path(&path, ent.get());
                     break 'insert InsertOutcome::Absorbed;
                 }
             }
 
             // New entry (split-free): update the path, then move `ent` in.
-            self.note_atomic_input(&ent);
+            self.note_atomic_input(ent.get());
             if self.node(leaf_id).entry_count() < self.params.leaf_capacity {
-                self.add_to_path(&path, &ent);
-                self.node_mut(leaf_id).leaf_entries_mut().push(ent);
+                self.add_to_path(&path, ent.get());
+                self.node_mut(leaf_id).push_leaf_entry(ent.into_cf());
                 self.leaf_entry_count += 1;
                 break 'insert InsertOutcome::Added;
             }
 
             // Step 3: the leaf overflows — split and propagate upward.
-            self.node_mut(leaf_id).leaf_entries_mut().push(ent);
+            self.node_mut(leaf_id).push_leaf_entry(ent.into_cf());
             self.leaf_entry_count += 1;
             let new_leaf = self.split_leaf(leaf_id);
             self.propagate_split(&path, new_leaf);
@@ -338,7 +375,7 @@ impl CfTree {
         {
             return false;
         }
-        self.node_mut(leaf_id).leaf_entries_mut()[idx] = tentative;
+        self.node_mut(leaf_id).set_leaf_entry(idx, tentative);
         self.add_to_path(&path, ent);
         self.total.merge(ent);
         self.strict_audit("try_absorb");
@@ -359,7 +396,7 @@ impl CfTree {
             return false;
         }
         self.note_atomic_input(ent);
-        self.node_mut(leaf_id).leaf_entries_mut().push(ent.clone());
+        self.node_mut(leaf_id).push_leaf_entry(ent.clone());
         self.leaf_entry_count += 1;
         self.add_to_path(&path, ent);
         self.total.merge(ent);
@@ -367,41 +404,54 @@ impl CfTree {
         true
     }
 
-    /// Root-to-leaf descent following the closest child at each level.
-    /// Returns the leaf id and the interior path as `(node, child_index)`
-    /// pairs from the root downward.
-    fn descend(&self, ent: &Cf) -> (NodeId, Vec<(NodeId, usize)>) {
+    /// Root-to-leaf descent following the closest child at each level,
+    /// scanning each node's contiguous [`CfBlock`] with the batched
+    /// [`closest_among`] kernel (or its D0 lower-bound-pruned variant when
+    /// [`TreeParams::descend_prune`] is on). Returns the leaf id and the
+    /// interior path as `(node, child_index)` pairs from the root downward.
+    /// Takes `&mut self` only to accumulate the distance-call counters.
+    fn descend(&mut self, ent: &Cf) -> (NodeId, Vec<(NodeId, usize)>) {
+        let metric = self.params.metric;
+        let prune = self.params.descend_prune;
         let mut path = Vec::with_capacity(self.height.saturating_sub(1));
         let mut cur = self.root;
+        let mut calls = 0u64;
+        let mut skipped = 0u64;
         while !self.node(cur).is_leaf() {
-            let children = self.node(cur).children();
-            debug_assert!(!children.is_empty(), "interior node with no children");
-            let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for (i, c) in children.iter().enumerate() {
-                let d = self.params.metric.distance(ent, &c.cf);
-                if d < best_d {
-                    best_d = d;
-                    best = i;
-                }
-            }
+            let node = self.node(cur);
+            debug_assert!(node.entry_count() > 0, "interior node with no children");
+            let best = if prune {
+                let (best, evaluated, pruned) = closest_among_pruned(metric, ent, node.block());
+                calls += evaluated;
+                skipped += pruned;
+                best
+            } else {
+                calls += node.entry_count() as u64;
+                closest_among(metric, ent, node.block())
+            };
+            let best = best.map_or(0, |(i, _)| i);
             path.push((cur, best));
-            cur = children[best].child;
+            cur = node.children()[best].child;
         }
+        self.stats.distance_calls += calls;
+        self.stats.distance_calls_pruned += skipped;
         (cur, path)
     }
 
     /// Index of the leaf entry closest to `ent`, or `None` if the leaf is
-    /// empty.
-    fn closest_leaf_entry(&self, leaf_id: NodeId, ent: &Cf) -> Option<usize> {
-        let entries = self.node(leaf_id).leaf_entries();
-        let mut best: Option<(usize, f64)> = None;
-        for (i, e) in entries.iter().enumerate() {
-            let d = self.params.metric.distance(ent, e);
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((i, d));
-            }
-        }
+    /// empty. Same kernelized scan as [`CfTree::descend`]; takes `&mut self`
+    /// only to accumulate the distance-call counters.
+    fn closest_leaf_entry(&mut self, leaf_id: NodeId, ent: &Cf) -> Option<usize> {
+        let metric = self.params.metric;
+        let node = self.node(leaf_id);
+        let (best, evaluated, pruned) = if self.params.descend_prune {
+            closest_among_pruned(metric, ent, node.block())
+        } else {
+            let best = closest_among(metric, ent, node.block());
+            (best, node.entry_count() as u64, 0)
+        };
+        self.stats.distance_calls += evaluated;
+        self.stats.distance_calls_pruned += pruned;
         best.map(|(i, _)| i)
     }
 
@@ -409,7 +459,7 @@ impl CfTree {
     /// the cheap CF update used when no split occurred.
     fn add_to_path(&mut self, path: &[(NodeId, usize)], ent: &Cf) {
         for &(nid, idx) in path {
-            self.node_mut(nid).children_mut()[idx].cf.merge(ent);
+            self.node_mut(nid).merge_into_child_cf(idx, ent);
         }
     }
 
@@ -418,12 +468,12 @@ impl CfTree {
     /// leaf (linked right after it in the chain) takes the second.
     fn split_leaf(&mut self, leaf_id: NodeId) -> NodeId {
         self.stats.splits += 1;
-        let entries = std::mem::take(self.node_mut(leaf_id).leaf_entries_mut());
+        let entries = self.node_mut(leaf_id).take_leaf_entries();
         let (g1, g2) = partition_by_farthest_pair(entries, |e| e, self.params.metric);
-        *self.node_mut(leaf_id).leaf_entries_mut() = g1;
+        self.node_mut(leaf_id).set_leaf_entries(g1);
 
         let new_id = self.alloc(Node::new_leaf());
-        *self.node_mut(new_id).leaf_entries_mut() = g2;
+        self.node_mut(new_id).set_leaf_entries(g2);
         self.link_after(leaf_id, new_id);
         new_id
     }
@@ -431,12 +481,12 @@ impl CfTree {
     /// Splits an over-full interior node; returns the new sibling.
     fn split_interior(&mut self, node_id: NodeId) -> NodeId {
         self.stats.splits += 1;
-        let children = std::mem::take(self.node_mut(node_id).children_mut());
+        let children = self.node_mut(node_id).take_children();
         let (g1, g2) = partition_by_farthest_pair(children, |c| &c.cf, self.params.metric);
-        *self.node_mut(node_id).children_mut() = g1;
+        self.node_mut(node_id).set_children(g1);
 
         let new_id = self.alloc(Node::new_interior());
-        *self.node_mut(new_id).children_mut() = g2;
+        self.node_mut(new_id).set_children(g2);
         new_id
     }
 
@@ -450,13 +500,12 @@ impl CfTree {
             // The child at `idx` may have changed shape: recompute its CF.
             let child_id = self.node(nid).children()[idx].child;
             let child_cf = self.summary(child_id);
-            self.node_mut(nid).children_mut()[idx].cf = child_cf;
+            self.node_mut(nid).set_child_cf(idx, child_cf);
 
             if let Some(new_id) = pending.take() {
                 let cf = self.summary(new_id);
                 self.node_mut(nid)
-                    .children_mut()
-                    .insert(idx + 1, ChildEntry { cf, child: new_id });
+                    .insert_child(idx + 1, ChildEntry { cf, child: new_id });
                 if self.node(nid).entry_count() > self.params.branching {
                     pending = Some(self.split_interior(nid));
                 } else if self.params.merge_refinement {
@@ -469,11 +518,11 @@ impl CfTree {
             // Root split: the tree grows one level.
             let old_root = self.root;
             let mut root = Node::new_interior();
-            root.children_mut().push(ChildEntry {
+            root.push_child(ChildEntry {
                 cf: self.summary(old_root),
                 child: old_root,
             });
-            root.children_mut().push(ChildEntry {
+            root.push_child(ChildEntry {
                 cf: self.summary(new_id),
                 child: new_id,
             });
@@ -487,22 +536,11 @@ impl CfTree {
     /// closest entries; if they are not the split pair, merges their child
     /// nodes — resplitting if the merged node overflows its capacity.
     fn merge_refine(&mut self, nid: NodeId, split_a: usize, split_b: usize) {
-        let children = self.node(nid).children();
-        if children.len() < 3 {
+        if self.node(nid).entry_count() < 3 {
             return; // The only pair is the split pair.
         }
-        let mut best: Option<(usize, usize, f64)> = None;
-        for i in 0..children.len() {
-            for j in (i + 1)..children.len() {
-                let d = self
-                    .params
-                    .metric
-                    .distance(&children[i].cf, &children[j].cf);
-                if best.is_none_or(|(_, _, bd)| d < bd) {
-                    best = Some((i, j, d));
-                }
-            }
-        }
+        // One contiguous pairwise sweep over the node's SoA block.
+        let best = closest_pair(self.params.metric, self.node(nid).block());
         let Some((i, j, _)) = best else { return };
         if (i, j) == (split_a.min(split_b), split_a.max(split_b)) {
             return; // Closest pair is the freshly split pair: nothing to heal.
@@ -527,24 +565,24 @@ impl CfTree {
         if combined <= capacity {
             // Merge b into a; drop b's entry and node.
             if a_is_leaf {
-                let mut moved = std::mem::take(self.node_mut(b_id).leaf_entries_mut());
-                self.node_mut(a_id).leaf_entries_mut().append(&mut moved);
+                let moved = self.node_mut(b_id).take_leaf_entries();
+                self.node_mut(a_id).append_leaf_entries(moved);
                 self.unlink_leaf(b_id);
             } else {
-                let mut moved = std::mem::take(self.node_mut(b_id).children_mut());
-                self.node_mut(a_id).children_mut().append(&mut moved);
+                let moved = self.node_mut(b_id).take_children();
+                self.node_mut(a_id).append_children(moved);
             }
             self.free_node(b_id);
             let a_cf = self.summary(a_id);
-            let kids = self.node_mut(nid).children_mut();
-            kids[i].cf = a_cf;
-            kids.remove(j);
+            let parent = self.node_mut(nid);
+            parent.set_child_cf(i, a_cf);
+            parent.remove_child(j);
         } else {
             // Merge + resplit: pool both nodes' items and redistribute by
             // the farthest-pair rule to even out occupancy.
             if a_is_leaf {
-                let mut pool = std::mem::take(self.node_mut(a_id).leaf_entries_mut());
-                pool.append(&mut std::mem::take(self.node_mut(b_id).leaf_entries_mut()));
+                let mut pool = self.node_mut(a_id).take_leaf_entries();
+                pool.append(&mut self.node_mut(b_id).take_leaf_entries());
                 let (mut g1, mut g2) = partition_by_farthest_pair(pool, |e| e, self.params.metric);
                 rebalance_to_capacity(
                     &mut g1,
@@ -554,11 +592,11 @@ impl CfTree {
                     capacity,
                     self.params.dim,
                 );
-                *self.node_mut(a_id).leaf_entries_mut() = g1;
-                *self.node_mut(b_id).leaf_entries_mut() = g2;
+                self.node_mut(a_id).set_leaf_entries(g1);
+                self.node_mut(b_id).set_leaf_entries(g2);
             } else {
-                let mut pool = std::mem::take(self.node_mut(a_id).children_mut());
-                pool.append(&mut std::mem::take(self.node_mut(b_id).children_mut()));
+                let mut pool = self.node_mut(a_id).take_children();
+                pool.append(&mut self.node_mut(b_id).take_children());
                 let (mut g1, mut g2) =
                     partition_by_farthest_pair(pool, |c| &c.cf, self.params.metric);
                 rebalance_to_capacity(
@@ -569,14 +607,14 @@ impl CfTree {
                     capacity,
                     self.params.dim,
                 );
-                *self.node_mut(a_id).children_mut() = g1;
-                *self.node_mut(b_id).children_mut() = g2;
+                self.node_mut(a_id).set_children(g1);
+                self.node_mut(b_id).set_children(g2);
             }
             let a_cf = self.summary(a_id);
             let b_cf = self.summary(b_id);
-            let kids = self.node_mut(nid).children_mut();
-            kids[i].cf = a_cf;
-            kids[j].cf = b_cf;
+            let parent = self.node_mut(nid);
+            parent.set_child_cf(i, a_cf);
+            parent.set_child_cf(j, b_cf);
         }
     }
 
@@ -740,6 +778,31 @@ impl CfTree {
     pub(crate) fn strict_audit(&self, _op: &str) {}
 }
 
+/// An entry on its way into the tree: owned (the public `insert_cf` path)
+/// or borrowed (the scratch-CF feed path). A borrowed entry is cloned only
+/// at the moment it must be stored as a new leaf entry, so the common
+/// absorbed case allocates nothing.
+enum EntInput<'a> {
+    Owned(Cf),
+    Ref(&'a Cf),
+}
+
+impl EntInput<'_> {
+    fn get(&self) -> &Cf {
+        match self {
+            EntInput::Owned(cf) => cf,
+            EntInput::Ref(cf) => cf,
+        }
+    }
+
+    fn into_cf(self) -> Cf {
+        match self {
+            EntInput::Owned(cf) => cf,
+            EntInput::Ref(cf) => cf.clone(),
+        }
+    }
+}
+
 struct LeafIter<'a> {
     tree: &'a CfTree,
     cur: Option<NodeId>,
@@ -769,20 +832,11 @@ fn partition_by_farthest_pair<T>(
     metric: DistanceMetric,
 ) -> (Vec<T>, Vec<T>) {
     assert!(items.len() >= 2, "cannot partition fewer than 2 items");
-    let mut far = (0usize, 1usize);
-    let mut far_d = f64::NEG_INFINITY;
-    for i in 0..items.len() {
-        for j in (i + 1)..items.len() {
-            let d = metric.distance(cf_of(&items[i]), cf_of(&items[j]));
-            if d > far_d {
-                far_d = d;
-                far = (i, j);
-            }
-        }
-    }
-    let (s1, s2) = far;
-    let seed1 = cf_of(&items[s1]).clone();
-    let seed2 = cf_of(&items[s2]).clone();
+    // Gather the items' CFs into one contiguous SoA block: the O(n²)
+    // farthest-pair matrix and the redistribution pass both become linear
+    // sweeps over cache-resident rows.
+    let block = CfBlock::from_cfs(items.iter().map(&cf_of));
+    let (s1, s2, _) = farthest_pair(metric, &block).expect("at least 2 items");
     let mut g1 = Vec::with_capacity(items.len() / 2 + 1);
     let mut g2 = Vec::with_capacity(items.len() / 2 + 1);
     for (k, item) in items.into_iter().enumerate() {
@@ -791,8 +845,8 @@ fn partition_by_farthest_pair<T>(
         } else if k == s2 {
             g2.push(item);
         } else {
-            let d1 = metric.distance(cf_of(&item), &seed1);
-            let d2 = metric.distance(cf_of(&item), &seed2);
+            let d1 = pair_in_block(metric, &block, k, s1);
+            let d2 = pair_in_block(metric, &block, k, s2);
             if d1 <= d2 {
                 g1.push(item);
             } else {
@@ -865,6 +919,7 @@ mod tests {
             threshold_kind: ThresholdKind::Diameter,
             metric: DistanceMetric::D2,
             merge_refinement: true,
+            descend_prune: false,
         }
     }
 
@@ -1096,6 +1151,79 @@ mod tests {
         t.check_invariants().unwrap();
         assert_eq!(t.stats().merge_refinements, 0);
     }
+
+    /// The deterministic pseudo-random walk shared by the counter tests.
+    fn walk_tree(params: TreeParams) -> CfTree {
+        let mut t = CfTree::new(params);
+        let mut x = 0.0f64;
+        let mut y = 0.0f64;
+        for i in 0..500 {
+            x = (x * 1.3 + f64::from(i) * 0.7).rem_euclid(50.0);
+            y = (y * 1.7 + f64::from(i) * 0.3).rem_euclid(50.0);
+            t.insert_point(&Point::xy(x, y));
+        }
+        t
+    }
+
+    #[test]
+    fn d0_prune_builds_identical_tree_and_counts_pruned() {
+        let mk = |prune: bool| {
+            walk_tree(TreeParams {
+                metric: DistanceMetric::D0,
+                descend_prune: prune,
+                ..small_params(0.5)
+            })
+        };
+        let base = mk(false);
+        let pruned = mk(true);
+        // Selection is provably unchanged, so the trees must be identical.
+        let a: Vec<Cf> = base.leaf_entries().cloned().collect();
+        let b: Vec<Cf> = pruned.leaf_entries().cloned().collect();
+        assert_eq!(a, b, "pruned descent must build an identical tree");
+        assert_eq!(base.stats().splits, pruned.stats().splits);
+        assert_eq!(
+            base.stats().merge_refinements,
+            pruned.stats().merge_refinements
+        );
+        // The prune must actually fire, and every candidate is either
+        // evaluated or pruned — the totals reconcile exactly.
+        assert_eq!(base.stats().distance_calls_pruned, 0);
+        assert!(
+            pruned.stats().distance_calls_pruned > 0,
+            "prune never fired"
+        );
+        assert_eq!(
+            pruned.stats().distance_calls + pruned.stats().distance_calls_pruned,
+            base.stats().distance_calls,
+        );
+        base.check_invariants().unwrap();
+        pruned.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prune_flag_is_inert_under_non_d0_metrics() {
+        let t = walk_tree(TreeParams {
+            descend_prune: true,
+            ..small_params(0.5)
+        });
+        let u = walk_tree(small_params(0.5));
+        assert_eq!(t.stats(), u.stats(), "prune flag must be a no-op under D2");
+        assert_eq!(t.stats().distance_calls_pruned, 0);
+    }
+
+    #[test]
+    fn distance_call_counter_is_pinned_on_fixed_workload() {
+        // Regression pin: the descent + closest-leaf-entry scans of the
+        // fixed 500-point walk perform exactly this many distance
+        // evaluations. A change here means the hot path gained or lost
+        // evaluations — intentional changes must update the pin.
+        let t = walk_tree(small_params(0.5));
+        assert_eq!(t.stats().distance_calls, DISTANCE_CALLS_PIN);
+        assert_eq!(t.stats().distance_calls_pruned, 0);
+    }
+
+    /// See `distance_call_counter_is_pinned_on_fixed_workload`.
+    const DISTANCE_CALLS_PIN: u64 = 7419;
 
     #[test]
     #[should_panic(expected = "cannot insert an empty CF")]

@@ -16,6 +16,7 @@
 //! Phase-3 global clustering built from them, must still match exactly.
 
 use birch_core::config::ClusterCount;
+use birch_core::distance::{closest_among, closest_among_pruned, CfBlock};
 use birch_core::phase3::global_cluster;
 use birch_core::tree::{CfTree, InsertOutcome, TreeParams};
 use birch_core::{Cf, DistanceMetric, Point, ThresholdKind};
@@ -94,6 +95,7 @@ fn params(threshold: f64, branching: usize, leaf_capacity: usize) -> TreeParams 
         threshold_kind: ThresholdKind::Diameter,
         metric: DistanceMetric::D2,
         merge_refinement: true,
+        descend_prune: false,
     }
 }
 
@@ -213,6 +215,63 @@ fn phase3_input_cfs_agree_with_oracle() {
         sorted_entries(o3.clusters),
         "cluster CFs diverged"
     );
+}
+
+#[test]
+fn kernel_descent_choice_matches_scalar_reference_on_all_metrics() {
+    // The batched closest-child kernel must pick the *identical* index as
+    // a naive first-minimum scan over `DistanceMetric::distance` — same
+    // winner, same distance bits, and the same tie resolution (a
+    // duplicated candidate forces an exact tie every trial). The pruned
+    // variant must agree too, with its evaluated/pruned counters summing
+    // to the scan length.
+    let mut rng = Rng(0x5EED5);
+    for &metric in &DistanceMetric::ALL {
+        for trial in 0..50 {
+            let n = 2 + (rng.next() % 6) as usize;
+            let mut cands: Vec<Cf> = (0..n)
+                .map(|_| {
+                    let mut cf = Cf::empty(2);
+                    for _ in 0..=(rng.next() % 3) {
+                        cf.add_point(&Point::xy(rng.f64() * 10.0, rng.f64() * 10.0));
+                    }
+                    cf
+                })
+                .collect();
+            let dup = cands[(rng.next() % n as u64) as usize].clone();
+            cands.push(dup);
+            let probe = Cf::from_point(&Point::xy(rng.f64() * 10.0, rng.f64() * 10.0));
+            let block = CfBlock::from_cfs(cands.iter());
+
+            let mut reference: Option<(usize, f64)> = None;
+            for (i, c) in cands.iter().enumerate() {
+                let d = metric.distance(&probe, c);
+                if reference.is_none_or(|(_, bd)| d < bd) {
+                    reference = Some((i, d));
+                }
+            }
+
+            let kernel = closest_among(metric, &probe, &block);
+            let (ri, rd) = reference.expect("non-empty candidate set");
+            let (ki, kd) = kernel.expect("non-empty block");
+            assert_eq!(ki, ri, "winner diverged under {metric:?} (trial {trial})");
+            assert_eq!(
+                kd.to_bits(),
+                rd.to_bits(),
+                "distance bits diverged under {metric:?} (trial {trial}): {kd} vs {rd}"
+            );
+
+            let (pruned_best, evaluated, pruned) = closest_among_pruned(metric, &probe, &block);
+            let (pi, pd) = pruned_best.expect("non-empty block");
+            assert_eq!(pi, ri, "pruned winner diverged under {metric:?}");
+            assert_eq!(pd.to_bits(), rd.to_bits(), "pruned distance bits diverged");
+            assert_eq!(
+                evaluated + pruned,
+                cands.len() as u64,
+                "counter identity broken under {metric:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -59,6 +59,7 @@ fn small_params(threshold: f64, metric: DistanceMetric) -> TreeParams {
         threshold_kind: ThresholdKind::Diameter,
         metric,
         merge_refinement: true,
+        descend_prune: false,
     }
 }
 
@@ -242,6 +243,41 @@ proptest! {
             }
         }
         prop_assert!((r.merge_distances[0] - closest).abs() <= 1e-9 * (1.0 + closest));
+    }
+
+    /// The memoized `‖LS‖²` stays *bit-exact* against a from-scratch
+    /// `LS·LS` dot product across arbitrarily long add/merge/subtract
+    /// chains. The documented tolerance is zero: the cache is refreshed by
+    /// full recomputation after every `LS` mutation (see DESIGN.md), so
+    /// any drift at all is a regression of that policy.
+    #[test]
+    fn ls_sq_memo_bit_exact_over_op_chains(
+        ops in prop::collection::vec((0usize..3, points(6), 1.0f64..5.0), 1..60)
+    ) {
+        let mut cf = Cf::empty(2);
+        let mut merged_history: Vec<Cf> = Vec::new();
+        for (sel, pts, w) in &ops {
+            match sel {
+                0 => for p in pts { cf.add_point(p); },
+                1 => cf.add_weighted_point(&pts[0], *w),
+                _ => {
+                    let other = Cf::from_points(pts);
+                    cf.merge(&other);
+                    merged_history.push(other);
+                }
+            }
+            // Interleave subtraction of CFs merged earlier, so the chain
+            // exercises the one mutation that can cancel mass.
+            if merged_history.len() > 2 {
+                let other = merged_history.remove(0);
+                cf.subtract(&other);
+            }
+            let scratch: f64 = cf.ls().iter().zip(cf.ls()).map(|(x, y)| x * y).sum();
+            prop_assert_eq!(
+                cf.ls_sq().to_bits(), scratch.to_bits(),
+                "memo {} != from-scratch {}", cf.ls_sq(), scratch
+            );
+        }
     }
 
     /// Weighted insertion scales linearly: weight w ≡ w identical points.
