@@ -37,7 +37,12 @@
 //! ([`AuditReport::interior_drift`] / [`AuditReport::root_drift`]), not
 //! just a pass/fail — BETULA (Lang & Schubert) shows naive `(N, LS, SS)`
 //! arithmetic drifts, so we measure it instead of assuming it away. Drift
-//! beyond the configured tolerance *is* a violation.
+//! beyond the configured tolerance *is* a violation. The auditor also
+//! recomputes the tree's total squared deviation in ~106-bit double-double
+//! arithmetic ([`crate::quad`]) and reports the disagreement with the
+//! active backend's f64 value as [`AuditReport::cancellation_drift`] —
+//! the catastrophic-cancellation measurable (report-only; see the field
+//! docs).
 //!
 //! The auditor runs in O(size of tree). It is wired into the test suites
 //! and, behind the `strict-audit` cargo feature, after every mutating
@@ -45,6 +50,7 @@
 
 use crate::cf::Cf;
 use crate::node::{Node, NodeId, NodeKind};
+use crate::quad::Dd;
 use crate::tree::CfTree;
 use std::collections::HashSet;
 use std::fmt;
@@ -183,15 +189,17 @@ impl std::error::Error for AuditViolation {}
 /// maintained CFs and CFs recomputed from scratch, per component.
 ///
 /// Relative drift of components `x` (stored) and `y` (recomputed) is
-/// `|x − y| / (1 + max(|x|, |y|))`; for `LS` the worst coordinate counts.
+/// `|x − y| / (1 + max(|x|, |y|))`; for the vector statistic the worst
+/// coordinate counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Drift {
     /// Drift in the point count `N`.
     pub n: f64,
-    /// Worst-coordinate drift in the linear sum `LS`.
-    pub ls: f64,
-    /// Drift in the square sum `SS`.
-    pub ss: f64,
+    /// Worst-coordinate drift in the vector statistic (`LS` classic,
+    /// μ stable).
+    pub vec: f64,
+    /// Drift in the scalar statistic (`SS` classic, `SSE` stable).
+    pub scalar: f64,
 }
 
 impl Drift {
@@ -202,16 +210,19 @@ impl Drift {
     /// Folds the drift between `stored` and `recomputed` into `self`.
     fn observe(&mut self, stored: &Cf, recomputed: &Cf) {
         self.n = self.n.max(Self::component(stored.n(), recomputed.n()));
-        self.ss = self.ss.max(Self::component(stored.ss(), recomputed.ss()));
-        for (&x, &y) in stored.ls().iter().zip(recomputed.ls()) {
-            self.ls = self.ls.max(Self::component(x, y));
+        self.scalar = self.scalar.max(Self::component(
+            stored.scalar_stat(),
+            recomputed.scalar_stat(),
+        ));
+        for (&x, &y) in stored.vec_stat().iter().zip(recomputed.vec_stat()) {
+            self.vec = self.vec.max(Self::component(x, y));
         }
     }
 
     /// The worst drift across all components.
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.n.max(self.ls).max(self.ss)
+        self.n.max(self.vec).max(self.scalar)
     }
 }
 
@@ -239,6 +250,20 @@ pub struct AuditReport {
     /// refresh policy regresses — the measurable exists to catch exactly
     /// that.
     pub norm_cache_drift: f64,
+    /// Relative disagreement between the tree's total squared deviation
+    /// as the active CF backend computes it in `f64` and the same
+    /// statistic recomputed from the leaf-entry statistics in ~106-bit
+    /// double-double arithmetic ([`crate::quad`]).
+    ///
+    /// This is the catastrophic-cancellation measurable: the classic
+    /// `(N, LS, SS)` backend evaluates `SS − ‖LS‖²/N`, which collapses for
+    /// tight clusters far from the origin, so its drift explodes (often to
+    /// `1.0`, the statistic clamped to exact `0`) at large coordinate
+    /// offsets. The stable `(N, μ, SSE)` backend reads the deviation sum
+    /// directly and stays at round-off level regardless of offset.
+    /// Report-only: it never fails the audit — the classic backend's
+    /// nonzero drift is a documented bug, not a tree invariant violation.
+    pub cancellation_drift: f64,
 }
 
 /// Audits `tree` with default [`AuditOptions`].
@@ -343,7 +368,92 @@ pub fn audit_with(tree: &CfTree, opts: &AuditOptions) -> Result<AuditReport, Aud
         }
     }
 
+    // ---- Cancellation drift (report-only measurable). ----
+    report.cancellation_drift = measure_cancellation_drift(tree);
+
     Ok(report)
+}
+
+/// Per-leaf-entry `(N, centroid, internal squared deviation)` with the
+/// last two promoted to double-double, extracted from whatever the active
+/// backend stores.
+///
+/// Classic: centroid `LS/N` and deviation `SS − ‖LS‖²/N`, both evaluated
+/// in `Dd` — note the *inputs* are the stored f64 `LS`/`SS`, so precision
+/// the backend already discarded cannot come back; that is exactly what
+/// the measurable exposes. Stable: the mean (carry folded in, exactly)
+/// and the deviation sum read directly.
+#[cfg(not(feature = "stable-cf"))]
+fn dd_entry_stats(cf: &Cf) -> (f64, Vec<Dd>, Dd) {
+    let n = cf.n();
+    let c: Vec<Dd> = cf
+        .vec_stat()
+        .iter()
+        .map(|&x| Dd::from_f64(x).div_f64(n))
+        .collect();
+    let mut ls_sq = Dd::ZERO;
+    for &x in cf.vec_stat() {
+        ls_sq = ls_sq + Dd::from_f64(x).mul_f64(x);
+    }
+    let s = Dd::from_f64(cf.scalar_stat()) - ls_sq.div_f64(n);
+    (n, c, s)
+}
+
+#[cfg(feature = "stable-cf")]
+fn dd_entry_stats(cf: &Cf) -> (f64, Vec<Dd>, Dd) {
+    let n = cf.n();
+    let c: Vec<Dd> = cf
+        .mean()
+        .iter()
+        .zip(cf.mean_carry())
+        .map(|(&m, &e)| Dd::from_f64(m).add_f64(e))
+        .collect();
+    (n, c, Dd::from_f64(cf.scalar_stat()))
+}
+
+/// Recomputes the tree's total squared deviation from its leaf-entry
+/// statistics in double-double arithmetic and returns the relative
+/// disagreement with the active backend's own f64 evaluation
+/// ([`AuditReport::cancellation_drift`]).
+///
+/// Decomposition: with per-entry weight `nᵢ`, centroid `cᵢ` and internal
+/// deviation `sᵢ`, the total deviation around the grand mean
+/// `M = Σnᵢcᵢ/Σnᵢ` is `Σsᵢ + Σnᵢ·‖cᵢ − M‖²`. Every term is evaluated in
+/// [`Dd`] (~32 significant digits), so the reference sits far below any
+/// cancellation an f64 backend can exhibit.
+fn measure_cancellation_drift(tree: &CfTree) -> f64 {
+    let total = tree.total_cf();
+    if total.is_empty() {
+        return 0.0;
+    }
+    let dim = total.dim();
+    let mut n_sum = Dd::ZERO;
+    let mut weighted = vec![Dd::ZERO; dim];
+    let mut inner = Dd::ZERO;
+    let mut parts: Vec<(f64, Vec<Dd>)> = Vec::new();
+    for cf in tree.leaf_entries() {
+        let (n, c, s) = dd_entry_stats(cf);
+        n_sum = n_sum.add_f64(n);
+        for (w, ci) in weighted.iter_mut().zip(&c) {
+            *w = *w + ci.mul_f64(n);
+        }
+        inner = inner + s;
+        parts.push((n, c));
+    }
+    let nf = n_sum.to_f64();
+    if nf <= 0.0 {
+        return 0.0;
+    }
+    let mean: Vec<Dd> = weighted.iter().map(|w| w.div_f64(nf)).collect();
+    let mut between = Dd::ZERO;
+    for (n, c) in &parts {
+        for (ci, mi) in c.iter().zip(&mean) {
+            let d = *ci - *mi;
+            between = between + (d * d).mul_f64(*n);
+        }
+    }
+    let reference = (inner + between).to_f64().max(0.0);
+    Drift::component(total.sq_deviation(), reference)
 }
 
 /// Verifies a node's SoA mirror matches its entries bit for bit. The
@@ -368,23 +478,23 @@ fn check_block_sync(node: &Node, id: NodeId) -> Result<(), AuditViolation> {
             NodeKind::Interior { children } => &children[i].cf,
         };
         let exact = block.row_n(i).to_bits() == cf.n().to_bits()
-            && block.row_ss(i).to_bits() == cf.ss().to_bits()
-            && block.row_ls_sq(i).to_bits() == cf.ls_sq().to_bits()
-            && block.row_ls(i).len() == cf.ls().len()
+            && block.row_scalar(i).to_bits() == cf.scalar_stat().to_bits()
+            && block.row_vec_sq(i).to_bits() == cf.vec_stat_sq().to_bits()
+            && block.row_vec(i).len() == cf.vec_stat().len()
             && block
-                .row_ls(i)
+                .row_vec(i)
                 .iter()
-                .zip(cf.ls())
+                .zip(cf.vec_stat())
                 .all(|(a, b)| a.to_bits() == b.to_bits());
         if !exact {
             return Err(AuditViolation {
                 kind: ViolationKind::BlockDesync,
                 node: Some(id),
                 detail: format!(
-                    "mirror row {i} (n {}, ss {}, ‖LS‖² {}) disagrees with entry {cf:?}",
+                    "mirror row {i} (n {}, scalar {}, ‖vec‖² {}) disagrees with entry {cf:?}",
                     block.row_n(i),
-                    block.row_ss(i),
-                    block.row_ls_sq(i)
+                    block.row_scalar(i),
+                    block.row_vec_sq(i)
                 ),
             });
         }
@@ -402,17 +512,17 @@ fn check_norm_cache(
     opts: &AuditOptions,
     report: &mut AuditReport,
 ) -> Result<(), AuditViolation> {
-    let recomputed: f64 = cf.ls().iter().map(|x| x * x).sum();
-    let drift = Drift::component(cf.ls_sq(), recomputed);
+    let recomputed: f64 = cf.vec_stat().iter().map(|x| x * x).sum();
+    let drift = Drift::component(cf.vec_stat_sq(), recomputed);
     report.norm_cache_drift = report.norm_cache_drift.max(drift);
     if drift > opts.rel_tol {
         return Err(AuditViolation {
             kind: ViolationKind::NormCacheMismatch,
             node: Some(id),
             detail: format!(
-                "{what} {i} caches ‖LS‖² = {} but LS·LS recomputes to {recomputed} \
-                 (drift {drift:.3e})",
-                cf.ls_sq()
+                "{what} {i} caches ‖vec‖² = {} but a from-scratch dot product \
+                 recomputes to {recomputed} (drift {drift:.3e})",
+                cf.vec_stat_sq()
             ),
         });
     }
@@ -665,6 +775,63 @@ mod tests {
         // Incremental maintenance drifts, but far below tolerance here.
         assert!(r.interior_drift.max() <= 1e-9, "{:?}", r.interior_drift);
         assert!(r.root_drift.max() <= 1e-9, "{:?}", r.root_drift);
+        // Well-conditioned data: both CF backends agree with the
+        // double-double reference.
+        assert!(r.cancellation_drift <= 1e-9, "{}", r.cancellation_drift);
+    }
+
+    /// Tight clusters (dyadic spread ≈ 1e-3) translated to `offset`. At
+    /// offset 1e8 the classic backend's quality statistics collapse.
+    fn offset_tree(offset: f64) -> CfTree {
+        let mut t = CfTree::new(params(0.5));
+        const S: f64 = 9.765_625e-4; // 2⁻¹⁰, an exact multiple of ulp(1e8)
+        for c in 0..6 {
+            let base = offset + f64::from(c) * 8.0;
+            for i in 0..10 {
+                let d = f64::from(i % 3) * S;
+                let e = f64::from(i % 4) * S;
+                t.insert_point(&Point::xy(base + d, base - e));
+            }
+        }
+        t
+    }
+
+    #[cfg(not(feature = "stable-cf"))]
+    #[test]
+    fn cancellation_drift_exposes_classic_collapse_at_large_offset() {
+        // Near the origin the measurable is quiet...
+        let near = audit(&offset_tree(0.0)).unwrap();
+        assert!(
+            near.cancellation_drift <= 1e-9,
+            "{}",
+            near.cancellation_drift
+        );
+        // ...but at offset 1e8 the classic backend's f64 evaluation of
+        // SS − ‖LS‖²/N has lost every significant digit of the true
+        // deviation (~1e-4), and the double-double reference says so.
+        let far = audit(&offset_tree(1e8)).unwrap();
+        assert!(
+            far.cancellation_drift > 1e-3,
+            "classic cancellation drift unexpectedly small: {}",
+            far.cancellation_drift
+        );
+    }
+
+    #[cfg(feature = "stable-cf")]
+    #[test]
+    fn cancellation_drift_stays_flat_for_stable_at_large_offset() {
+        let near = audit(&offset_tree(0.0)).unwrap();
+        assert!(
+            near.cancellation_drift <= 1e-9,
+            "{}",
+            near.cancellation_drift
+        );
+        let far = audit(&offset_tree(1e8)).unwrap();
+        assert!(
+            far.cancellation_drift <= 1e-9,
+            "stable backend drifted: {}",
+            far.cancellation_drift
+        );
     }
 
     #[test]
@@ -839,7 +1006,7 @@ mod tests {
         let mut t = grown_tree();
         let leaf = t.first_leaf;
         if let NodeKind::Leaf { entries, .. } = &mut t.nodes[leaf.index()].kind {
-            entries[0].corrupt_ls_sq_for_test(0.5);
+            entries[0].corrupt_norm_memo_for_test(0.5);
         }
         // Resync the mirror so the poisoned cache is the only defect.
         t.nodes[leaf.index()].rebuild_block();

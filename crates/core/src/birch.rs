@@ -150,7 +150,7 @@ impl RunStats {
     pub fn to_json(&self) -> String {
         let m = &self.metrics;
         format!(
-            "{{\"schema_version\":2,\
+            "{{\"schema_version\":3,\
              \"points_scanned\":{},\
              \"threads\":{},\
              \"phase_times\":{{\"phase1_s\":{},\"merge_s\":{},\"phase2_s\":{},\
@@ -766,7 +766,7 @@ mod tests {
             .fit(&pts)
             .unwrap();
         let json = par.stats().to_json();
-        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"schema_version\":3"), "{json}");
         assert!(json.contains("\"threads\":2"), "{json}");
         assert!(json.contains("\"shards\":[{\"shard\":0,"), "{json}");
         assert!(json.contains("\"merge_s\":"), "{json}");

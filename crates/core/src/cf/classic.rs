@@ -1,4 +1,4 @@
-//! The Clustering Feature (CF) — the paper's central data structure.
+//! The classic CF backend: the paper's `(N, LS, SS)` triple.
 //!
 //! **Definition 4.1**: for a cluster of `N` `d`-dimensional points `{Xᵢ}`,
 //! `CF = (N, LS, SS)` where `LS = Σ Xᵢ` is the linear sum and `SS = Σ Xᵢ·Xᵢ`
@@ -9,13 +9,17 @@
 //! lets BIRCH cluster incrementally: all the statistics in §3 — centroid
 //! `X0` (eq. 1), radius `R` (eq. 2), diameter `D` (eq. 3) — and all the
 //! inter-cluster distances `D0…D4` (eqs. 4–8) are computable from CFs alone,
-//! *exactly*, without storing the points.
+//! *exactly* in real arithmetic, without storing the points. In f64 the
+//! derived statistics suffer catastrophic cancellation at large coordinate
+//! offsets — see the [module docs](crate::cf) and the [`stable`](crate::cf::stable)
+//! backend for the failure mode and the fix.
 //!
 //! Weights: the paper allows a weighted clustering function (§1) and the
 //! image application (§6.8) duplicates/weights pixels. We support a real
 //! weight per point: a point `x` with weight `w` contributes `(w, w·x,
 //! w·x·x)`. With all weights 1 this is exactly the paper's CF.
 
+use crate::cf::N_DUST_REL;
 use crate::point::{dot, Point};
 use std::fmt;
 
@@ -141,10 +145,37 @@ impl Cf {
         self.ls_sq
     }
 
+    /// Backend-agnostic vector statistic: the linear sum `LS` for this
+    /// backend (the mean `μ` for [`stable`](crate::cf::stable)). Generic
+    /// code (blocks, audits, canonical orderings) uses this instead of the
+    /// representation-specific accessor.
+    #[must_use]
+    pub fn vec_stat(&self) -> &[f64] {
+        &self.ls
+    }
+
+    /// Backend-agnostic scalar statistic: the square sum `SS` for this
+    /// backend (the deviation sum `SSE` for [`stable`](crate::cf::stable)).
+    #[must_use]
+    pub fn scalar_stat(&self) -> f64 {
+        self.ss
+    }
+
+    /// Backend-agnostic memoized `‖vec_stat‖²`: `‖LS‖²` here, `‖μ‖²` for
+    /// the stable backend. Bit-identical to `dot(vec_stat, vec_stat)` by
+    /// the exact-recomputation contract (see [`Cf::ls_sq`]).
+    #[must_use]
+    pub fn vec_stat_sq(&self) -> f64 {
+        self.ls_sq
+    }
+
     /// Test-only corruption of the memoized norm, giving the auditor's
-    /// norm-cache check a deterministic failure to detect.
+    /// norm-cache check a deterministic failure to detect. Only the
+    /// feature-selected backend's helper is reachable from the audit
+    /// tests, so the other one is intentionally dead per build.
     #[cfg(test)]
-    pub(crate) fn corrupt_ls_sq_for_test(&mut self, delta: f64) {
+    #[allow(dead_code)]
+    pub(crate) fn corrupt_norm_memo_for_test(&mut self, delta: f64) {
         self.ls_sq += delta;
     }
 
@@ -241,6 +272,14 @@ impl Cf {
     /// Removes a previously merged CF (inverse of [`Cf::merge`]). Used when
     /// a tentative absorption is rolled back and by Phase-4 reassignment.
     ///
+    /// The weight guard is *relative*: `other` may exceed `self` by up to
+    /// `N_DUST_REL · self.n` of round-off (a fixed absolute slack would
+    /// spuriously reject float dust at large `N` and wave through real
+    /// oversubtraction at tiny `N`). Any residual weight at or below
+    /// `N_DUST_REL` of the original is likewise dust — not only `n == 0`
+    /// exactly — and snaps to the true empty CF, so no near-zero `N` with
+    /// leftover `LS`/`SS` survives to feed divide-by-near-zero centroids.
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatch or if `other` holds more weight than
@@ -254,18 +293,21 @@ impl Cf {
             self.dim()
         );
         assert!(
-            other.n <= self.n + 1e-9,
+            other.n <= self.n * (1.0 + N_DUST_REL),
             "cannot subtract CF with larger N ({} > {})",
             other.n,
             self.n
         );
-        self.n = (self.n - other.n).max(0.0);
+        let n_before = self.n;
+        self.n -= other.n;
         for (l, o) in self.ls.iter_mut().zip(other.ls.iter()) {
             *l -= o;
         }
         self.ss = (self.ss - other.ss).max(0.0);
-        if self.n == 0.0 {
-            // Snap residual floating-point dust to the true empty CF.
+        if self.n <= N_DUST_REL * n_before {
+            // Snap residual floating-point dust (including the tiny
+            // negatives the relative guard admits) to the true empty CF.
+            self.n = 0.0;
             self.ls.iter_mut().for_each(|l| *l = 0.0);
             self.ss = 0.0;
         }
@@ -524,5 +566,46 @@ mod tests {
         m.subtract(&a);
         assert!(m.is_empty());
         assert_eq!(m.ls_sq(), 0.0);
+    }
+
+    #[test]
+    fn subtract_snaps_near_zero_residual() {
+        // A residual weight of 1e-12 out of an original 1.0 is numerical
+        // dust, not a real cluster: it must snap to the true empty CF
+        // instead of surviving with leftover LS/SS and feeding
+        // divide-by-near-zero centroids downstream.
+        let p = Point::xy(1.0, 2.0);
+        let mut a = Cf::from_weighted_point(&p, 1.0);
+        let b = Cf::from_weighted_point(&p, 1.0 - 1e-12);
+        a.subtract(&b);
+        assert!(a.is_empty());
+        assert_eq!(a.n(), 0.0);
+        assert_eq!(a.ls(), &[0.0, 0.0]);
+        assert_eq!(a.ss(), 0.0);
+        assert_eq!(a.ls_sq(), 0.0);
+    }
+
+    #[test]
+    fn subtract_guard_tolerance_is_relative() {
+        // At N ~ 1e12, an excess of 1.0 is a relative error of 1e-12 —
+        // ordinary float dust from a merge/subtract chain. The old absolute
+        // `+ 1e-9` guard rejected it; the relative guard must subtract and
+        // snap the (tiny negative) residual to empty.
+        let p = Point::xy(1.0, 1.0);
+        let mut a = Cf::from_weighted_point(&p, 1e12);
+        let b = Cf::from_weighted_point(&p, 1e12 + 1.0);
+        a.subtract(&b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot subtract")]
+    fn subtract_guard_still_rejects_real_oversubtraction_at_scale() {
+        // A 1% excess at N ~ 1e12 is far beyond round-off and must still
+        // be rejected by the relative guard.
+        let p = Point::xy(1.0, 1.0);
+        let mut a = Cf::from_weighted_point(&p, 1e12);
+        let b = Cf::from_weighted_point(&p, 1.01e12);
+        a.subtract(&b);
     }
 }

@@ -1,0 +1,48 @@
+//! The Clustering Feature (CF) — the paper's central data structure, in
+//! two interchangeable numeric representations.
+//!
+//! **Definition 4.1**: for a cluster of `N` `d`-dimensional points `{Xᵢ}`,
+//! `CF = (N, LS, SS)` where `LS = Σ Xᵢ` is the linear sum and `SS = Σ Xᵢ·Xᵢ`
+//! is the (scalar) square sum. The **CF Additivity Theorem (4.1)** — merging
+//! disjoint clusters adds their CFs component-wise — is what lets BIRCH
+//! cluster incrementally: centroid `X0` (eq. 1), radius `R` (eq. 2),
+//! diameter `D` (eq. 3) and the inter-cluster distances `D0…D4` (eqs. 4–8)
+//! are all computable from CFs alone, without storing the points.
+//!
+//! The paper's triple is algebraically exact but *numerically* treacherous:
+//! every quality-bearing statistic evaluates a difference of large, nearly
+//! equal terms (`SS − ‖LS‖²/N` and friends). For a tight cluster at a large
+//! coordinate offset the true deviation falls below the f64 rounding of the
+//! operands and the clamped difference silently collapses to 0 —
+//! catastrophic cancellation. BETULA (Lang & Schubert, see PAPERS.md) fixes
+//! this by storing the translation-invariant form `(N, μ, SSE)` instead.
+//!
+//! Two backends implement the same surface:
+//!
+//! * [`classic`] — the paper's `(N, LS, SS)` with a memoized `‖LS‖²`.
+//!   Bit-compatible with every historical pin in this repository; subject
+//!   to the cancellation failure mode above.
+//! * [`stable`] — BETULA's `(N, μ, SSE)` with Neumaier-compensated mean
+//!   and SSE accumulation. Translation-invariant statistics at any offset.
+//!
+//! Both are always compiled (so diagnostics and benches can compare them
+//! in one binary); the `stable-cf` cargo feature only selects which one is
+//! re-exported as [`Cf`] and therefore drives the tree. Generic code uses
+//! the backend-agnostic accessor surface — `vec_stat` (LS or μ),
+//! `scalar_stat` (SS or SSE), `vec_stat_sq` (the memoized `‖·‖²`) — plus
+//! the shared constructors and algebra (`merge`/`merged`/`subtract`/
+//! `add_point`/…), which have identical signatures on both types.
+
+pub mod classic;
+pub mod stable;
+
+#[cfg(not(feature = "stable-cf"))]
+pub use classic::Cf;
+#[cfg(feature = "stable-cf")]
+pub use stable::Cf;
+
+/// Relative dust threshold for [`Cf::subtract`]: a residual weight at or
+/// below `N_DUST_REL` times the pre-subtraction weight is floating-point
+/// dust, not a real cluster, and snaps to the empty CF. The same constant
+/// makes the "cannot subtract more than is present" guard relative.
+pub(crate) const N_DUST_REL: f64 = 1e-9;

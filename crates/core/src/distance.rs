@@ -13,15 +13,46 @@
 //! * **D4** — variance-increase distance (eq. 8): the growth in total
 //!   squared deviation caused by merging.
 //!
-//! All five reduce to closed forms over `(N, LS, SS)`:
+//! Two kernel families compute these, one per CF backend, and both are
+//! always compiled (the `stable-cf` feature only selects which one the
+//! pipeline routes through):
 //!
-//! ```text
-//! D2² = (N₂·SS₁ + N₁·SS₂ − 2·LS₁·LS₂) / (N₁·N₂)
-//! D3² = (2N·SSₘ − 2‖LSₘ‖²) / (N(N−1)),  N = N₁+N₂, subscript m = merged
-//! D4² = ‖LS₁‖²/N₁ + ‖LS₂‖²/N₂ − ‖LSₘ‖²/N
-//! ```
+//! * [`classic_distance`] over [`ClassicView`] — the paper's closed forms
+//!   on `(N, LS, SS)`:
 //!
-//! (for D4, note `SSₘ = SS₁+SS₂` cancels out of the deviation difference).
+//!   ```text
+//!   D2² = (N₂·SS₁ + N₁·SS₂ − 2·LS₁·LS₂) / (N₁·N₂)
+//!   D3² = (2N·SSₘ − 2‖LSₘ‖²) / (N(N−1)),  N = N₁+N₂, subscript m = merged
+//!   D4² = ‖LS₁‖²/N₁ + ‖LS₂‖²/N₂ − ‖LSₘ‖²/N
+//!   ```
+//!
+//!   (for D4, note `SSₘ = SS₁+SS₂` cancels out of the deviation
+//!   difference). These subtract large near-equal quantities, so they
+//!   inherit the classic backend's catastrophic cancellation far from the
+//!   origin.
+//!
+//! * [`stable_distance`] over [`StableView`] — deviation forms on
+//!   `(N, μ, SSE)` with the compensated centroid difference
+//!   `Δμᵢ = (μ₁ᵢ − μ₂ᵢ) + (c₁ᵢ − c₂ᵢ)` (the leading difference of nearby
+//!   means is exact by Sterbenz's lemma, so the Neumaier carries `c`
+//!   survive into the result):
+//!
+//!   ```text
+//!   D0² = ‖Δμ‖²                 D1 = Σ|Δμᵢ|
+//!   D2² = SSE₁/N₁ + SSE₂/N₂ + ‖Δμ‖²
+//!   D3² = 2·SSEₘ/(N−1),  SSEₘ = SSE₁ + SSE₂ + (N₁N₂/N)·‖Δμ‖²
+//!   D4² = (N₁N₂/N)·‖Δμ‖²
+//!   ```
+//!
+//!   Every term is translation-invariant, so these stay accurate at any
+//!   coordinate offset.
+//!
+//! Both kernels share one contract for empty operands (`N ≤ 0`): they
+//! `debug_assert!` (catching the misuse in debug/test builds) and return
+//! `+∞` in release builds, so an empty row can never win a closest-entry
+//! scan via `NaN` poisoning. The higher-level [`DistanceMetric::distance`]
+//! keeps its hard panic: asking for the distance between empty *clusters*
+//! is a caller bug in every build.
 
 use crate::cf::Cf;
 use crate::point::dot;
@@ -78,13 +109,7 @@ impl DistanceMetric {
             a.dim(),
             b.dim()
         );
-        match self {
-            DistanceMetric::D0 => d0(a, b),
-            DistanceMetric::D1 => d1(a, b),
-            DistanceMetric::D2 => d2(a, b),
-            DistanceMetric::D3 => d3(a, b),
-            DistanceMetric::D4 => d4(a, b),
-        }
+        active_kernel(self, &cf_view(a), &cf_view(b))
     }
 }
 
@@ -116,61 +141,185 @@ impl FromStr for DistanceMetric {
     }
 }
 
-// The four metric kernels below are closed forms over (N, LS, SS): no
-// centroid/merge materialization, hence no allocation. These run once per
-// child entry per tree level for *every* insertion (the §6.1 CPU cost
-// model's inner loop), so the allocation-free forms matter.
+// ---------------------------------------------------------------------
+// Backend views and metric kernels.
+//
+// Each kernel is a closed form over its view's fields: no centroid/merge
+// materialization, hence no allocation. These run once per child entry per
+// tree level for *every* insertion (the §6.1 CPU cost model's inner loop),
+// so the allocation-free forms matter. Both the scalar path
+// (`DistanceMetric::distance`) and the batched block path
+// (`distance_to_row` / `pair_in_block`) call the exact same kernel
+// function, so scalar and batched results are bit-identical by
+// construction.
+// ---------------------------------------------------------------------
 
-fn d0(a: &Cf, b: &Cf) -> f64 {
-    let (na, nb) = (a.n(), b.n());
-    a.ls()
-        .iter()
-        .zip(b.ls())
-        .map(|(&x, &y)| {
-            let d = x / na - y / nb;
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt()
+/// A borrowed `(N, SS, ‖LS‖², LS)` view of a classic-backend CF (or a
+/// `CfBlock` row mirroring one).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassicView<'a> {
+    /// Weighted point count `N`.
+    pub n: f64,
+    /// Scalar square sum `SS`.
+    pub ss: f64,
+    /// Memoized `‖LS‖²`.
+    pub ls_sq: f64,
+    /// Linear sum `LS`.
+    pub ls: &'a [f64],
 }
 
-fn d1(a: &Cf, b: &Cf) -> f64 {
-    let (na, nb) = (a.n(), b.n());
-    a.ls()
-        .iter()
-        .zip(b.ls())
-        .map(|(&x, &y)| (x / na - y / nb).abs())
-        .sum()
-}
-
-fn d2(a: &Cf, b: &Cf) -> f64 {
-    let num = b.n() * a.ss() + a.n() * b.ss() - 2.0 * dot(a.ls(), b.ls());
-    (num.max(0.0) / (a.n() * b.n())).sqrt()
-}
-
-/// ‖LS_a + LS_b‖² without materializing the merged vector.
-///
-/// Reads the memoized [`Cf::ls_sq`] for the two self-terms — bit-identical
-/// to recomputing `dot(ls, ls)` (the cache is refreshed by exact
-/// recomputation), but one dot product instead of three.
-fn merged_ls_sq(a: &Cf, b: &Cf) -> f64 {
-    a.ls_sq() + 2.0 * dot(a.ls(), b.ls()) + b.ls_sq()
-}
-
-fn d3(a: &Cf, b: &Cf) -> f64 {
-    let n = a.n() + b.n();
-    if n <= 1.0 {
-        return 0.0; // fractional weights: merged "cluster" of ≤ one point
+impl<'a> ClassicView<'a> {
+    /// The view of a classic-backend CF.
+    #[must_use]
+    pub fn of(cf: &'a crate::cf::classic::Cf) -> Self {
+        ClassicView {
+            n: cf.n(),
+            ss: cf.scalar_stat(),
+            ls_sq: cf.vec_stat_sq(),
+            ls: cf.vec_stat(),
+        }
     }
-    let ss = a.ss() + b.ss();
-    let num = 2.0 * n * ss - 2.0 * merged_ls_sq(a, b);
-    (num.max(0.0) / (n * (n - 1.0))).sqrt()
 }
 
-fn d4(a: &Cf, b: &Cf) -> f64 {
-    let n = a.n() + b.n();
-    let inc = a.ls_sq() / a.n() + b.ls_sq() / b.n() - merged_ls_sq(a, b) / n;
-    inc.max(0.0).sqrt()
+/// A borrowed `(N, SSE, μ, carry)` view of a stable-backend CF (or a
+/// `CfBlock` row mirroring one). `mean_c` holds the Neumaier compensation
+/// terms of the mean — the deviation kernels fold them into `Δμ` so
+/// distances keep ~1 ulp accuracy even at coordinate offsets where the
+/// raw mean difference rounds coarsely.
+#[derive(Debug, Clone, Copy)]
+pub struct StableView<'a> {
+    /// Weighted point count `N`.
+    pub n: f64,
+    /// Sum of squared deviations from the mean (compensation folded in).
+    pub sse: f64,
+    /// The mean vector μ.
+    pub mean: &'a [f64],
+    /// Neumaier carry of each mean coordinate.
+    pub mean_c: &'a [f64],
+}
+
+impl<'a> StableView<'a> {
+    /// The view of a stable-backend CF.
+    #[must_use]
+    pub fn of(cf: &'a crate::cf::stable::Cf) -> Self {
+        StableView {
+            n: cf.n(),
+            sse: cf.scalar_stat(),
+            mean: cf.mean(),
+            mean_c: cf.mean_carry(),
+        }
+    }
+}
+
+/// Distance between two classic-backend views: the paper's closed forms
+/// over `(N, LS, SS)`. Empty operands (`N ≤ 0`) debug-assert and return
+/// `+∞` in release builds (see the module docs).
+#[must_use]
+pub fn classic_distance(metric: DistanceMetric, a: &ClassicView<'_>, b: &ClassicView<'_>) -> f64 {
+    if a.n <= 0.0 || b.n <= 0.0 {
+        debug_assert!(false, "distance with an empty CF operand");
+        return f64::INFINITY;
+    }
+    let (na, nb) = (a.n, b.n);
+    match metric {
+        DistanceMetric::D0 => {
+            a.ls.iter()
+                .zip(b.ls)
+                .map(|(&x, &y)| {
+                    let d = x / na - y / nb;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt()
+        }
+        DistanceMetric::D1 => {
+            a.ls.iter()
+                .zip(b.ls)
+                .map(|(&x, &y)| (x / na - y / nb).abs())
+                .sum()
+        }
+        DistanceMetric::D2 => {
+            let num = nb * a.ss + na * b.ss - 2.0 * dot(a.ls, b.ls);
+            (num.max(0.0) / (na * nb)).sqrt()
+        }
+        DistanceMetric::D3 => {
+            let n = na + nb;
+            if n <= 1.0 {
+                return 0.0; // fractional weights: merged "cluster" of ≤ one point
+            }
+            let ss = a.ss + b.ss;
+            // ‖LS_a + LS_b‖² without materializing the merged vector: the
+            // memoized self-norms are bit-identical to recomputing
+            // dot(ls, ls), so this is one dot product instead of three.
+            let merged = a.ls_sq + 2.0 * dot(a.ls, b.ls) + b.ls_sq;
+            let num = 2.0 * n * ss - 2.0 * merged;
+            (num.max(0.0) / (n * (n - 1.0))).sqrt()
+        }
+        DistanceMetric::D4 => {
+            let n = na + nb;
+            let merged = a.ls_sq + 2.0 * dot(a.ls, b.ls) + b.ls_sq;
+            let inc = a.ls_sq / na + b.ls_sq / nb - merged / n;
+            inc.max(0.0).sqrt()
+        }
+    }
+}
+
+/// Distance between two stable-backend views: translation-invariant
+/// deviation forms over `(N, μ, SSE)` with the compensated centroid
+/// difference `Δμᵢ = (μ_aᵢ − μ_bᵢ) + (c_aᵢ − c_bᵢ)`. Empty operands
+/// (`N ≤ 0`) debug-assert and return `+∞` in release builds (see the
+/// module docs).
+#[must_use]
+pub fn stable_distance(metric: DistanceMetric, a: &StableView<'_>, b: &StableView<'_>) -> f64 {
+    if a.n <= 0.0 || b.n <= 0.0 {
+        debug_assert!(false, "distance with an empty CF operand");
+        return f64::INFINITY;
+    }
+    let dmu = |i: usize| (a.mean[i] - b.mean[i]) + (a.mean_c[i] - b.mean_c[i]);
+    let dmu_sq = || {
+        let mut s = 0.0;
+        for i in 0..a.mean.len() {
+            let d = dmu(i);
+            s += d * d;
+        }
+        s
+    };
+    match metric {
+        DistanceMetric::D0 => dmu_sq().sqrt(),
+        DistanceMetric::D1 => (0..a.mean.len()).map(|i| dmu(i).abs()).sum(),
+        DistanceMetric::D2 => (a.sse / a.n + b.sse / b.n + dmu_sq()).max(0.0).sqrt(),
+        DistanceMetric::D3 => {
+            let n = a.n + b.n;
+            if n <= 1.0 {
+                return 0.0; // fractional weights: merged "cluster" of ≤ one point
+            }
+            let sse_m = a.sse + b.sse + (a.n * b.n / n) * dmu_sq();
+            (2.0 * sse_m / (n - 1.0)).max(0.0).sqrt()
+        }
+        DistanceMetric::D4 => {
+            let n = a.n + b.n;
+            ((a.n * b.n / n) * dmu_sq()).max(0.0).sqrt()
+        }
+    }
+}
+
+// The feature-selected routing: which view/kernel pair the pipeline's
+// `Cf` alias maps onto. Both kernels stay compiled either way (the
+// stability bench compares them side by side in one binary).
+
+#[cfg(not(feature = "stable-cf"))]
+use classic_distance as active_kernel;
+#[cfg(feature = "stable-cf")]
+use stable_distance as active_kernel;
+
+#[cfg(not(feature = "stable-cf"))]
+fn cf_view(cf: &Cf) -> ClassicView<'_> {
+    ClassicView::of(cf)
+}
+
+#[cfg(feature = "stable-cf")]
+fn cf_view(cf: &Cf) -> StableView<'_> {
+    StableView::of(cf)
 }
 
 // ---------------------------------------------------------------------
@@ -179,17 +328,17 @@ fn d4(a: &Cf, b: &Cf) -> f64 {
 // The tree-descent inner loop (§4.3: "find the closest child") walks a
 // node's entries calling `DistanceMetric::distance` once per entry; with
 // `Vec<Cf>` each call chases a separate `Box<[f64]>`. A `CfBlock` lays the
-// same entries out as one dim-strided `LS` slab plus parallel `(n, ss,
-// ‖LS‖²)` arrays, so the scan is a linear sweep over contiguous memory and
-// the D3/D4 self-terms come from the cached norms. Accumulation inside
-// every row kernel is per-element sequential in the exact same operand
-// order as the scalar `d0..d4` above — no reassociation — so a kernel scan
-// returns bit-identical distances (and therefore identical argmins,
-// including tie order) to the scalar reference.
+// same entries out as one dim-strided vector slab plus parallel scalar
+// arrays, so the scan is a linear sweep over contiguous memory. Both the
+// block path and the scalar path call the same kernel function on the
+// same field values, so a block scan returns bit-identical distances (and
+// therefore identical argmins, including tie order) to the scalar
+// reference by construction.
 // ---------------------------------------------------------------------
 
 /// A flat, cache-resident mirror of a sequence of CFs: one dim-strided
-/// `LS` slab plus parallel `(N, SS, ‖LS‖²)` arrays.
+/// vector slab (`LS`, or μ under `stable-cf`, plus its carry slab) and
+/// parallel `(N, scalar stat, ‖vec‖²)` arrays.
 ///
 /// The dimensionality is fixed lazily by the first row pushed, so an empty
 /// block is dimension-agnostic (a fresh tree node can own one before any
@@ -200,12 +349,18 @@ pub struct CfBlock {
     dim: usize,
     /// Per-row weighted point count `N`.
     n: Vec<f64>,
-    /// Per-row scalar square sum `SS`.
-    ss: Vec<f64>,
-    /// Per-row memoized `‖LS‖²` (copied from [`Cf::ls_sq`]).
-    ls_sq: Vec<f64>,
-    /// Row-major `LS` slab: row `i` occupies `ls[i*dim .. (i+1)*dim]`.
-    ls: Vec<f64>,
+    /// Per-row scalar statistic: `SS` (classic) or folded `SSE` (stable).
+    scalar: Vec<f64>,
+    /// Per-row memoized squared norm of the vector statistic (copied from
+    /// [`Cf::vec_stat_sq`]).
+    vec_sq: Vec<f64>,
+    /// Row-major vector-statistic slab: row `i` occupies
+    /// `vec[i*dim .. (i+1)*dim]`. `LS` (classic) or μ (stable).
+    vec: Vec<f64>,
+    /// Row-major Neumaier carry slab for the mean (same striding as
+    /// `vec`) — the deviation kernels need it for the compensated Δμ.
+    #[cfg(feature = "stable-cf")]
+    vec_c: Vec<f64>,
 }
 
 impl CfBlock {
@@ -262,9 +417,11 @@ impl CfBlock {
     pub fn push(&mut self, cf: &Cf) {
         self.fix_dim(cf.dim());
         self.n.push(cf.n());
-        self.ss.push(cf.ss());
-        self.ls_sq.push(cf.ls_sq());
-        self.ls.extend_from_slice(cf.ls());
+        self.scalar.push(cf.scalar_stat());
+        self.vec_sq.push(cf.vec_stat_sq());
+        self.vec.extend_from_slice(cf.vec_stat());
+        #[cfg(feature = "stable-cf")]
+        self.vec_c.extend_from_slice(cf.mean_carry());
     }
 
     /// Overwrites row `i` with `cf`.
@@ -275,9 +432,11 @@ impl CfBlock {
     pub fn set(&mut self, i: usize, cf: &Cf) {
         self.fix_dim(cf.dim());
         self.n[i] = cf.n();
-        self.ss[i] = cf.ss();
-        self.ls_sq[i] = cf.ls_sq();
-        self.ls[i * self.dim..(i + 1) * self.dim].copy_from_slice(cf.ls());
+        self.scalar[i] = cf.scalar_stat();
+        self.vec_sq[i] = cf.vec_stat_sq();
+        self.vec[i * self.dim..(i + 1) * self.dim].copy_from_slice(cf.vec_stat());
+        #[cfg(feature = "stable-cf")]
+        self.vec_c[i * self.dim..(i + 1) * self.dim].copy_from_slice(cf.mean_carry());
     }
 
     /// Inserts a row mirroring `cf` at position `i`, shifting later rows.
@@ -288,10 +447,13 @@ impl CfBlock {
     pub fn insert(&mut self, i: usize, cf: &Cf) {
         self.fix_dim(cf.dim());
         self.n.insert(i, cf.n());
-        self.ss.insert(i, cf.ss());
-        self.ls_sq.insert(i, cf.ls_sq());
-        self.ls
-            .splice(i * self.dim..i * self.dim, cf.ls().iter().copied());
+        self.scalar.insert(i, cf.scalar_stat());
+        self.vec_sq.insert(i, cf.vec_stat_sq());
+        self.vec
+            .splice(i * self.dim..i * self.dim, cf.vec_stat().iter().copied());
+        #[cfg(feature = "stable-cf")]
+        self.vec_c
+            .splice(i * self.dim..i * self.dim, cf.mean_carry().iter().copied());
     }
 
     /// Removes row `i`, shifting later rows down.
@@ -301,17 +463,21 @@ impl CfBlock {
     /// Panics if `i` is out of range.
     pub fn remove(&mut self, i: usize) {
         self.n.remove(i);
-        self.ss.remove(i);
-        self.ls_sq.remove(i);
-        self.ls.drain(i * self.dim..(i + 1) * self.dim);
+        self.scalar.remove(i);
+        self.vec_sq.remove(i);
+        self.vec.drain(i * self.dim..(i + 1) * self.dim);
+        #[cfg(feature = "stable-cf")]
+        self.vec_c.drain(i * self.dim..(i + 1) * self.dim);
     }
 
     /// Removes every row (the dimensionality stays fixed).
     pub fn clear(&mut self) {
         self.n.clear();
-        self.ss.clear();
-        self.ls_sq.clear();
-        self.ls.clear();
+        self.scalar.clear();
+        self.vec_sq.clear();
+        self.vec.clear();
+        #[cfg(feature = "stable-cf")]
+        self.vec_c.clear();
     }
 
     /// Row `i`'s weighted point count `N`.
@@ -320,22 +486,51 @@ impl CfBlock {
         self.n[i]
     }
 
-    /// Row `i`'s scalar square sum `SS`.
+    /// Row `i`'s scalar statistic: `SS` (classic) or folded `SSE`
+    /// (stable).
     #[must_use]
-    pub fn row_ss(&self, i: usize) -> f64 {
-        self.ss[i]
+    pub fn row_scalar(&self, i: usize) -> f64 {
+        self.scalar[i]
     }
 
-    /// Row `i`'s memoized `‖LS‖²`.
+    /// Row `i`'s memoized squared vector-statistic norm.
     #[must_use]
-    pub fn row_ls_sq(&self, i: usize) -> f64 {
-        self.ls_sq[i]
+    pub fn row_vec_sq(&self, i: usize) -> f64 {
+        self.vec_sq[i]
     }
 
-    /// Row `i`'s `LS` slice inside the slab.
+    /// Row `i`'s vector-statistic slice inside the slab: `LS` (classic)
+    /// or μ (stable).
     #[must_use]
-    pub fn row_ls(&self, i: usize) -> &[f64] {
-        &self.ls[i * self.dim..(i + 1) * self.dim]
+    pub fn row_vec(&self, i: usize) -> &[f64] {
+        &self.vec[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Row `i`'s mean-carry slice inside the carry slab.
+    #[cfg(feature = "stable-cf")]
+    #[must_use]
+    pub fn row_vec_c(&self, i: usize) -> &[f64] {
+        &self.vec_c[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+#[cfg(not(feature = "stable-cf"))]
+fn row_view(block: &CfBlock, i: usize) -> ClassicView<'_> {
+    ClassicView {
+        n: block.row_n(i),
+        ss: block.row_scalar(i),
+        ls_sq: block.row_vec_sq(i),
+        ls: block.row_vec(i),
+    }
+}
+
+#[cfg(feature = "stable-cf")]
+fn row_view(block: &CfBlock, i: usize) -> StableView<'_> {
+    StableView {
+        n: block.row_n(i),
+        sse: block.row_scalar(i),
+        mean: block.row_vec(i),
+        mean_c: block.row_vec_c(i),
     }
 }
 
@@ -355,16 +550,7 @@ pub fn distance_to_row(metric: DistanceMetric, a: &Cf, block: &CfBlock, i: usize
         a.dim(),
         block.dim()
     );
-    row_distance(
-        metric,
-        (a.n(), a.ss(), a.ls_sq(), a.ls()),
-        (
-            block.row_n(i),
-            block.row_ss(i),
-            block.row_ls_sq(i),
-            block.row_ls(i),
-        ),
-    )
+    active_kernel(metric, &cf_view(a), &row_view(block, i))
 }
 
 /// Distance between block rows `i` and `j` — bit-identical to
@@ -375,67 +561,7 @@ pub fn distance_to_row(metric: DistanceMetric, a: &Cf, block: &CfBlock, i: usize
 /// Panics if either index is out of range.
 #[must_use]
 pub fn pair_in_block(metric: DistanceMetric, block: &CfBlock, i: usize, j: usize) -> f64 {
-    row_distance(
-        metric,
-        (
-            block.row_n(i),
-            block.row_ss(i),
-            block.row_ls_sq(i),
-            block.row_ls(i),
-        ),
-        (
-            block.row_n(j),
-            block.row_ss(j),
-            block.row_ls_sq(j),
-            block.row_ls(j),
-        ),
-    )
-}
-
-/// The shared row kernel: each arm repeats the scalar `d0..d4` arithmetic
-/// verbatim (same operand order, sequential per-element accumulation) over
-/// `(n, ss, ‖LS‖², ls)` views instead of `&Cf`s.
-fn row_distance(
-    metric: DistanceMetric,
-    (na, ssa, lsq_a, lsa): (f64, f64, f64, &[f64]),
-    (nb, ssb, lsq_b, lsb): (f64, f64, f64, &[f64]),
-) -> f64 {
-    match metric {
-        DistanceMetric::D0 => lsa
-            .iter()
-            .zip(lsb)
-            .map(|(&x, &y)| {
-                let d = x / na - y / nb;
-                d * d
-            })
-            .sum::<f64>()
-            .sqrt(),
-        DistanceMetric::D1 => lsa
-            .iter()
-            .zip(lsb)
-            .map(|(&x, &y)| (x / na - y / nb).abs())
-            .sum(),
-        DistanceMetric::D2 => {
-            let num = nb * ssa + na * ssb - 2.0 * dot(lsa, lsb);
-            (num.max(0.0) / (na * nb)).sqrt()
-        }
-        DistanceMetric::D3 => {
-            let n = na + nb;
-            if n <= 1.0 {
-                return 0.0;
-            }
-            let ss = ssa + ssb;
-            let merged = lsq_a + 2.0 * dot(lsa, lsb) + lsq_b;
-            let num = 2.0 * n * ss - 2.0 * merged;
-            (num.max(0.0) / (n * (n - 1.0))).sqrt()
-        }
-        DistanceMetric::D4 => {
-            let n = na + nb;
-            let merged = lsq_a + 2.0 * dot(lsa, lsb) + lsq_b;
-            let inc = lsq_a / na + lsq_b / nb - merged / n;
-            inc.max(0.0).sqrt()
-        }
-    }
+    active_kernel(metric, &row_view(block, i), &row_view(block, j))
 }
 
 /// First-minimum closest row to `ent`: the batched form of the descent
@@ -459,11 +585,17 @@ pub fn closest_among(metric: DistanceMetric, ent: &Cf, block: &CfBlock) -> Optio
 /// [`closest_among`] with the D0 triangle-inequality lower-bound prune.
 ///
 /// For D0 (centroid Euclidean distance) the reverse triangle inequality
-/// gives `D0(a, b) ≥ |‖c_a‖ − ‖c_b‖|`, and each centroid norm is
-/// `sqrt(‖LS‖²)/N` — O(1) from the cached norms. A row whose lower bound
-/// strictly exceeds the best distance so far cannot win the strict `<`
-/// comparison, so skipping it provably never changes the selected index
-/// (tie order included). Non-D0 metrics fall back to the plain scan.
+/// gives `D0(a, b) ≥ |‖c_a‖ − ‖c_b‖|`, and each centroid norm is O(1)
+/// from the cached squared norms. A row whose lower bound strictly
+/// exceeds the best distance so far cannot win the strict `<` comparison,
+/// so skipping it provably never changes the selected index (tie order
+/// included). Non-D0 metrics fall back to the plain scan.
+///
+/// Under `stable-cf` the prune is disabled (plain scan, `pruned = 0`):
+/// the cached norms are computed from the *uncompensated* means while the
+/// distances fold in the Neumaier carries, so the ulp-level mismatch
+/// between bound and distance would void the "provably never changes
+/// selection" guarantee.
 ///
 /// Returns `(best, evaluated, pruned)`: the winning `(index, distance)`,
 /// how many full distance evaluations ran, and how many rows the bound
@@ -474,29 +606,37 @@ pub fn closest_among_pruned(
     ent: &Cf,
     block: &CfBlock,
 ) -> (Option<(usize, f64)>, u64, u64) {
-    if metric != DistanceMetric::D0 {
+    #[cfg(feature = "stable-cf")]
+    {
         let best = closest_among(metric, ent, block);
-        return (best, block.len() as u64, 0);
+        (best, block.len() as u64, 0)
     }
-    let ent_norm = ent.ls_sq().sqrt() / ent.n();
-    let mut best: Option<(usize, f64)> = None;
-    let mut best_d = f64::INFINITY;
-    let mut evaluated = 0u64;
-    let mut pruned = 0u64;
-    for i in 0..block.len() {
-        let row_norm = block.row_ls_sq(i).sqrt() / block.row_n(i);
-        if (ent_norm - row_norm).abs() > best_d {
-            pruned += 1;
-            continue;
+    #[cfg(not(feature = "stable-cf"))]
+    {
+        if metric != DistanceMetric::D0 {
+            let best = closest_among(metric, ent, block);
+            return (best, block.len() as u64, 0);
         }
-        evaluated += 1;
-        let d = distance_to_row(metric, ent, block, i);
-        if d < best_d {
-            best_d = d;
-            best = Some((i, d));
+        let ent_norm = ent.vec_stat_sq().sqrt() / ent.n();
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_d = f64::INFINITY;
+        let mut evaluated = 0u64;
+        let mut pruned = 0u64;
+        for i in 0..block.len() {
+            let row_norm = block.row_vec_sq(i).sqrt() / block.row_n(i);
+            if (ent_norm - row_norm).abs() > best_d {
+                pruned += 1;
+                continue;
+            }
+            evaluated += 1;
+            let d = distance_to_row(metric, ent, block, i);
+            if d < best_d {
+                best_d = d;
+                best = Some((i, d));
+            }
         }
+        (best, evaluated, pruned)
     }
-    (best, evaluated, pruned)
 }
 
 /// First-minimum closest pair among the block's rows (`i < j`, earliest
@@ -728,9 +868,11 @@ mod tests {
         assert_eq!(b.dim(), 2);
         for (i, cf) in cfs.iter().enumerate() {
             assert_eq!(b.row_n(i), cf.n());
-            assert_eq!(b.row_ss(i), cf.ss());
-            assert_eq!(b.row_ls_sq(i).to_bits(), cf.ls_sq().to_bits());
-            assert_eq!(b.row_ls(i), cf.ls());
+            assert_eq!(b.row_scalar(i), cf.scalar_stat());
+            assert_eq!(b.row_vec_sq(i).to_bits(), cf.vec_stat_sq().to_bits());
+            assert_eq!(b.row_vec(i), cf.vec_stat());
+            #[cfg(feature = "stable-cf")]
+            assert_eq!(b.row_vec_c(i), cf.mean_carry());
         }
     }
 
@@ -739,14 +881,14 @@ mod tests {
         let cfs = kernel_fixture();
         let mut b = CfBlock::from_cfs(&cfs[..3]);
         b.set(1, &cfs[3]);
-        assert_eq!(b.row_ls(1), cfs[3].ls());
+        assert_eq!(b.row_vec(1), cfs[3].vec_stat());
         b.insert(0, &cfs[4]);
         assert_eq!(b.len(), 4);
-        assert_eq!(b.row_ls(0), cfs[4].ls());
-        assert_eq!(b.row_ls(1), cfs[0].ls());
+        assert_eq!(b.row_vec(0), cfs[4].vec_stat());
+        assert_eq!(b.row_vec(1), cfs[0].vec_stat());
         b.remove(2);
         assert_eq!(b.len(), 3);
-        assert_eq!(b.row_ls(2), cfs[2].ls());
+        assert_eq!(b.row_vec(2), cfs[2].vec_stat());
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.dim(), 2, "dim survives clear");
@@ -806,6 +948,7 @@ mod tests {
         }
     }
 
+    #[cfg(not(feature = "stable-cf"))]
     #[test]
     fn pruned_scan_picks_identical_winner_and_counts() {
         // Rows with widely spread centroid norms so the D0 bound prunes.
@@ -829,6 +972,32 @@ mod tests {
         // Non-D0 metrics fall back to the plain scan, nothing pruned.
         let (_, ev2, pr2) = closest_among_pruned(DistanceMetric::D2, &probe, &b);
         assert_eq!((ev2, pr2), (rows.len() as u64, 0));
+    }
+
+    #[cfg(feature = "stable-cf")]
+    #[test]
+    fn pruned_scan_falls_back_to_plain_under_stable() {
+        // The stable backend disables the norm bound (uncompensated norms
+        // vs compensated distances): same winner, nothing pruned.
+        let rows: Vec<Cf> = (0..40)
+            .map(|i| {
+                let x = f64::from(i) * 25.0;
+                cf_of(&[[x, x * 0.5]])
+            })
+            .collect();
+        let b = CfBlock::from_cfs(&rows);
+        let probe = cf_of(&[[26.0, 12.0]]);
+        for m in DistanceMetric::ALL {
+            let plain = closest_among(m, &probe, &b);
+            let (best, evaluated, pruned) = closest_among_pruned(m, &probe, &b);
+            assert_eq!(plain.map(|(i, _)| i), best.map(|(i, _)| i), "{m}");
+            assert_eq!(
+                plain.map(|(_, d)| d.to_bits()),
+                best.map(|(_, d)| d.to_bits()),
+                "{m}"
+            );
+            assert_eq!((evaluated, pruned), (rows.len() as u64, 0), "{m}");
+        }
     }
 
     #[test]
@@ -861,5 +1030,191 @@ mod tests {
         }
         assert!(farthest_pair(DistanceMetric::D0, &CfBlock::new()).is_none());
         assert!(closest_pair(DistanceMetric::D0, &CfBlock::new()).is_none());
+    }
+
+    /// Exercises the shared empty-operand contract of both kernels for
+    /// one metric: debug builds panic on the debug assert, release builds
+    /// return `+∞` (never `NaN`, which would poison `closest_among`).
+    fn empty_operand_check(metric: DistanceMetric) {
+        let ls = [1.0, 2.0];
+        let zeros = [0.0, 0.0];
+        let full_c = ClassicView {
+            n: 1.0,
+            ss: 5.0,
+            ls_sq: 5.0,
+            ls: &ls,
+        };
+        let empty_c = ClassicView {
+            n: 0.0,
+            ss: 0.0,
+            ls_sq: 0.0,
+            ls: &zeros,
+        };
+        let full_s = StableView {
+            n: 1.0,
+            sse: 0.0,
+            mean: &ls,
+            mean_c: &zeros,
+        };
+        let empty_s = StableView {
+            n: 0.0,
+            sse: 0.0,
+            mean: &zeros,
+            mean_c: &zeros,
+        };
+        #[cfg(debug_assertions)]
+        {
+            use std::panic::{catch_unwind, AssertUnwindSafe};
+            for f in [
+                Box::new(|| classic_distance(metric, &full_c, &empty_c)) as Box<dyn Fn() -> f64>,
+                Box::new(|| classic_distance(metric, &empty_c, &full_c)),
+                Box::new(|| stable_distance(metric, &full_s, &empty_s)),
+                Box::new(|| stable_distance(metric, &empty_s, &full_s)),
+            ] {
+                assert!(
+                    catch_unwind(AssertUnwindSafe(f)).is_err(),
+                    "{metric} did not debug-assert on an empty operand"
+                );
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            assert_eq!(classic_distance(metric, &full_c, &empty_c), f64::INFINITY);
+            assert_eq!(classic_distance(metric, &empty_c, &full_c), f64::INFINITY);
+            assert_eq!(stable_distance(metric, &full_s, &empty_s), f64::INFINITY);
+            assert_eq!(stable_distance(metric, &empty_s, &full_s), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn empty_operand_contract_d0() {
+        empty_operand_check(DistanceMetric::D0);
+    }
+
+    #[test]
+    fn empty_operand_contract_d1() {
+        empty_operand_check(DistanceMetric::D1);
+    }
+
+    #[test]
+    fn empty_operand_contract_d2() {
+        empty_operand_check(DistanceMetric::D2);
+    }
+
+    #[test]
+    fn empty_operand_contract_d3() {
+        empty_operand_check(DistanceMetric::D3);
+    }
+
+    #[test]
+    fn empty_operand_contract_d4() {
+        empty_operand_check(DistanceMetric::D4);
+    }
+
+    /// Raw point clouds for cross-backend comparisons (well-conditioned:
+    /// near the origin, O(1) spreads).
+    fn parity_clouds() -> Vec<Vec<Point>> {
+        vec![
+            vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)],
+            vec![Point::xy(5.0, -3.0)],
+            vec![
+                Point::xy(2.5, 2.5),
+                Point::xy(2.5, 2.5),
+                Point::xy(3.0, 2.0),
+            ],
+            vec![Point::xy(-7.0, 4.0), Point::xy(-6.5, 4.5)],
+            vec![Point::xy(100.0, 100.0)],
+            vec![
+                Point::xy(0.1, 0.2),
+                Point::xy(0.3, 0.4),
+                Point::xy(0.5, 0.6),
+                Point::xy(0.7, 0.8),
+            ],
+        ]
+    }
+
+    #[test]
+    fn stable_kernel_parity_with_classic_on_well_conditioned_data() {
+        // Both kernel families are always compiled, so the parity claim —
+        // same distances (within round-off) and the same winner index on
+        // well-conditioned data — is checked regardless of which backend
+        // the pipeline alias selects.
+        let clouds = parity_clouds();
+        let classics: Vec<crate::cf::classic::Cf> = clouds
+            .iter()
+            .map(crate::cf::classic::Cf::from_points)
+            .collect();
+        let stables: Vec<crate::cf::stable::Cf> = clouds
+            .iter()
+            .map(crate::cf::stable::Cf::from_points)
+            .collect();
+        let probe_pts = vec![Point::xy(1.0, -1.0), Point::xy(2.0, 0.5)];
+        let probe_c = crate::cf::classic::Cf::from_points(&probe_pts);
+        let probe_s = crate::cf::stable::Cf::from_points(&probe_pts);
+        for m in DistanceMetric::ALL {
+            let mut win_c: Option<(usize, f64)> = None;
+            let mut win_s: Option<(usize, f64)> = None;
+            for i in 0..clouds.len() {
+                let dc = classic_distance(
+                    m,
+                    &ClassicView::of(&probe_c),
+                    &ClassicView::of(&classics[i]),
+                );
+                let ds =
+                    stable_distance(m, &StableView::of(&probe_s), &StableView::of(&stables[i]));
+                let scale = dc.abs().max(1.0);
+                assert!(
+                    (dc - ds).abs() < 1e-9 * scale,
+                    "{m} cloud {i}: classic {dc} vs stable {ds}"
+                );
+                if win_c.is_none_or(|(_, d)| dc < d) {
+                    win_c = Some((i, dc));
+                }
+                if win_s.is_none_or(|(_, d)| ds < d) {
+                    win_s = Some((i, ds));
+                }
+            }
+            assert_eq!(
+                win_c.map(|(i, _)| i),
+                win_s.map(|(i, _)| i),
+                "{m} winner index diverged between backends"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_kernel_distances_survive_large_offset() {
+        // Two tight dyadic-spread clusters 2⁻³ apart, at the origin and
+        // translated by 1e8 (an exact translate: every coordinate is a
+        // multiple of ulp(1e8) = 2⁻²⁶). The stable kernel must report the
+        // same D0–D4 at both offsets to ~1e-9 relative; the classic closed
+        // forms collapse entirely here (that failure is pinned by the
+        // translation-invariance suite and the stability bench).
+        const S: f64 = 9.765_625e-4; // 2⁻¹⁰
+        const GAP: f64 = 0.125; // 2⁻³
+        let cloud = |base: f64| {
+            vec![
+                Point::xy(base, base),
+                Point::xy(base + S, base),
+                Point::xy(base, base + S),
+            ]
+        };
+        let pair = |off: f64| {
+            (
+                crate::cf::stable::Cf::from_points(&cloud(off)),
+                crate::cf::stable::Cf::from_points(&cloud(off + GAP)),
+            )
+        };
+        let (a0, b0) = pair(0.0);
+        let (a8, b8) = pair(1e8);
+        for m in DistanceMetric::ALL {
+            let d_origin = stable_distance(m, &StableView::of(&a0), &StableView::of(&b0));
+            let d_far = stable_distance(m, &StableView::of(&a8), &StableView::of(&b8));
+            assert!(d_origin > 0.0, "{m} degenerate fixture");
+            assert!(
+                ((d_far - d_origin) / d_origin).abs() < 1e-9,
+                "{m} drifted under translation: {d_origin} vs {d_far}"
+            );
+        }
     }
 }

@@ -55,6 +55,7 @@ pub mod phase2;
 pub mod phase3;
 pub mod phase4;
 pub mod point;
+pub mod quad;
 pub mod rebuild;
 pub mod stream;
 pub mod threshold;

@@ -119,10 +119,20 @@ pub enum Event {
         /// Entries spilled.
         count: u64,
     },
-    /// Parked outlier entries re-absorbed into the tree.
+    /// Parked outlier entries returned to the tree by a re-absorption
+    /// scan, split by how they got there. Only `absorbed` is a true
+    /// §5.1.3 re-absorption (merged into an existing entry without
+    /// growing the tree); the other two are regular insertions.
     OutlierReabsorbed {
-        /// Entries absorbed (or re-inserted after outgrowing outlierhood).
-        count: u64,
+        /// Entries merged into an existing leaf entry without growing
+        /// the tree.
+        absorbed: u64,
+        /// Entries re-inserted as regular data after outgrowing
+        /// outlierhood (the mean points-per-entry moved under them).
+        reinserted: u64,
+        /// Entries folded into the tree because the disk refused the
+        /// write-back (injected fault or force-full degradation).
+        folded_back: u64,
     },
     /// Outlier entries discarded for good at the end of a scan.
     OutlierDiscarded {
@@ -167,7 +177,14 @@ impl Event {
                  {leaf_entries} leaf entries in {pages} pages"
             ),
             Event::OutlierSpilled { count } => format!("{count} entrie(s) spilled to outlier disk"),
-            Event::OutlierReabsorbed { count } => format!("{count} outlier entrie(s) re-absorbed"),
+            Event::OutlierReabsorbed {
+                absorbed,
+                reinserted,
+                folded_back,
+            } => format!(
+                "outlier scan: {absorbed} re-absorbed, {reinserted} re-inserted, \
+                 {folded_back} folded back"
+            ),
             Event::OutlierDiscarded { count } => format!("{count} outlier entrie(s) discarded"),
             Event::PagesHighWater { pages } => format!("page high-water mark now {pages}"),
         }
@@ -414,7 +431,15 @@ impl EventSink for MetricsRecorder {
                 r.peak_pages = r.peak_pages.max(pages);
             }
             Event::OutlierSpilled { count } => r.outliers_spilled += count,
-            Event::OutlierReabsorbed { count } => r.outliers_reabsorbed += count,
+            Event::OutlierReabsorbed {
+                absorbed,
+                reinserted,
+                folded_back,
+            } => {
+                r.outliers_reabsorbed += absorbed;
+                r.outliers_reinserted += reinserted;
+                r.outliers_folded_back += folded_back;
+            }
             Event::OutlierDiscarded { count } => r.outliers_discarded += count,
             Event::PagesHighWater { pages } => r.peak_pages = r.peak_pages.max(pages),
         }
@@ -436,8 +461,16 @@ pub struct MetricsReport {
     pub thresholds_raised: u64,
     /// Entries spilled to the outlier disk.
     pub outliers_spilled: u64,
-    /// Outlier entries re-absorbed into the tree.
+    /// Outlier entries truly re-absorbed: merged into an existing leaf
+    /// entry without growing the tree (§5.1.3). Entries that came back
+    /// another way are counted separately below.
     pub outliers_reabsorbed: u64,
+    /// Outlier entries re-inserted as regular data after outgrowing
+    /// outlierhood.
+    pub outliers_reinserted: u64,
+    /// Outlier entries folded into the tree on a refused disk
+    /// write-back (fault paths).
+    pub outliers_folded_back: u64,
     /// Outlier entries discarded at end of scan.
     pub outliers_discarded: u64,
     /// Page high-water mark observed via events.
@@ -477,6 +510,8 @@ impl MetricsReport {
         self.thresholds_raised += other.thresholds_raised;
         self.outliers_spilled += other.outliers_spilled;
         self.outliers_reabsorbed += other.outliers_reabsorbed;
+        self.outliers_reinserted += other.outliers_reinserted;
+        self.outliers_folded_back += other.outliers_folded_back;
         self.outliers_discarded += other.outliers_discarded;
         self.peak_pages = self.peak_pages.max(other.peak_pages);
         self.distance_calls += other.distance_calls;
@@ -505,6 +540,7 @@ impl MetricsReport {
         format!(
             "{{\"inserts\":{},\"splits\":{},\"merge_refinements\":{},\"rebuilds\":{},\
              \"thresholds_raised\":{},\"outliers_spilled\":{},\"outliers_reabsorbed\":{},\
+             \"outliers_reinserted\":{},\"outliers_folded_back\":{},\
              \"outliers_discarded\":{},\"distance_calls\":{},\"distance_calls_pruned\":{},\
              \"events\":{}}}",
             self.inserts,
@@ -514,6 +550,8 @@ impl MetricsReport {
             self.thresholds_raised,
             self.outliers_spilled,
             self.outliers_reabsorbed,
+            self.outliers_reinserted,
+            self.outliers_folded_back,
             self.outliers_discarded,
             self.distance_calls,
             self.distance_calls_pruned,
@@ -625,7 +663,11 @@ mod tests {
         rec.record(&Event::SplitPerformed { count: 2 });
         rec.record(&Event::MergeRefinement { count: 1 });
         rec.record(&Event::OutlierSpilled { count: 7 });
-        rec.record(&Event::OutlierReabsorbed { count: 4 });
+        rec.record(&Event::OutlierReabsorbed {
+            absorbed: 4,
+            reinserted: 3,
+            folded_back: 1,
+        });
         rec.record(&Event::OutlierDiscarded { count: 2 });
         rec.record(&Event::RebuildTriggered {
             old_threshold: 0.0,
@@ -638,6 +680,8 @@ mod tests {
         assert_eq!(r.merge_refinements, 1);
         assert_eq!(r.outliers_spilled, 7);
         assert_eq!(r.outliers_reabsorbed, 4);
+        assert_eq!(r.outliers_reinserted, 3);
+        assert_eq!(r.outliers_folded_back, 1);
         assert_eq!(r.outliers_discarded, 2);
         assert_eq!(r.rebuilds, 1);
         assert_eq!(r.events, 7);

@@ -62,10 +62,23 @@ impl OutlierConfig {
 }
 
 /// Outcome of a re-absorption scan over the outlier disk.
+///
+/// Every drained entry lands in exactly one bucket, so the counts sum to
+/// the number of entries scanned. Only `absorbed` is a true §5.1.3
+/// re-absorption; `reinserted` and `folded_back` grow the tree like any
+/// other insert and are reported separately so telemetry doesn't
+/// overstate how much the raised threshold actually recovered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReabsorbReport {
-    /// Entries merged back into the tree.
+    /// Entries merged into an existing leaf entry without growing the
+    /// tree (the absorption test of §5.1.3 passed).
     pub absorbed: u64,
+    /// Entries that no longer look like outliers under the current mean
+    /// points-per-entry and were re-inserted as regular data.
+    pub reinserted: u64,
+    /// Entries folded into the tree because the disk refused the
+    /// write-back (injected fault or force-full degradation).
+    pub folded_back: u64,
     /// Entries written back to disk (still potential outliers).
     pub retained: u64,
 }
@@ -149,7 +162,8 @@ impl OutlierStore {
     }
 
     /// Like [`OutlierStore::reabsorb`], but reporting telemetry to `sink`:
-    /// an [`Event::OutlierReabsorbed`] with the absorbed count, plus
+    /// an [`Event::OutlierReabsorbed`] with the per-bucket counts
+    /// (absorbed / reinserted / folded back), plus
     /// [`Event::SplitPerformed`] / [`Event::MergeRefinement`] for splits
     /// caused by re-inserting entries that outgrew outlierhood. With
     /// [`NoopSink`] this monomorphizes to exactly
@@ -163,9 +177,11 @@ impl OutlierStore {
         let before = tree.stats();
         let report = self.reabsorb_inner(tree, mean_entry_n);
         if sink.enabled() {
-            if report.absorbed > 0 {
+            if report.absorbed + report.reinserted + report.folded_back > 0 {
                 sink.record(&Event::OutlierReabsorbed {
-                    count: report.absorbed,
+                    absorbed: report.absorbed,
+                    reinserted: report.reinserted,
+                    folded_back: report.folded_back,
                 });
             }
             let after = tree.stats();
@@ -193,18 +209,16 @@ impl OutlierStore {
                 // Grew out of outlier-hood (e.g. it was spilled early, the
                 // average moved): treat it as regular data again.
                 tree.insert_cf(cf);
-                report.absorbed += 1;
+                report.reinserted += 1;
+            } else if let Err(cf) = self.spill(cf) {
+                // Refill refused: unreachable with drain-then-refill on
+                // a healthy disk, but an injected fault or force-full
+                // degradation lands here — fold into the tree rather
+                // than lose data.
+                tree.insert_cf(cf);
+                report.folded_back += 1;
             } else {
                 report.retained += 1;
-                if let Err(cf) = self.spill(cf) {
-                    // Refill refused: unreachable with drain-then-refill on
-                    // a healthy disk, but an injected fault or force-full
-                    // degradation lands here — fold into the tree rather
-                    // than lose data.
-                    tree.insert_cf(cf);
-                    report.retained -= 1;
-                    report.absorbed += 1;
-                }
             }
         }
         report
@@ -359,6 +373,8 @@ mod tests {
         }
         let report = store.reabsorb(&mut t, 10.0);
         assert_eq!(report.absorbed, 1);
+        assert_eq!(report.reinserted, 0);
+        assert_eq!(report.folded_back, 0);
         assert_eq!(report.retained, 0);
         assert!(store.is_empty());
         assert_eq!(t.total_cf().n(), 11.0);
@@ -376,6 +392,8 @@ mod tests {
         }
         let report = store.reabsorb(&mut t, 20.0);
         assert_eq!(report.absorbed, 0);
+        assert_eq!(report.reinserted, 0);
+        assert_eq!(report.folded_back, 0);
         assert_eq!(report.retained, 1);
         assert_eq!(store.len(), 1);
         let discarded = store.finalize(&mut t);
@@ -409,10 +427,37 @@ mod tests {
         let mut t = tree(0.1); // too tight to absorb at (50,50)
         t.insert_point(&Point::xy(0.0, 0.0));
         // mean 10 -> 5 >= 0.25*10: no longer an outlier, so it is inserted
-        // as a fresh entry rather than retained.
+        // as a fresh entry rather than retained — counted as a
+        // re-insertion, not an absorption (the tree grew).
         let report = store.reabsorb(&mut t, 10.0);
-        assert_eq!(report.absorbed, 1);
+        assert_eq!(report.absorbed, 0);
+        assert_eq!(report.reinserted, 1);
+        assert_eq!(report.folded_back, 0);
         assert_eq!(t.leaf_entry_count(), 2);
+    }
+
+    #[test]
+    fn refused_write_back_counted_as_fold_back() {
+        let mut store = OutlierStore::new(4096, 32, OutlierConfig::default());
+        store
+            .spill(Cf::from_point(&Point::xy(1000.0, 1000.0)))
+            .unwrap();
+        // The entry is unabsorbable and still an outlier, so the scan
+        // tries to write it back — attempt #2 on this disk, which the
+        // plan fails, forcing the fold-into-tree degradation path.
+        store.set_fault_plan(birch_pager::FaultPlan::new().fail_write(2));
+        let mut t = tree(0.5);
+        for _ in 0..20 {
+            t.insert_point(&Point::xy(0.0, 0.0));
+        }
+        let report = store.reabsorb(&mut t, 20.0);
+        assert_eq!(report.absorbed, 0);
+        assert_eq!(report.reinserted, 0);
+        assert_eq!(report.folded_back, 1);
+        assert_eq!(report.retained, 0);
+        assert!(store.is_empty());
+        // No data lost: the entry lives in the tree now.
+        assert_eq!(t.total_cf().n(), 21.0);
     }
 
     #[test]

@@ -292,11 +292,12 @@ mod tests {
             let expect = total_cf_of(&pts);
             let got = out.tree.total_cf();
             assert_eq!(got.n(), expect.n(), "threads={threads}");
-            for (a, b) in got.ls().iter().zip(expect.ls()) {
+            for (a, b) in got.vec_stat().iter().zip(expect.vec_stat()) {
                 assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "threads={threads}");
             }
             assert!(
-                (got.ss() - expect.ss()).abs() < 1e-6 * (1.0 + expect.ss()),
+                (got.scalar_stat() - expect.scalar_stat()).abs()
+                    < 1e-6 * (1.0 + expect.scalar_stat()),
                 "threads={threads}"
             );
             out.tree.check_invariants().unwrap();

@@ -228,10 +228,13 @@ mod tests {
         let out = condense(tree, 50, &mut est, None, &mut io);
         let after = out.total_cf();
         assert!((before.n() - after.n()).abs() < 1e-9);
-        for (x, y) in before.ls().iter().zip(after.ls()) {
+        for (x, y) in before.vec_stat().iter().zip(after.vec_stat()) {
             assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
         }
-        assert!((before.ss() - after.ss()).abs() <= 1e-6 * (1.0 + before.ss().abs()));
+        assert!(
+            (before.scalar_stat() - after.scalar_stat()).abs()
+                <= 1e-6 * (1.0 + before.scalar_stat().abs())
+        );
     }
 
     #[test]

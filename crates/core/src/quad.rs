@@ -1,0 +1,240 @@
+//! Minimal double-double ("quad") arithmetic for ground-truth
+//! recomputation.
+//!
+//! A [`Dd`] value represents a real number as an unevaluated sum
+//! `hi + lo` of two `f64`s with `|lo| ≤ ulp(hi)/2`, giving ~106 bits of
+//! significand (~32 decimal digits). The auditor's cancellation-drift
+//! measurable and the `cf_stability` bench use it as the reference
+//! evaluation: statistics recomputed in `Dd` are exact far below any f64
+//! round-off the CF backends can introduce, so `|f64 − Dd|` isolates the
+//! backend's own error.
+//!
+//! Only the handful of operations those consumers need are implemented
+//! (error-free sum/product plus `Dd` add/sub/mul/div-by-f64), using the
+//! classical Knuth TwoSum and Dekker split-multiplication algorithms —
+//! branch-free and FMA-free, so results are identical on every target.
+
+/// Knuth's TwoSum: returns `(s, e)` with `s = fl(a + b)` and
+/// `a + b = s + e` exactly. Branch-free; no magnitude precondition.
+#[must_use]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Fast TwoSum (Dekker): like [`two_sum`] but requires `|a| ≥ |b|` (or an
+/// exact sum). One subtraction cheaper; used to renormalize a `Dd` pair.
+#[must_use]
+pub fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Dekker/Veltkamp split constant: `2^27 + 1`.
+const SPLIT: f64 = 134_217_729.0;
+
+/// Dekker's TwoProduct: returns `(p, e)` with `p = fl(a · b)` and
+/// `a · b = p + e` exactly (for non-overflowing inputs).
+#[must_use]
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let ca = SPLIT * a;
+    let ah = ca - (ca - a);
+    let al = a - ah;
+    let cb = SPLIT * b;
+    let bh = cb - (cb - b);
+    let bl = b - bh;
+    let e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, e)
+}
+
+/// A double-double value: the unevaluated, renormalized sum `hi + lo`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dd {
+    /// Leading component (the correctly rounded f64 approximation).
+    pub hi: f64,
+    /// Trailing error term, `|lo| ≤ ulp(hi)/2`.
+    pub lo: f64,
+}
+
+impl Dd {
+    /// The additive identity.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+
+    /// Promotes an `f64` exactly.
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Rounds back to the nearest `f64`.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Adds an `f64` term.
+    #[must_use]
+    pub fn add_f64(self, x: f64) -> Dd {
+        self + Dd::from_f64(x)
+    }
+
+    /// Multiplies by an `f64` factor.
+    #[must_use]
+    pub fn mul_f64(self, x: f64) -> Dd {
+        self * Dd::from_f64(x)
+    }
+
+    /// Divides by an `f64` divisor (one Newton correction step).
+    #[must_use]
+    pub fn div_f64(self, x: f64) -> Dd {
+        let q = self.hi / x;
+        let (p, pe) = two_prod(q, x);
+        let r = (((self.hi - p) - pe) + self.lo) / x;
+        let (hi, lo) = quick_two_sum(q, r);
+        Dd { hi, lo }
+    }
+}
+
+/// Double-double addition (Knuth accumulation, renormalized).
+impl std::ops::Add for Dd {
+    type Output = Dd;
+
+    fn add(self, o: Dd) -> Dd {
+        let (s, e) = two_sum(self.hi, o.hi);
+        let e = e + self.lo + o.lo;
+        let (hi, lo) = quick_two_sum(s, e);
+        Dd { hi, lo }
+    }
+}
+
+/// Double-double subtraction.
+impl std::ops::Sub for Dd {
+    type Output = Dd;
+
+    fn sub(self, o: Dd) -> Dd {
+        self + Dd {
+            hi: -o.hi,
+            lo: -o.lo,
+        }
+    }
+}
+
+/// Double-double multiplication (Dekker product plus cross terms).
+impl std::ops::Mul for Dd {
+    type Output = Dd;
+
+    fn mul(self, o: Dd) -> Dd {
+        let (p, e) = two_prod(self.hi, o.hi);
+        let e = e + self.hi * o.lo + self.lo * o.hi;
+        let (hi, lo) = quick_two_sum(p, e);
+        Dd { hi, lo }
+    }
+}
+
+/// Sums squared Euclidean deviations `Σᵢ ‖xᵢ − μ‖²` of coordinate rows
+/// from a double-double mean, entirely in `Dd`. `points` yields coordinate
+/// slices; `mean` has one `Dd` per dimension.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from `mean.len()`.
+#[must_use]
+pub fn dd_sq_deviation<'a, I: IntoIterator<Item = &'a [f64]>>(points: I, mean: &[Dd]) -> Dd {
+    let mut acc = Dd::ZERO;
+    for row in points {
+        assert_eq!(row.len(), mean.len(), "dimension mismatch");
+        for (x, m) in row.iter().zip(mean) {
+            let d = Dd::from_f64(*x) - *m;
+            acc = acc + d * d;
+        }
+    }
+    acc
+}
+
+/// The double-double mean of coordinate rows (dimension `dim`).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or a row's length differs from `dim`.
+#[must_use]
+pub fn dd_mean<'a, I: IntoIterator<Item = &'a [f64]>>(points: I, dim: usize) -> Vec<Dd> {
+    let mut sums = vec![Dd::ZERO; dim];
+    let mut n = 0u64;
+    for row in points {
+        assert_eq!(row.len(), dim, "dimension mismatch");
+        for (s, x) in sums.iter_mut().zip(row) {
+            *s = s.add_f64(*x);
+        }
+        n += 1;
+    }
+    assert!(n > 0, "dd_mean needs at least one point");
+    #[allow(clippy::cast_precision_loss)]
+    let nf = n as f64;
+    sums.iter().map(|s| s.div_f64(nf)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_is_error_free() {
+        let (s, e) = two_sum(1e16, 1.0);
+        assert_eq!(s, 1e16); // 1.0 is below ulp(1e16)/2 = 1
+        assert_eq!(e, 1.0); // ...but the error term recovers it exactly
+    }
+
+    #[test]
+    fn two_prod_recovers_rounding_error() {
+        let a = 1.0 + f64::EPSILON;
+        let (p, e) = two_prod(a, a);
+        // (1+ε)² = 1 + 2ε + ε²; the ε² term falls out of fl(a·a).
+        assert_eq!(p, 1.0 + 2.0 * f64::EPSILON);
+        assert_eq!(e, f64::EPSILON * f64::EPSILON);
+    }
+
+    #[test]
+    fn dd_add_tracks_tiny_terms() {
+        let mut acc = Dd::from_f64(1e16);
+        for _ in 0..1000 {
+            acc = acc.add_f64(0.25);
+        }
+        // Plain f64 would have dropped every one of the 0.25s.
+        assert_eq!((acc - Dd::from_f64(1e16)).to_f64(), 250.0);
+    }
+
+    #[test]
+    fn dd_div_round_trips() {
+        let x = Dd::from_f64(1.0).div_f64(3.0);
+        let back = x.mul_f64(3.0);
+        assert!((back.to_f64() - 1.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn dd_statistics_survive_large_offset() {
+        // Four points at offset 1e8 with spread 1e-3: classic f64
+        // evaluation of SS − ‖LS‖²/N loses every significant digit here;
+        // the Dd path must keep the exact deviation.
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|i| vec![1e8 + f64::from(i) * 1e-3, 1e8 - f64::from(i) * 1e-3])
+            .collect();
+        let slices: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mean = dd_mean(slices.iter().copied(), 2);
+        let sq = dd_sq_deviation(slices.iter().copied(), &mean);
+        // Deviations per dim: ±(1.5, 0.5, 0.5, 1.5)·1e-3. The *inputs*
+        // themselves round at ulp(1e8) ≈ 1.5e-8 (a ~1e-5 relative shift of
+        // each deviation), so compare against the ideal at 1e-4 relative —
+        // still ten+ orders tighter than what the classic f64 evaluation
+        // achieves here (total collapse).
+        let ideal = 2.0 * (2.0 * 1.5e-3 * 1.5e-3 + 2.0 * 0.5e-3 * 0.5e-3);
+        assert!(
+            (sq.to_f64() - ideal).abs() < 1e-4 * ideal,
+            "dd sq_deviation {} vs ideal {ideal}",
+            sq.to_f64()
+        );
+    }
+}

@@ -395,8 +395,8 @@ mod tests {
         assert_eq!(report.entries_spilled, 0);
         let (a, b) = (old.total_cf(), new.total_cf());
         assert!((a.n() - b.n()).abs() < 1e-9);
-        assert!((a.ss() - b.ss()).abs() < 1e-6 * a.ss().abs().max(1.0));
-        for (x, y) in a.ls().iter().zip(b.ls()) {
+        assert!((a.scalar_stat() - b.scalar_stat()).abs() < 1e-6 * a.scalar_stat().abs().max(1.0));
+        for (x, y) in a.vec_stat().iter().zip(b.vec_stat()) {
             assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
         }
     }

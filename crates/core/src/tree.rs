@@ -1165,6 +1165,10 @@ mod tests {
         t
     }
 
+    // Classic backend only: under `stable-cf` the D0 prune is disabled
+    // (the norm bound can't be trusted against compensated distances), so
+    // `distance_calls_pruned` stays 0 and the trees trivially agree.
+    #[cfg(not(feature = "stable-cf"))]
     #[test]
     fn d0_prune_builds_identical_tree_and_counts_pruned() {
         let mk = |prune: bool| {

@@ -71,8 +71,11 @@ fn spill_full_then_reabsorb_end_to_end() {
     let m = b.metrics().snapshot();
     assert!(m.rebuilds > 0, "memory pressure never triggered a rebuild");
     assert!(m.outliers_spilled > 0, "rebuilds never spilled an outlier");
+    // The forced-full disk refuses write-backs, so the scan's recoveries
+    // arrive as true absorptions and/or fold-backs; either proves the
+    // re-absorption branch ran.
     assert!(
-        m.outliers_reabsorbed > 0,
+        m.outliers_reabsorbed + m.outliers_folded_back > 0,
         "the full disk never triggered the re-absorption scan"
     );
 

@@ -76,8 +76,8 @@ proptest! {
         let all: Vec<Point> = a.iter().chain(&b).cloned().collect();
         let direct = Cf::from_points(&all);
         prop_assert!((merged.n() - direct.n()).abs() < 1e-9);
-        prop_assert!((merged.ss() - direct.ss()).abs() <= 1e-9 * (1.0 + direct.ss().abs()));
-        for (x, y) in merged.ls().iter().zip(direct.ls()) {
+        prop_assert!((merged.scalar_stat() - direct.scalar_stat()).abs() <= 1e-9 * (1.0 + direct.scalar_stat().abs()));
+        for (x, y) in merged.vec_stat().iter().zip(direct.vec_stat()) {
             prop_assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()));
         }
     }
@@ -128,7 +128,7 @@ proptest! {
         let mut m = cf_a.merged(&cf_b);
         m.subtract(&cf_b);
         prop_assert!((m.n() - cf_a.n()).abs() < 1e-9);
-        for (x, y) in m.ls().iter().zip(cf_a.ls()) {
+        for (x, y) in m.vec_stat().iter().zip(cf_a.vec_stat()) {
             prop_assert!((x - y).abs() <= 1e-6 * (1.0 + y.abs()));
         }
     }
@@ -272,10 +272,10 @@ proptest! {
                 let other = merged_history.remove(0);
                 cf.subtract(&other);
             }
-            let scratch: f64 = cf.ls().iter().zip(cf.ls()).map(|(x, y)| x * y).sum();
+            let scratch: f64 = cf.vec_stat().iter().zip(cf.vec_stat()).map(|(x, y)| x * y).sum();
             prop_assert_eq!(
-                cf.ls_sq().to_bits(), scratch.to_bits(),
-                "memo {} != from-scratch {}", cf.ls_sq(), scratch
+                cf.vec_stat_sq().to_bits(), scratch.to_bits(),
+                "memo {} != from-scratch {}", cf.vec_stat_sq(), scratch
             );
         }
     }
@@ -290,7 +290,7 @@ proptest! {
             repeated.add_point(&p);
         }
         prop_assert!((weighted.n() - repeated.n()).abs() < 1e-9);
-        prop_assert!((weighted.ss() - repeated.ss()).abs() < 1e-6 * (1.0 + repeated.ss().abs()));
+        prop_assert!((weighted.scalar_stat() - repeated.scalar_stat()).abs() < 1e-6 * (1.0 + repeated.scalar_stat().abs()));
     }
 
     /// Sharded Phase 1 conserves the data summary exactly: for any shard
@@ -313,12 +313,12 @@ proptest! {
         let (s, p) = (ser.tree.total_cf(), par.tree.total_cf());
         // Unit-weight counts are integers < 2^53: exactly equal.
         prop_assert_eq!(p.n(), s.n());
-        for (x, y) in p.ls().iter().zip(s.ls()) {
+        for (x, y) in p.vec_stat().iter().zip(s.vec_stat()) {
             prop_assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()),
                 "LS drift beyond round-off: {} vs {}", x, y);
         }
-        prop_assert!((p.ss() - s.ss()).abs() <= 1e-9 * (1.0 + s.ss().abs()),
-            "SS drift beyond round-off: {} vs {}", p.ss(), s.ss());
+        prop_assert!((p.scalar_stat() - s.scalar_stat()).abs() <= 1e-9 * (1.0 + s.scalar_stat().abs()),
+            "SS drift beyond round-off: {} vs {}", p.scalar_stat(), s.scalar_stat());
         // Full audit of the merged tree, conservation included (outliers
         // are off, so the merged tree must hold every point).
         let opts = AuditOptions {

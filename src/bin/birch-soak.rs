@@ -110,8 +110,11 @@ fn random_config(rng: &mut Rng) -> BirchConfig {
 
 fn fold_drift(acc: &mut Drift, r: &birch_core::AuditReport) {
     acc.n = acc.n.max(r.interior_drift.n).max(r.root_drift.n);
-    acc.ls = acc.ls.max(r.interior_drift.ls).max(r.root_drift.ls);
-    acc.ss = acc.ss.max(r.interior_drift.ss).max(r.root_drift.ss);
+    acc.vec = acc.vec.max(r.interior_drift.vec).max(r.root_drift.vec);
+    acc.scalar = acc
+        .scalar
+        .max(r.interior_drift.scalar)
+        .max(r.root_drift.scalar);
 }
 
 /// One serial soak pass: feed everything through a [`Phase1Builder`],
@@ -217,8 +220,8 @@ fn main() -> ExitCode {
 
     println!(
         "ok: {} iters, {audits} explicit audits, {faults} disk faults injected; \
-         worst drift n={:.3e} ls={:.3e} ss={:.3e}",
-        args.iters, drift.n, drift.ls, drift.ss
+         worst drift n={:.3e} vec={:.3e} scalar={:.3e}",
+        args.iters, drift.n, drift.vec, drift.scalar
     );
     ExitCode::SUCCESS
 }

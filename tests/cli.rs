@@ -188,7 +188,7 @@ fn threads_flag_schema_v2_and_serial_identity() {
         String::from_utf8_lossy(&out.stderr)
     );
     let json = std::fs::read_to_string(&metrics).unwrap();
-    assert!(json.contains("\"schema_version\":2"), "{json}");
+    assert!(json.contains("\"schema_version\":3"), "{json}");
     assert!(json.contains("\"threads\":4"), "{json}");
     assert!(json.contains("\"merge_s\":"), "{json}");
     assert!(json.contains("\"shards\":[{\"shard\":0,"), "{json}");
