@@ -1,0 +1,308 @@
+//! `bench_gate` — regression gate diffing fresh bench JSON against the
+//! committed baselines.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_insert_kernel.json --fresh fresh/BENCH_insert_kernel.json \
+//!            [--baseline BENCH_phase1_scaling.json --fresh fresh/BENCH_phase1_scaling.json] \
+//!            [--threshold 1.25]
+//! ```
+//!
+//! Rules (documented in `scripts/bench_gate.sh` and CI):
+//!
+//! * `insert_kernel` rows compare `kernel_ns` per (dim, metric, op); a
+//!   row regresses when `fresh > baseline × threshold`. Rows whose
+//!   baseline `kernel_ns < 1000` (sub-µs) are skipped as timer noise.
+//! * `phase1_scaling` runs compare `points_per_s` per thread count; a
+//!   run regresses when `fresh < baseline ÷ threshold`. Runs whose
+//!   baseline `wall_s < 0.05` are skipped — wall clocks that short are
+//!   dominated by scheduling jitter, not throughput.
+//! * `cf_stability` is an accuracy bench, not a throughput bench — it
+//!   has no gate.
+//!
+//! Exit code 1 when any compared entry regresses; skipped entries are
+//! listed so the gate never silently narrows its coverage. The CI job
+//! running this is **non-blocking** (shared-runner noise makes a hard
+//! gate flaky); it exists to flag perf cliffs in review, not to merge-block.
+
+use std::process::ExitCode;
+
+/// Extracts the top-level `"rows"`/`"runs"` array of one bench JSON file
+/// as raw per-row object strings (balance-counted; no serde — these files
+/// come from our own hand-rolled emitters).
+fn row_objects(json: &str, key: &str) -> Vec<String> {
+    let Some(start) = json.find(&format!("\"{key}\":[")) else {
+        return Vec::new();
+    };
+    let body = &json[start + key.len() + 4..];
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut row_start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    row_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = row_start.take() {
+                        rows.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Pulls `"field":<number>` out of a row object.
+fn num_field(row: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\":");
+    let at = row.find(&pat)? + pat.len();
+    let rest = &row[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls `"field":"<string>"` out of a row object.
+fn str_field(row: &str, field: &str) -> Option<String> {
+    let pat = format!("\"{field}\":\"");
+    let at = row.find(&pat)? + pat.len();
+    let rest = &row[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+struct Outcome {
+    compared: usize,
+    skipped: usize,
+    regressions: Vec<String>,
+}
+
+/// insert_kernel: lower `kernel_ns` is better; keyed by (dim, metric, op).
+fn gate_insert_kernel(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
+    let key = |row: &str| {
+        format!(
+            "dim={} metric={} op={}",
+            num_field(row, "dim").unwrap_or(-1.0),
+            str_field(row, "metric").unwrap_or_default(),
+            str_field(row, "op").unwrap_or_default()
+        )
+    };
+    let fresh_rows: Vec<(String, f64)> = row_objects(fresh, "rows")
+        .iter()
+        .filter_map(|r| Some((key(r), num_field(r, "kernel_ns")?)))
+        .collect();
+    let mut out = Outcome {
+        compared: 0,
+        skipped: 0,
+        regressions: Vec::new(),
+    };
+    for row in row_objects(baseline, "rows") {
+        let k = key(&row);
+        let Some(base) = num_field(&row, "kernel_ns") else {
+            continue;
+        };
+        if base < 1000.0 {
+            out.skipped += 1;
+            println!("  skip {k}: baseline {base:.0}ns is sub-µs timer noise");
+            continue;
+        }
+        let Some((_, new)) = fresh_rows.iter().find(|(fk, _)| *fk == k) else {
+            out.regressions
+                .push(format!("{k}: present in baseline, missing from fresh run"));
+            continue;
+        };
+        out.compared += 1;
+        if *new > base * threshold {
+            out.regressions.push(format!(
+                "{k}: kernel_ns {base:.0} -> {new:.0} ({:+.1}%)",
+                100.0 * (new / base - 1.0)
+            ));
+        }
+    }
+    out
+}
+
+/// phase1_scaling: higher `points_per_s` is better; keyed by thread count.
+fn gate_phase1_scaling(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
+    let fresh_rows: Vec<(f64, f64)> = row_objects(fresh, "runs")
+        .iter()
+        .filter_map(|r| Some((num_field(r, "threads")?, num_field(r, "points_per_s")?)))
+        .collect();
+    let mut out = Outcome {
+        compared: 0,
+        skipped: 0,
+        regressions: Vec::new(),
+    };
+    for row in row_objects(baseline, "runs") {
+        let (Some(threads), Some(base), Some(wall)) = (
+            num_field(&row, "threads"),
+            num_field(&row, "points_per_s"),
+            num_field(&row, "wall_s"),
+        ) else {
+            continue;
+        };
+        if wall < 0.05 {
+            out.skipped += 1;
+            println!("  skip threads={threads}: baseline wall {wall:.3}s is jitter-dominated");
+            continue;
+        }
+        let Some((_, new)) = fresh_rows.iter().find(|(t, _)| (t - threads).abs() < 0.5) else {
+            out.regressions.push(format!(
+                "threads={threads}: present in baseline, missing from fresh run"
+            ));
+            continue;
+        };
+        out.compared += 1;
+        if *new < base / threshold {
+            out.regressions.push(format!(
+                "threads={threads}: points_per_s {base:.0} -> {new:.0} ({:+.1}%)",
+                100.0 * (new / base - 1.0)
+            ));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut threshold = 1.25;
+    let mut pending_baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--baseline" => pending_baseline = Some(value()),
+            "--fresh" => {
+                let Some(b) = pending_baseline.take() else {
+                    eprintln!("error: --fresh without a preceding --baseline");
+                    return ExitCode::from(2);
+                };
+                pairs.push((b, value()));
+            }
+            "--threshold" => {
+                threshold = value().parse().expect("--threshold must be a number");
+                assert!(threshold > 1.0, "--threshold must be > 1.0");
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if pairs.is_empty() {
+        eprintln!(
+            "usage: bench_gate --baseline <committed.json> --fresh <fresh.json> \
+             [--baseline ... --fresh ...] [--threshold 1.25]"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for (baseline_path, fresh_path) in &pairs {
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("error reading {p}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let baseline = read(baseline_path);
+        let fresh = read(fresh_path);
+        let bench = str_field(&baseline, "bench").unwrap_or_default();
+        println!("gate: {bench} ({baseline_path} vs {fresh_path}, threshold {threshold}x)");
+        let outcome = match bench.as_str() {
+            "insert_kernel" => gate_insert_kernel(&baseline, &fresh, threshold),
+            "phase1_scaling" => gate_phase1_scaling(&baseline, &fresh, threshold),
+            other => {
+                println!("  no gate rules for bench {other:?} (accuracy bench?) — skipping file");
+                continue;
+            }
+        };
+        println!(
+            "  {} compared, {} skipped, {} regressions",
+            outcome.compared,
+            outcome.skipped,
+            outcome.regressions.len()
+        );
+        for r in &outcome.regressions {
+            println!("  REGRESSION {r}");
+        }
+        failed |= !outcome.regressions.is_empty();
+    }
+    if failed {
+        eprintln!("bench gate: throughput regressions above threshold — see above");
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"bench":"insert_kernel","rows":[
+        {"dim":2,"metric":"D0","op":"descent","scalar_ns":200.0,"kernel_ns":210.0},
+        {"dim":8,"metric":"D1","op":"split","scalar_ns":6000.0,"kernel_ns":5000.0}]}"#;
+
+    #[test]
+    fn sub_microsecond_rows_are_skipped() {
+        let fresh = BASE.replace("210.0", "900.0"); // 4x slower but sub-µs
+        let o = gate_insert_kernel(BASE, &fresh, 1.25);
+        assert_eq!(o.skipped, 1);
+        assert_eq!(o.compared, 1);
+        assert!(o.regressions.is_empty());
+    }
+
+    #[test]
+    fn kernel_regression_past_threshold_fails() {
+        let fresh = BASE.replace("\"kernel_ns\":5000.0", "\"kernel_ns\":7000.0");
+        let o = gate_insert_kernel(BASE, &fresh, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("split"));
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let fresh = BASE.replace("\"kernel_ns\":5000.0", "\"kernel_ns\":6000.0");
+        let o = gate_insert_kernel(BASE, &fresh, 1.25);
+        assert!(o.regressions.is_empty(), "{:?}", o.regressions);
+    }
+
+    const SCALING: &str = r#"{"bench":"phase1_scaling","runs":[
+        {"threads":1,"wall_s":0.03,"points_per_s":3000000.0},
+        {"threads":4,"wall_s":1.5,"points_per_s":1000000.0}]}"#;
+
+    #[test]
+    fn jittery_short_walls_are_skipped_and_throughput_drop_fails() {
+        let fresh = SCALING
+            .replace("3000000.0", "100000.0") // skipped: wall 0.03s
+            .replace("1000000.0", "700000.0"); // -30% on the 1.5s run
+        let o = gate_phase1_scaling(SCALING, &fresh, 1.25);
+        assert_eq!(o.skipped, 1);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("threads=4"));
+    }
+
+    #[test]
+    fn missing_fresh_row_is_a_regression_not_a_silent_pass() {
+        let fresh = r#"{"bench":"phase1_scaling","runs":[
+            {"threads":1,"wall_s":0.03,"points_per_s":3000000.0}]}"#;
+        let o = gate_phase1_scaling(SCALING, fresh, 1.25);
+        assert_eq!(o.regressions.len(), 1);
+        assert!(o.regressions[0].contains("missing"));
+    }
+}

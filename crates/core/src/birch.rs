@@ -14,9 +14,11 @@
 
 use crate::cf::Cf;
 use crate::config::BirchConfig;
+use crate::obs::mem::MemoryGauge;
+use crate::obs::span::{self, SpanReport};
 use crate::obs::{
     json_f64, shards_json, Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, Phase,
-    ShardReport, Tee,
+    ShardReport, Tee, TraceStats,
 };
 use crate::parallel;
 use crate::phase1::{self, Phase1Output};
@@ -24,9 +26,16 @@ use crate::phase2;
 use crate::phase3;
 use crate::phase4::{self, Phase4Config};
 use crate::point::Point;
+use crate::tree::TreeHealth;
 use birch_pager::IoStats;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Version stamp of the metrics JSON emitted by [`RunStats::to_json`].
+/// Bump here (and only here) when the schema changes; tests pin this
+/// constant, not a literal. See DESIGN.md §10 for the v3 → v4 migration
+/// table.
+pub const METRICS_SCHEMA_VERSION: u32 = 4;
 
 /// Errors surfaced by the pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,6 +135,18 @@ pub struct RunStats {
     /// Per-shard Phase-1 telemetry (empty for the serial scan). The spread
     /// of `wall` across shards is the skew that bounds parallel speedup.
     pub shards: Vec<ShardReport>,
+    /// Byte accounting against budget M (live/high-water per component,
+    /// headroom, overrun). See [`crate::obs::mem`].
+    pub memory: MemoryGauge,
+    /// Structural health of the tree entering Phase 3 (per-level
+    /// occupancy, utilization, split/merge/rebuild rates).
+    pub tree_health: TreeHealth,
+    /// Ring statistics of the trace attached to the run (`None` when no
+    /// trace sink was attached — the CLI fills this for `--trace`).
+    pub trace: Option<TraceStats>,
+    /// Hierarchical span profile of the run (`None` unless span profiling
+    /// was enabled on the calling thread — see [`crate::obs::span`]).
+    pub spans: Option<SpanReport>,
 }
 
 impl RunStats {
@@ -150,7 +171,7 @@ impl RunStats {
     pub fn to_json(&self) -> String {
         let m = &self.metrics;
         format!(
-            "{{\"schema_version\":3,\
+            "{{\"schema_version\":{},\
              \"points_scanned\":{},\
              \"threads\":{},\
              \"phase_times\":{{\"phase1_s\":{},\"merge_s\":{},\"phase2_s\":{},\
@@ -164,10 +185,16 @@ impl RunStats {
              \"leaf_entries_phase1\":{},\
              \"leaf_entries_phase3\":{},\
              \"io\":{{\"disk_writes\":{},\"disk_reads\":{},\"disk_bytes_written\":{},\
-             \"disk_bytes_read\":{},\"outliers_discarded\":{}}},\
+             \"disk_bytes_read\":{},\"disk_write_attempts\":{},\"disk_faults_injected\":{},\
+             \"outliers_discarded\":{}}},\
+             \"memory\":{},\
+             \"tree_health\":{},\
+             \"trace\":{},\
+             \"spans\":{},\
              \"shards\":{},\
              \"insert_depth_histogram\":{},\
              \"counters\":{}}}",
+            METRICS_SCHEMA_VERSION,
             self.points_scanned,
             self.threads.max(1),
             json_f64(self.phase1_time.as_secs_f64()),
@@ -188,7 +215,17 @@ impl RunStats {
             self.io.disk_reads,
             self.io.disk_bytes_written,
             self.io.disk_bytes_read,
+            self.io.disk_write_attempts,
+            self.io.disk_faults_injected,
             self.io.outliers_discarded,
+            self.memory.to_json(),
+            self.tree_health.to_json(),
+            self.trace
+                .as_ref()
+                .map_or_else(|| "null".to_string(), TraceStats::to_json),
+            self.spans
+                .as_ref()
+                .map_or_else(|| "null".to_string(), SpanReport::to_json),
             shards_json(&self.shards),
             m.histogram_json(),
             m.counters_json(),
@@ -222,6 +259,12 @@ impl BirchModel {
     #[must_use]
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Mutable run statistics, for callers (like the CLI) that attach
+    /// observability extras — trace-ring stats, say — after `fit`.
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
     }
 
     /// Assigns an arbitrary point to its nearest cluster centroid
@@ -370,12 +413,14 @@ impl Birch {
 
         // ---- Phase 1: build the CF-tree (serial scan or sharded). ----
         let t0 = Instant::now();
+        let _sp = span::enter("phase1");
         let (tree, mut estimator, recorder) = if threads > 1 {
             let out = parallel::run_with_sink(&config, dim, points, weights, threads, sink);
             stats.io = out.io;
             stats.threshold_history = out.threshold_history;
             stats.merge_time = out.merge_wall;
             stats.shards = out.shards;
+            stats.memory = out.memory;
             let mut recorder = MetricsRecorder::new();
             recorder.absorb_report(&out.metrics);
             (out.tree, out.estimator, recorder)
@@ -388,9 +433,11 @@ impl Birch {
                 outliers,
                 estimator,
                 metrics,
+                memory,
             } = phase1::run_points_with_sink(&config, dim, points, weights, &mut *sink);
             stats.io = io;
             stats.threshold_history = threshold_history;
+            stats.memory = memory;
             drop(outliers); // counters already folded into io by phase 1
                             // Run-level aggregation: absorb Phase 1's report, then keep
                             // recording phases 2–4 directly (the sink saw Phase 1 live).
@@ -398,6 +445,7 @@ impl Birch {
             recorder.absorb_report(&metrics);
             (tree, estimator, recorder)
         };
+        drop(_sp);
         stats.phase1_time = t0.elapsed();
         stats.leaf_entries_phase1 = tree.leaf_entry_count();
 
@@ -441,6 +489,7 @@ impl Birch {
         // ---- Phase 2: condense (optional). ----
         let t0 = Instant::now();
         let tree = if config.phase2 && tree.leaf_entry_count() > config.phase2_max_entries {
+            let _sp = span::enter("phase2");
             let mut tee = Tee(&mut recorder, &mut *sink);
             tee.record(&Event::PhaseStarted {
                 phase: Phase::Condense,
@@ -465,8 +514,33 @@ impl Birch {
         stats.final_threshold = tree.threshold();
         stats.leaf_entries_phase3 = tree.leaf_entry_count();
 
+        // Snapshot the tree entering Phase 3: structural health plus a
+        // final memory sample (Phase 2 may have condensed it).
+        stats.memory.sample_tree(
+            &tree,
+            config.page_bytes,
+            stats.memory.outlier_disk.live_bytes,
+        );
+        stats.tree_health = tree.health();
+        {
+            let m = recorder.snapshot();
+            let per = |num: u64, den: u64, scale: f64| {
+                if den == 0 {
+                    0.0
+                } else {
+                    scale * num as f64 / den as f64
+                }
+            };
+            stats.tree_health.split_rate_per_1k_inserts = per(m.splits, m.inserts, 1000.0);
+            stats.tree_health.merge_rate_per_1k_inserts =
+                per(m.merge_refinements, m.inserts, 1000.0);
+            stats.tree_health.rebuild_rate_per_100k_points =
+                per(m.rebuilds, stats.points_scanned, 100_000.0);
+        }
+
         // ---- Phase 3: global clustering of the leaf entries. ----
         let t0 = Instant::now();
+        let sp3 = span::enter("phase3");
         Tee(&mut recorder, &mut *sink).record(&Event::PhaseStarted {
             phase: Phase::Global,
         });
@@ -483,6 +557,7 @@ impl Birch {
             config.global_method,
         );
         stats.phase3_time = t0.elapsed();
+        drop(sp3);
         Tee(&mut recorder, &mut *sink).record(&Event::PhaseFinished {
             phase: Phase::Global,
             wall: stats.phase3_time,
@@ -491,6 +566,7 @@ impl Birch {
         // ---- Phase 4: refinement + labeling (optional). ----
         let t0 = Instant::now();
         let (clusters, labels) = if config.phase4_passes > 0 {
+            let _sp = span::enter("phase4");
             let mut tee = Tee(&mut recorder, &mut *sink);
             tee.record(&Event::PhaseStarted {
                 phase: Phase::Refine,
@@ -527,6 +603,9 @@ impl Birch {
             .collect();
 
         stats.metrics = recorder.report();
+        if span::enabled() {
+            stats.spans = Some(span::take_report());
+        }
         Ok(BirchModel {
             clusters,
             labels,
@@ -766,7 +845,13 @@ mod tests {
             .fit(&pts)
             .unwrap();
         let json = par.stats().to_json();
-        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(
+            json.contains(&format!("\"schema_version\":{METRICS_SCHEMA_VERSION}")),
+            "{json}"
+        );
+        assert!(json.contains("\"memory\":{"), "{json}");
+        assert!(json.contains("\"tree_health\":{"), "{json}");
+        assert!(json.contains("\"trace\":null"), "{json}");
         assert!(json.contains("\"threads\":2"), "{json}");
         assert!(json.contains("\"shards\":[{\"shard\":0,"), "{json}");
         assert!(json.contains("\"merge_s\":"), "{json}");

@@ -69,6 +69,14 @@ impl Cf {
         Self::from_weighted_point(p, 1.0)
     }
 
+    /// Heap bytes owned by this CF (the boxed `LS` slab); the struct
+    /// itself is counted by whoever stores it. Feeds the memory gauge's
+    /// accounting against budget M ([`crate::obs::mem`]).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.ls.len() * std::mem::size_of::<f64>()
+    }
+
     /// The CF of a single point with weight `w > 0`.
     ///
     /// # Panics

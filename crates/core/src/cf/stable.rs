@@ -92,6 +92,14 @@ impl Cf {
         Self::from_weighted_point(p, 1.0)
     }
 
+    /// Heap bytes owned by this CF (the boxed `μ` and carry slabs); the
+    /// struct itself is counted by whoever stores it. Feeds the memory
+    /// gauge's accounting against budget M ([`crate::obs::mem`]).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        (self.mean.len() + self.mean_c.len()) * std::mem::size_of::<f64>()
+    }
+
     /// The CF of a single point with weight `w > 0`: `(w, p, 0)` — a
     /// singleton has zero deviation regardless of weight.
     ///

@@ -398,6 +398,23 @@ impl CfBlock {
         self.dim
     }
 
+    /// Heap bytes held by the block's slabs — *capacity*, not length,
+    /// because the allocation is what occupies memory. Feeds the memory
+    /// gauge's `cf_blocks` component ([`crate::obs::mem`]).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        #[cfg_attr(not(feature = "stable-cf"), allow(unused_mut))]
+        let mut slots = self.n.capacity()
+            + self.scalar.capacity()
+            + self.vec_sq.capacity()
+            + self.vec.capacity();
+        #[cfg(feature = "stable-cf")]
+        {
+            slots += self.vec_c.capacity();
+        }
+        slots * std::mem::size_of::<f64>()
+    }
+
     fn fix_dim(&mut self, dim: usize) {
         if self.dim == 0 {
             self.dim = dim;

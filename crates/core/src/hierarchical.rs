@@ -122,20 +122,23 @@ pub fn agglomerate(entries: &[Cf], metric: DistanceMetric, stop: StopRule) -> Hi
     };
     // The initial O(m²) matrix sweeps one contiguous SoA block, reusing
     // each entry's cached ‖LS‖² instead of re-deriving it per pair.
-    let block = CfBlock::from_cfs(entries);
-    for i in 0..m {
-        for j in (i + 1)..m {
-            let d = pair_in_block(metric, &block, i, j);
-            if d > push_cutoff {
-                continue;
+    {
+        let _sp = crate::obs::span::enter("hac_init");
+        let block = CfBlock::from_cfs(entries);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let d = pair_in_block(metric, &block, i, j);
+                if d > push_cutoff {
+                    continue;
+                }
+                heap.push(Candidate {
+                    dist: d,
+                    a: i,
+                    b: j,
+                    ver_a: 0,
+                    ver_b: 0,
+                });
             }
-            heap.push(Candidate {
-                dist: d,
-                a: i,
-                b: j,
-                ver_a: 0,
-                ver_b: 0,
-            });
         }
     }
 
@@ -146,6 +149,7 @@ pub fn agglomerate(entries: &[Cf], metric: DistanceMetric, stop: StopRule) -> Hi
         StopRule::DistanceThreshold(_) => 1,
     };
 
+    let _sp = crate::obs::span::enter("hac_merge");
     while active > target {
         let Some(c) = heap.pop() else { break };
         if version[c.a] != c.ver_a || version[c.b] != c.ver_b {

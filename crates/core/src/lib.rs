@@ -62,12 +62,18 @@ pub mod threshold;
 pub mod tree;
 
 pub use audit::{audit, audit_with, AuditOptions, AuditReport, AuditViolation, ViolationKind};
-pub use birch::{Birch, BirchModel, ClusterSummary, RunStats};
+pub use birch::{Birch, BirchModel, ClusterSummary, RunStats, METRICS_SCHEMA_VERSION};
 pub use cf::Cf;
 pub use config::BirchConfig;
 pub use distance::{DistanceMetric, ThresholdKind};
-pub use obs::{Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, ShardReport, TraceLog};
+pub use obs::mem::MemoryGauge;
+pub use obs::prom::prometheus_exposition;
+pub use obs::span::{SpanNode, SpanReport};
+pub use obs::{
+    Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, ShardReport, TraceLog, TraceStats,
+};
 pub use parallel::ParallelPhase1Output;
 pub use point::Point;
 pub use stream::StreamingBirch;
+pub use tree::TreeHealth;
 pub use tree::{CfTree, InsertOutcome, TreeParams};

@@ -175,6 +175,31 @@ impl Node {
         &self.block
     }
 
+    /// Heap bytes owned by the node's entry storage: the `Vec`'s capacity
+    /// plus each CF's boxed statistics. The `Node` struct itself lives in
+    /// the tree's arena and is counted there; the SoA mirror is counted
+    /// separately via [`Node::block_heap_bytes`] so the gauge can report
+    /// the mirror's overhead as its own component.
+    #[must_use]
+    pub fn entry_heap_bytes(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf { entries, .. } => {
+                entries.capacity() * std::mem::size_of::<Cf>()
+                    + entries.iter().map(Cf::heap_bytes).sum::<usize>()
+            }
+            NodeKind::Interior { children } => {
+                children.capacity() * std::mem::size_of::<ChildEntry>()
+                    + children.iter().map(|c| c.cf.heap_bytes()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Heap bytes owned by the node's SoA mirror slabs.
+    #[must_use]
+    pub fn block_heap_bytes(&self) -> usize {
+        self.block.heap_bytes()
+    }
+
     /// Rebuilds the SoA mirror from the entries. Needed only after direct
     /// `kind` surgery that bypassed the mutators (e.g. the auditor's
     /// seeded-corruption tests); the mutators keep the mirror in sync on

@@ -20,6 +20,15 @@
 //!   stable, hand-rolled JSON (no serde in this workspace).
 //!
 //! [`Phase1Builder`]: crate::phase1::Phase1Builder
+//!
+//! Three sibling submodules complete the observability substrate:
+//! [`span`] (hierarchical wall-time profiler), [`mem`] (memory-budget
+//! gauge against the paper's M), and [`prom`] (Prometheus text
+//! exposition of a run's stats).
+
+pub mod mem;
+pub mod prom;
+pub mod span;
 
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -385,8 +394,19 @@ impl MetricsRecorder {
         self.report.absorb(other);
     }
 
+    /// Copies a [`TraceLog`]'s ring statistics (capacity, drop count)
+    /// into the report so [`MetricsRecorder::one_line`] and the metrics
+    /// JSON can say how lossy the trace was.
+    pub fn note_trace(&mut self, trace: &TraceLog) {
+        let stats = trace.stats();
+        self.report.trace_capacity = self.report.trace_capacity.max(stats.capacity);
+        self.report.trace_dropped += stats.dropped;
+    }
+
     /// One-line summary for periodic progress printing, e.g.
-    /// `inserts=1200 rebuilds=3 splits=57 peak_pages=9 T=0.81`.
+    /// `inserts=1200 rebuilds=3 splits=57 peak_pages=9 T=0.81`. When a
+    /// trace ring was attached (via [`MetricsRecorder::note_trace`]) the
+    /// line also reports its loss, e.g. `trace_dropped=241/cap512`.
     #[must_use]
     pub fn one_line(&self) -> String {
         let r = &self.report;
@@ -394,10 +414,17 @@ impl MetricsRecorder {
             .threshold_trajectory
             .last()
             .map_or_else(|| "T0".to_string(), |p| format!("{:.3}", p.threshold));
-        format!(
+        let mut line = format!(
             "inserts={} rebuilds={} splits={} refinements={} spilled={} peak_pages={} T={t}",
             r.inserts, r.rebuilds, r.splits, r.merge_refinements, r.outliers_spilled, r.peak_pages
-        )
+        );
+        if r.trace_capacity > 0 {
+            line.push_str(&format!(
+                " trace_dropped={}/cap{}",
+                r.trace_dropped, r.trace_capacity
+            ));
+        }
+        line
     }
 }
 
@@ -486,6 +513,11 @@ pub struct MetricsReport {
     /// (always 0 with `descend_prune` off). Same provenance as
     /// [`MetricsReport::distance_calls`].
     pub distance_calls_pruned: u64,
+    /// Capacity of the trace ring attached to the run (0 = no trace).
+    /// Set via [`MetricsRecorder::note_trace`], not from events.
+    pub trace_capacity: usize,
+    /// Events the attached trace ring evicted (see [`TraceLog::dropped`]).
+    pub trace_dropped: u64,
     /// `insert_depth_histogram[d]` = insertions that descended `d`
     /// interior levels.
     pub insert_depth_histogram: Vec<u64>,
@@ -516,6 +548,8 @@ impl MetricsReport {
         self.peak_pages = self.peak_pages.max(other.peak_pages);
         self.distance_calls += other.distance_calls;
         self.distance_calls_pruned += other.distance_calls_pruned;
+        self.trace_capacity = self.trace_capacity.max(other.trace_capacity);
+        self.trace_dropped += other.trace_dropped;
         if self.insert_depth_histogram.len() < other.insert_depth_histogram.len() {
             self.insert_depth_histogram
                 .resize(other.insert_depth_histogram.len(), 0);
@@ -639,6 +673,41 @@ impl TraceLog {
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The ring's loss statistics in one copyable struct — what schema
+    /// v4's `"trace"` object serializes.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats {
+            capacity: self.capacity,
+            retained: self.buf.len(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Loss statistics of a [`TraceLog`] ring: how big it was, how much it
+/// kept, and how much it evicted. A `dropped > 0` trace is a *suffix* of
+/// the run, not the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Ring capacity in events.
+    pub capacity: usize,
+    /// Events currently retained.
+    pub retained: usize,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+}
+
+impl TraceStats {
+    /// Serializes as the schema-v4 `"trace"` JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"capacity\":{},\"retained\":{},\"dropped\":{}}}",
+            self.capacity, self.retained, self.dropped
+        )
     }
 }
 
@@ -815,6 +884,35 @@ mod tests {
             })
             .collect();
         assert_eq!(depths, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn trace_stats_surface_in_one_line() {
+        let mut log = TraceLog::new(2);
+        for d in 0..5 {
+            log.record(&Event::InsertDescend { depth: d });
+        }
+        let stats = log.stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.retained, 2);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(
+            stats.to_json(),
+            "{\"capacity\":2,\"retained\":2,\"dropped\":3}"
+        );
+
+        let mut rec = MetricsRecorder::new();
+        assert!(
+            !rec.one_line().contains("trace_dropped"),
+            "no trace attached: {}",
+            rec.one_line()
+        );
+        rec.note_trace(&log);
+        assert!(
+            rec.one_line().contains("trace_dropped=3/cap2"),
+            "{}",
+            rec.one_line()
+        );
     }
 
     #[test]

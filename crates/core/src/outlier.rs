@@ -150,6 +150,7 @@ impl OutlierStore {
     /// Parks a potential outlier on disk. On a full disk the entry is
     /// handed back so the caller can fold it into the tree instead.
     pub fn spill(&mut self, entry: Cf) -> Result<(), Cf> {
+        let _sp = crate::obs::span::enter("disk_write");
         self.disk.write(entry).map_err(|(cf, _)| cf)
     }
 
@@ -174,6 +175,7 @@ impl OutlierStore {
         mean_entry_n: f64,
         sink: &mut impl EventSink,
     ) -> ReabsorbReport {
+        let _sp = crate::obs::span::enter("reabsorb");
         let before = tree.stats();
         let report = self.reabsorb_inner(tree, mean_entry_n);
         if sink.enabled() {
@@ -201,7 +203,10 @@ impl OutlierStore {
 
     fn reabsorb_inner(&mut self, tree: &mut CfTree, mean_entry_n: f64) -> ReabsorbReport {
         let mut report = ReabsorbReport::default();
-        let pending = self.disk.drain_all();
+        let pending = {
+            let _sp = crate::obs::span::enter("disk_read");
+            self.disk.drain_all()
+        };
         for cf in pending {
             if tree.try_absorb(&cf) {
                 report.absorbed += 1;
@@ -252,7 +257,10 @@ impl OutlierStore {
     /// (when not). With [`NoopSink`] this monomorphizes to exactly
     /// [`OutlierStore::finalize`].
     pub fn finalize_observed(&mut self, tree: &mut CfTree, sink: &mut impl EventSink) -> u64 {
-        let remaining = self.disk.drain_all();
+        let remaining = {
+            let _sp = crate::obs::span::enter("disk_read");
+            self.disk.drain_all()
+        };
         if self.config.discard_at_end {
             let count = remaining.len() as u64;
             if sink.enabled() && count > 0 {
@@ -322,11 +330,13 @@ impl DelaySplitBuffer {
 
     /// Parks a point (as a singleton CF); returns it on a full buffer.
     pub fn park(&mut self, cf: Cf) -> Result<(), Cf> {
+        let _sp = crate::obs::span::enter("disk_write");
         self.disk.write(cf).map_err(|(cf, _)| cf)
     }
 
     /// Drains all parked points for re-insertion after a rebuild.
     pub fn drain(&mut self) -> Vec<Cf> {
+        let _sp = crate::obs::span::enter("disk_read");
         self.disk.drain_all()
     }
 

@@ -41,6 +41,8 @@
 
 use crate::cf::Cf;
 use crate::config::BirchConfig;
+use crate::obs::mem::MemoryGauge;
+use crate::obs::span::{self, SpanReport};
 use crate::obs::{EventSink, MetricsReport, NoopSink, ShardReport};
 use crate::phase1::{Phase1Builder, Phase1Output};
 use crate::point::Point;
@@ -74,6 +76,10 @@ pub struct ParallelPhase1Output {
     pub shards: Vec<ShardReport>,
     /// Wall time of the merge stage alone.
     pub merge_wall: Duration,
+    /// Combined byte accounting: shard gauges folded *concurrently*
+    /// (peaks sum — the workers coexist), the merge stage folded
+    /// *sequentially* (peaks max).
+    pub memory: MemoryGauge,
 }
 
 /// Runs the sharded Phase 1 over `points` (optionally weighted) with
@@ -126,7 +132,11 @@ pub fn run_with_sink<S: EventSink>(
     let shard_config = config.clone().total_points(chunk as u64).threads(1);
 
     // ---- Fan out: one Phase1Builder per contiguous shard. ----
-    let shard_runs: Vec<(Phase1Output, Vec<Cf>, Duration)> = std::thread::scope(|scope| {
+    // Span profiling is a thread-local switch: each worker inherits the
+    // coordinator's setting, times its shard under a `shard` span, and
+    // ships the frozen report back for grafting into the run's tree.
+    let profiled = span::enabled();
+    let shard_runs: Vec<ShardRun> = std::thread::scope(|scope| {
         let handles: Vec<_> = points
             .chunks(chunk)
             .enumerate()
@@ -134,7 +144,9 @@ pub fn run_with_sink<S: EventSink>(
                 let cfg = &shard_config;
                 let wpart = weights.map(|w| &w[i * chunk..(i * chunk + part.len())]);
                 scope.spawn(move || {
+                    span::set_enabled(profiled);
                     let started = Instant::now();
+                    let sp = span::enter("shard");
                     let mut b = Phase1Builder::new(cfg, dim);
                     match wpart {
                         Some(w) => {
@@ -149,7 +161,9 @@ pub fn run_with_sink<S: EventSink>(
                         }
                     }
                     let (out, carried) = b.finish_keeping_outliers();
-                    (out, carried, started.elapsed())
+                    drop(sp);
+                    let spans = profiled.then(span::take_report);
+                    (out, carried, started.elapsed(), spans)
                 })
             })
             .collect();
@@ -176,6 +190,10 @@ pub fn run(
     run_with_sink(config, dim, points, None, threads, &mut NoopSink)
 }
 
+/// One worker's result: Phase-1 output, carried outliers, wall time,
+/// and the shard's frozen span tree (when profiling is on).
+type ShardRun = (Phase1Output, Vec<Cf>, Duration, Option<SpanReport>);
+
 /// The merge stage: fold every shard's leaf entries (and carried
 /// outliers) into one full-budget tree, assembling the combined
 /// telemetry.
@@ -183,14 +201,22 @@ fn merge_shards<S: EventSink>(
     config: &BirchConfig,
     dim: usize,
     total_points: u64,
-    shard_runs: Vec<(Phase1Output, Vec<Cf>, Duration)>,
+    shard_runs: Vec<ShardRun>,
     sink: &mut S,
 ) -> ParallelPhase1Output {
+    // Graft every shard's span tree under whatever span is open on the
+    // coordinator (the pipeline's `phase1`), before the merge span opens.
+    for (_, _, _, spans) in &shard_runs {
+        if let Some(r) = spans {
+            span::merge_report(r);
+        }
+    }
+
     // The merged tree's threshold must dominate every shard's, or shard
     // entries would violate the leaf-threshold invariant on arrival.
     let t_start = shard_runs
         .iter()
-        .map(|(out, _, _)| out.tree.threshold())
+        .map(|(out, _, _, _)| out.tree.threshold())
         .fold(config.initial_threshold, f64::max);
     let merge_config = config
         .clone()
@@ -202,11 +228,13 @@ fn merge_shards<S: EventSink>(
     let mut metrics = MetricsReport::default();
     let mut shards = Vec::with_capacity(shard_runs.len());
     let mut shard_peak_sum = 0usize;
+    let mut memory = MemoryGauge::with_budget(config.memory_bytes as u64);
 
     let merge_started = Instant::now();
+    let sp_merge = span::enter("merge");
     let mut builder = Phase1Builder::with_sink(&merge_config, dim, &mut *sink);
     let mut carried_outliers = Vec::new();
-    for (i, (out, carried, wall)) in shard_runs.into_iter().enumerate() {
+    for (i, (out, carried, wall, _)) in shard_runs.into_iter().enumerate() {
         shards.push(ShardReport {
             shard: i,
             points: out.points_scanned,
@@ -222,6 +250,7 @@ fn merge_shards<S: EventSink>(
         shard_peak_sum += out.io.peak_pages;
         io.absorb(&out.io);
         metrics.absorb(&out.metrics);
+        memory.absorb_concurrent(&out.memory);
         for cf in out.tree.into_leaf_entries() {
             builder.feed(cf);
         }
@@ -234,10 +263,12 @@ fn merge_shards<S: EventSink>(
     }
     let merged = builder.finish();
     merged.tree.strict_audit("merge_shards");
+    drop(sp_merge);
     let merge_wall = merge_started.elapsed();
 
     io.absorb(&merged.io);
     metrics.absorb(&merged.metrics);
+    memory.absorb_sequential(&merged.memory);
     // Shards run concurrently: the honest in-memory peak is the sum of
     // their individual peaks (each bounded by M/n + transient), or the
     // merge stage's peak if that is larger.
@@ -253,6 +284,7 @@ fn merge_shards<S: EventSink>(
         metrics,
         shards,
         merge_wall,
+        memory,
     }
 }
 

@@ -13,6 +13,8 @@
 
 use crate::cf::Cf;
 use crate::config::BirchConfig;
+use crate::obs::mem::MemoryGauge;
+use crate::obs::span;
 use crate::obs::{Event, EventSink, MetricsRecorder, MetricsReport, NoopSink, Phase, Tee};
 use crate::outlier::{DelaySplitBuffer, OutlierConfig, OutlierStore};
 use crate::rebuild::rebuild_observed;
@@ -47,6 +49,9 @@ pub struct Phase1Output {
     /// Aggregated telemetry of the scan (counters, depth histogram,
     /// threshold trajectory) — the source of `io`'s event-derived fields.
     pub metrics: MetricsReport,
+    /// Live/high-water byte accounting against the budget `M`: pager
+    /// pages (the paper's unit), node arena, SoA blocks, outlier disk.
+    pub memory: MemoryGauge,
 }
 
 /// Incremental Phase-1 driver: feed CFs one at a time, inspect the live
@@ -84,6 +89,13 @@ pub struct Phase1Builder<S: EventSink = NoopSink> {
     /// Caller-supplied sink, receiving the same event stream.
     sink: S,
     started: Instant,
+    /// Page size, kept so the gauge can convert node counts to bytes.
+    page_bytes: usize,
+    /// Memory-budget accounting. Pager pages are tracked O(1) on every
+    /// page high-water move; the heap-walking components (arena, SoA
+    /// blocks) are sampled only at rebuilds and `finish`, off the
+    /// per-insert hot path.
+    memory: MemoryGauge,
 }
 
 /// Runs Phase 1 over a stream of singleton (or subcluster) CFs of
@@ -212,6 +224,8 @@ fn builder<S: EventSink>(config: &BirchConfig, dim: usize, sink: S) -> Phase1Bui
         recorder: MetricsRecorder::new(),
         sink,
         started: Instant::now(),
+        page_bytes: config.page_bytes,
+        memory: MemoryGauge::with_budget(config.memory_bytes as u64),
     };
     b.emit(Event::PhaseStarted { phase: Phase::Load });
     b
@@ -255,10 +269,35 @@ impl<S: EventSink> Phase1Builder<S> {
 
     /// Raises the page high-water mark, emitting the event on a new peak.
     fn note_pages(&mut self, pages: usize) {
+        self.memory
+            .pager_pages
+            .record(pages as u64 * self.page_bytes as u64);
         if pages > self.io.peak_pages {
             self.io.peak_pages = pages;
             self.emit(Event::PagesHighWater { pages });
         }
+    }
+
+    /// Full memory sample (walks the node arena and SoA slabs): kept off
+    /// the per-insert path — called after rebuilds and at `finish`, the
+    /// moments the footprint actually shifts shape.
+    fn sample_memory(&mut self) {
+        let outlier = self
+            .outliers
+            .as_ref()
+            .map_or(0, |s| s.disk().used_bytes() as u64)
+            + self
+                .delay
+                .as_ref()
+                .map_or(0, |b| b.disk().used_bytes() as u64);
+        self.memory
+            .sample_tree(&self.tree, self.page_bytes, outlier);
+    }
+
+    /// The memory gauge so far (live view; snapshot any time).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryGauge {
+        &self.memory
     }
 
     /// The live CF-tree (always within the memory budget between feeds).
@@ -508,6 +547,7 @@ impl<S: EventSink> Phase1Builder<S> {
                     );
                 }
             }
+            self.sample_memory();
         }
     }
 
@@ -543,6 +583,7 @@ impl<S: EventSink> Phase1Builder<S> {
         self.threshold_history.push(t);
         self.retire_tree_counters();
         self.tree = new_tree;
+        self.sample_memory();
     }
 
     /// Routes a CF that a previous scan already flagged as a potential
@@ -592,6 +633,7 @@ impl<S: EventSink> Phase1Builder<S> {
     }
 
     fn finish_inner(mut self, keep_outliers: bool) -> (Phase1Output, Vec<Cf>) {
+        let _sp = span::enter("phase1_finish");
         // Flush any parked points.
         if self.delay.as_ref().is_some_and(|b| !b.is_empty()) {
             self.rebuild_cycle();
@@ -613,6 +655,7 @@ impl<S: EventSink> Phase1Builder<S> {
             if keep_outliers {
                 carried = store.take_remaining();
             } else {
+                let _sp = span::enter("outlier_finalize");
                 store.finalize_observed(
                     &mut self.tree,
                     &mut Tee(&mut self.recorder, &mut self.sink),
@@ -621,6 +664,7 @@ impl<S: EventSink> Phase1Builder<S> {
         }
 
         self.note_pages(self.tree.node_count());
+        self.sample_memory();
         self.emit(Event::PhaseFinished {
             phase: Phase::Load,
             wall: self.started.elapsed(),
@@ -642,12 +686,16 @@ impl<S: EventSink> Phase1Builder<S> {
             self.io.disk_reads += store.disk().reads();
             self.io.disk_bytes_written += store.disk().bytes_written();
             self.io.disk_bytes_read += store.disk().bytes_read();
+            self.io.disk_write_attempts += store.disk().write_attempts();
+            self.io.disk_faults_injected += store.disk().faults_injected();
         }
         if let Some(buf) = &self.delay {
             self.io.disk_writes += buf.disk().writes();
             self.io.disk_reads += buf.disk().reads();
             self.io.disk_bytes_written += buf.disk().bytes_written();
             self.io.disk_bytes_read += buf.disk().bytes_read();
+            self.io.disk_write_attempts += buf.disk().write_attempts();
+            self.io.disk_faults_injected += buf.disk().faults_injected();
         }
 
         let mut metrics = self.recorder.report();
@@ -665,6 +713,7 @@ impl<S: EventSink> Phase1Builder<S> {
             outliers: self.outliers,
             estimator: self.estimator,
             metrics,
+            memory: self.memory,
         };
         (out, carried)
     }

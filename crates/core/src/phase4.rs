@@ -71,6 +71,7 @@ pub fn refine(
     let mut discarded = 0u64;
 
     for _ in 0..config.passes {
+        let _sp = crate::obs::span::enter("refine_pass");
         let centroids: Vec<Point> = clusters.iter().map(Cf::centroid).collect();
         let radii: Vec<f64> = clusters.iter().map(Cf::radius).collect();
         let mean_radius = {

@@ -81,6 +81,7 @@ pub fn rebuild_observed(
     mut outliers: Option<&mut OutlierStore>,
     sink: &mut impl EventSink,
 ) -> (CfTree, RebuildReport) {
+    let _sp = crate::obs::span::enter("rebuild");
     assert!(
         new_threshold.is_finite() && new_threshold >= old.threshold(),
         "new threshold {new_threshold} must be finite and >= old {}",

@@ -117,6 +117,125 @@ pub struct TreeStats {
     pub distance_calls_pruned: u64,
 }
 
+/// Heap occupancy of one tree, split the way the memory gauge reports it
+/// (see [`crate::obs::mem`]): arena/entry storage vs. the SoA mirrors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeFootprint {
+    /// The node arena (`Vec<Node>` capacity) plus every node's entry
+    /// storage: `Vec` capacities and the CFs' boxed statistic slabs.
+    pub arena_bytes: u64,
+    /// Every node's SoA [`CfBlock`] mirror slabs — the cache-residency
+    /// overhead the insert kernels buy their speed with.
+    pub block_bytes: u64,
+}
+
+/// Occupancy of one tree level (root = level 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelOccupancy {
+    /// Depth below the root.
+    pub level: usize,
+    /// Nodes on this level.
+    pub nodes: usize,
+    /// Entries across the level's nodes (child entries for interior
+    /// levels, CF entries for the leaf level).
+    pub entries: usize,
+    /// Per-node entry capacity on this level (`B` interior, `L` leaf).
+    pub capacity_per_node: usize,
+    /// Smallest per-node entry count on the level.
+    pub min_entries: usize,
+    /// Largest per-node entry count on the level.
+    pub max_entries: usize,
+}
+
+impl LevelOccupancy {
+    /// Mean fill of the level against its per-node capacity, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let cap = self.nodes * self.capacity_per_node;
+        if cap == 0 {
+            0.0
+        } else {
+            self.entries as f64 / cap as f64
+        }
+    }
+
+    /// Serializes as one JSON object of the `tree_health.levels` array.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"level\":{},\"nodes\":{},\"entries\":{},\"capacity_per_node\":{},\
+             \"min_entries\":{},\"max_entries\":{},\"utilization\":{}}}",
+            self.level,
+            self.nodes,
+            self.entries,
+            self.capacity_per_node,
+            self.min_entries,
+            self.max_entries,
+            crate::obs::json_f64(self.utilization()),
+        )
+    }
+}
+
+/// Structural health of a CF-tree: the per-level occupancy histogram and
+/// the space-utilization summaries the K-tree literature reports (see
+/// PAPERS.md) — low leaf utilization is the §4.3 merging refinement's
+/// reason to exist, so it should be *measured*, not assumed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TreeHealth {
+    /// Tree height (1 = root is a leaf).
+    pub height: usize,
+    /// Live nodes (== pages under the paper's cost model).
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaf_nodes: usize,
+    /// CF entries across all leaves.
+    pub leaf_entries: usize,
+    /// Leaf fill against capacity `L`, in `[0, 1]`.
+    pub leaf_utilization: f64,
+    /// Interior fill against branching `B`, in `[0, 1]` (0 when the root
+    /// is a leaf).
+    pub interior_utilization: f64,
+    /// Per-level occupancy, root first.
+    pub levels: Vec<LevelOccupancy>,
+    /// Splits per 1000 tree insertions (filled by the pipeline from the
+    /// run counters; 0 for a bare [`CfTree::health`] call).
+    pub split_rate_per_1k_inserts: f64,
+    /// Merging refinements per 1000 tree insertions (same provenance).
+    pub merge_rate_per_1k_inserts: f64,
+    /// Rebuilds per 100k input points scanned (same provenance).
+    pub rebuild_rate_per_100k_points: f64,
+}
+
+impl TreeHealth {
+    /// Serializes as the schema-v4 `"tree_health"` JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut levels = String::from("[");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                levels.push(',');
+            }
+            levels.push_str(&l.to_json());
+        }
+        levels.push(']');
+        format!(
+            "{{\"height\":{},\"nodes\":{},\"leaf_nodes\":{},\"leaf_entries\":{},\
+             \"leaf_utilization\":{},\"interior_utilization\":{},\
+             \"split_rate_per_1k_inserts\":{},\"merge_rate_per_1k_inserts\":{},\
+             \"rebuild_rate_per_100k_points\":{},\"levels\":{levels}}}",
+            self.height,
+            self.nodes,
+            self.leaf_nodes,
+            self.leaf_entries,
+            crate::obs::json_f64(self.leaf_utilization),
+            crate::obs::json_f64(self.interior_utilization),
+            crate::obs::json_f64(self.split_rate_per_1k_inserts),
+            crate::obs::json_f64(self.merge_rate_per_1k_inserts),
+            crate::obs::json_f64(self.rebuild_rate_per_100k_points),
+        )
+    }
+}
+
 /// A height-balanced tree of Clustering Features.
 #[derive(Debug, Clone)]
 pub struct CfTree {
@@ -224,6 +343,86 @@ impl CfTree {
         self.stats
     }
 
+    /// Heap occupancy of the tree right now, split into arena/entry
+    /// storage and SoA mirror slabs. O(nodes); the Phase-1 gauge samples
+    /// it only when the page count changes, not per point.
+    #[must_use]
+    pub fn memory_footprint(&self) -> TreeFootprint {
+        let mut arena = self.nodes.capacity() * std::mem::size_of::<Node>();
+        let mut blocks = 0usize;
+        // Free-listed nodes keep their allocations until reused, so they
+        // are counted too: the bytes are genuinely held.
+        for n in &self.nodes {
+            arena += n.entry_heap_bytes();
+            blocks += n.block_heap_bytes();
+        }
+        TreeFootprint {
+            arena_bytes: arena as u64,
+            block_bytes: blocks as u64,
+        }
+    }
+
+    /// Structural health snapshot: per-level occupancy (BFS from the
+    /// root) and leaf/interior utilization. The rate fields are left 0 —
+    /// the pipeline fills them from its run counters.
+    #[must_use]
+    pub fn health(&self) -> TreeHealth {
+        let mut levels = Vec::with_capacity(self.height);
+        let mut leaf_nodes = 0usize;
+        let mut leaf_entries = 0usize;
+        let mut interior_nodes = 0usize;
+        let mut interior_entries = 0usize;
+        let mut frontier = vec![self.root];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            let mut occ = LevelOccupancy {
+                level: levels.len(),
+                min_entries: usize::MAX,
+                ..LevelOccupancy::default()
+            };
+            for &id in &frontier {
+                let node = self.node(id);
+                let count = node.entry_count();
+                occ.nodes += 1;
+                occ.entries += count;
+                occ.min_entries = occ.min_entries.min(count);
+                occ.max_entries = occ.max_entries.max(count);
+                if node.is_leaf() {
+                    occ.capacity_per_node = self.params.leaf_capacity;
+                    leaf_nodes += 1;
+                    leaf_entries += count;
+                } else {
+                    occ.capacity_per_node = self.params.branching;
+                    interior_nodes += 1;
+                    interior_entries += count;
+                    next.extend(node.children().iter().map(|c| c.child));
+                }
+            }
+            if occ.min_entries == usize::MAX {
+                occ.min_entries = 0;
+            }
+            levels.push(occ);
+            frontier = next;
+        }
+        let util = |entries: usize, nodes: usize, cap: usize| {
+            if nodes == 0 {
+                0.0
+            } else {
+                entries as f64 / (nodes * cap) as f64
+            }
+        };
+        TreeHealth {
+            height: self.height,
+            nodes: self.node_count(),
+            leaf_nodes,
+            leaf_entries,
+            leaf_utilization: util(leaf_entries, leaf_nodes, self.params.leaf_capacity),
+            interior_utilization: util(interior_entries, interior_nodes, self.params.branching),
+            levels,
+            ..TreeHealth::default()
+        }
+    }
+
     fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.index()]
     }
@@ -300,6 +499,7 @@ impl CfTree {
     }
 
     fn insert_entry(&mut self, ent: EntInput<'_>, sink: &mut impl EventSink) -> InsertOutcome {
+        let _sp = crate::obs::span::enter("insert");
         assert!(!ent.get().is_empty(), "cannot insert an empty CF");
         assert_eq!(ent.get().dim(), self.params.dim, "dimension mismatch");
         let before = self.stats;
@@ -334,6 +534,7 @@ impl CfTree {
             }
 
             // Step 3: the leaf overflows — split and propagate upward.
+            let _sp = crate::obs::span::enter("split");
             self.node_mut(leaf_id).push_leaf_entry(ent.into_cf());
             self.leaf_entry_count += 1;
             let new_leaf = self.split_leaf(leaf_id);
@@ -411,6 +612,7 @@ impl CfTree {
     /// interior path as `(node, child_index)` pairs from the root downward.
     /// Takes `&mut self` only to accumulate the distance-call counters.
     fn descend(&mut self, ent: &Cf) -> (NodeId, Vec<(NodeId, usize)>) {
+        let _sp = crate::obs::span::enter("descend");
         let metric = self.params.metric;
         let prune = self.params.descend_prune;
         let mut path = Vec::with_capacity(self.height.saturating_sub(1));

@@ -21,6 +21,14 @@ pub struct IoStats {
     pub disk_bytes_written: u64,
     /// Bytes read from the simulated disk.
     pub disk_bytes_read: u64,
+    /// Write *attempts*, successful or not — `disk_writes` counts only
+    /// the ones that landed, so `attempts - writes` is the number of
+    /// rejections (genuine disk-full plus injected faults).
+    pub disk_write_attempts: u64,
+    /// Rejections caused by an installed [`FaultPlan`](crate::FaultPlan)
+    /// rather than a genuinely full disk. Lets soak harnesses separate
+    /// injected failures from organic ones.
+    pub disk_faults_injected: u64,
     /// Leaf-entry splits performed during insertion.
     pub splits: u64,
     /// Merging refinements performed after splits (paper §4.3).
@@ -39,6 +47,8 @@ impl IoStats {
         self.disk_reads += other.disk_reads;
         self.disk_bytes_written += other.disk_bytes_written;
         self.disk_bytes_read += other.disk_bytes_read;
+        self.disk_write_attempts += other.disk_write_attempts;
+        self.disk_faults_injected += other.disk_faults_injected;
         self.splits += other.splits;
         self.merge_refinements += other.merge_refinements;
         self.outliers_discarded += other.outliers_discarded;
@@ -50,7 +60,8 @@ impl fmt::Display for IoStats {
         write!(
             f,
             "rebuilds={} peak_pages={} splits={} refinements={} \
-             disk(w={},r={},bytes_w={},bytes_r={}) outliers_discarded={}",
+             disk(w={},r={},bytes_w={},bytes_r={},attempts={},faults={}) \
+             outliers_discarded={}",
             self.rebuilds,
             self.peak_pages,
             self.splits,
@@ -59,6 +70,8 @@ impl fmt::Display for IoStats {
             self.disk_reads,
             self.disk_bytes_written,
             self.disk_bytes_read,
+            self.disk_write_attempts,
+            self.disk_faults_injected,
             self.outliers_discarded,
         )
     }
@@ -136,6 +149,8 @@ mod tests {
             disk_reads: 7,
             disk_bytes_written: 320,
             disk_bytes_read: 224,
+            disk_write_attempts: 12,
+            disk_faults_injected: 2,
             splits: 5,
             merge_refinements: 4,
             outliers_discarded: 1,

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-run the two throughput benches with the same
+# seeds/reps that produced the committed BENCH_*.json baselines, then diff
+# fresh vs committed with bench_gate.
+#
+# Rules (enforced by crates/bench/src/bin/bench_gate.rs):
+#   * >25% regression fails (kernel_ns up for insert_kernel, points_per_s
+#     down for phase1_scaling).
+#   * insert_kernel rows with baseline kernel_ns < 1000 (sub-µs) and
+#     phase1_scaling runs with baseline wall_s < 0.05 are skipped as
+#     timer/scheduler noise — every skip is printed, never silent.
+#   * cf_stability is an accuracy bench; it has no throughput gate.
+#
+# The CI job invoking this is non-blocking (continue-on-error): shared
+# runners are too noisy for a hard 25% gate, so its role is to surface
+# perf cliffs in the PR log, not to block merges.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH=${FRESH_DIR:-target/bench-gate}
+mkdir -p "$FRESH"
+
+echo "== regenerating benches (release) into $FRESH =="
+cargo run --release -p birch-bench --bin insert_kernel -- \
+    --seed 42 --reps 5 --out "$FRESH/BENCH_insert_kernel.json"
+cargo run --release -p birch-bench --bin phase1_scaling -- \
+    --seed 42 --reps 3 --out "$FRESH/BENCH_phase1_scaling.json"
+
+echo "== diffing against committed baselines =="
+cargo run --release -p birch-bench --bin bench_gate -- \
+    --threshold 1.25 \
+    --baseline BENCH_insert_kernel.json --fresh "$FRESH/BENCH_insert_kernel.json" \
+    --baseline BENCH_phase1_scaling.json --fresh "$FRESH/BENCH_phase1_scaling.json"

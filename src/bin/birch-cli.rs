@@ -16,9 +16,12 @@
 //!
 //! Observability: `--metrics-json <path>` writes the run's telemetry
 //! (per-phase times, rebuild/split counters, threshold trajectory,
-//! insertion-depth histogram) as one line of JSON; `--trace` prints the
-//! last events of the run (rebuilds, threshold raises, phase boundaries)
-//! to stdout.
+//! insertion-depth histogram) as one line of JSON; `--metrics-prom <path>`
+//! writes the same numbers as a Prometheus text exposition; `--profile`
+//! turns on the hierarchical span profiler so both exports (and
+//! `birch-report`) carry per-stage timings; `--trace` prints the last
+//! events of the run (rebuilds, threshold raises, phase boundaries) to
+//! stdout.
 
 use birch::prelude::*;
 use birch_datagen::csv::{read_points, write_points};
@@ -38,7 +41,8 @@ fn main() -> ExitCode {
                 "usage:\n  birch-cli generate --preset <ds1|ds2|ds3> --out <file> \
                  [--seed n] [--per-cluster n]\n  birch-cli cluster --input <file> --k <n> \
                  [--labeled true] [--metric D0..D4] [--memory-kb n] [--threads n] \
-                 [--labels-out f] [--summary-out f] [--metrics-json f] [--trace]"
+                 [--labels-out f] [--summary-out f] [--metrics-json f] \
+                 [--metrics-prom f] [--profile] [--trace]"
             );
             ExitCode::from(2)
         }
@@ -46,7 +50,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value; their presence means "true".
-const BOOLEAN_FLAGS: &[&str] = &["trace"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "profile"];
 
 /// Trace sink for `--trace`: keeps the last events, skipping the
 /// per-insert descend records that would otherwise evict every
@@ -181,6 +185,9 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
     }
 
     let trace = flags.contains_key("trace");
+    if flags.contains_key("profile") {
+        birch::core::obs::span::set_enabled(true);
+    }
     let mut tracer = CliTrace(TraceLog::new(512));
     let clusterer = Birch::new(config);
     let result = if trace {
@@ -188,13 +195,22 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
     } else {
         clusterer.fit(&points)
     };
-    let model = match result {
+    let mut model = match result {
         Ok(m) => m,
         Err(e) => {
             eprintln!("clustering failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if trace {
+        // Attach the ring's stats so the JSON/Prometheus exports carry
+        // the drop count alongside the printed events.
+        let ts = tracer.0.stats();
+        let stats = model.stats_mut();
+        stats.metrics.trace_capacity = ts.capacity;
+        stats.metrics.trace_dropped = ts.dropped;
+        stats.trace = Some(ts);
+    }
 
     if trace {
         let tracer = &tracer.0;
@@ -254,6 +270,14 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("metrics written to {path}");
+    }
+    if let Some(path) = flags.get("metrics-prom") {
+        let text = birch::core::prometheus_exposition(model.stats());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("prometheus exposition written to {path}");
     }
     if let Some(path) = flags.get("summary-out") {
         let cfs: Vec<_> = model.clusters().iter().map(|c| c.cf.clone()).collect();

@@ -153,12 +153,12 @@ fn metrics_json_matches_stdout() {
     }
 }
 
-/// `--threads 4 --metrics-json` must emit the schema-v2 parallel fields,
-/// and `--threads 1` must produce artifacts byte-identical to the serial
-/// path (no `--threads` flag at all) — the degenerate shard count is not
-/// allowed to perturb the clustering.
+/// `--threads 4 --metrics-json` must emit the current-schema parallel
+/// fields, and `--threads 1` must produce artifacts byte-identical to the
+/// serial path (no `--threads` flag at all) — the degenerate shard count
+/// is not allowed to perturb the clustering.
 #[test]
-fn threads_flag_schema_v2_and_serial_identity() {
+fn threads_flag_schema_and_serial_identity() {
     let data = tmp("threads-data.csv");
     let metrics = tmp("threads-metrics.json");
 
@@ -188,10 +188,24 @@ fn threads_flag_schema_v2_and_serial_identity() {
         String::from_utf8_lossy(&out.stderr)
     );
     let json = std::fs::read_to_string(&metrics).unwrap();
-    assert!(json.contains("\"schema_version\":3"), "{json}");
+    assert!(
+        json.contains(&format!(
+            "\"schema_version\":{}",
+            birch::core::METRICS_SCHEMA_VERSION
+        )),
+        "{json}"
+    );
     assert!(json.contains("\"threads\":4"), "{json}");
     assert!(json.contains("\"merge_s\":"), "{json}");
     assert!(json.contains("\"shards\":[{\"shard\":0,"), "{json}");
+    // Schema v4: memory gauge, tree health, trace/spans slots.
+    assert!(json.contains("\"memory\":{\"budget_bytes\":"), "{json}");
+    assert!(json.contains("\"mem_highwater_bytes\":"), "{json}");
+    assert!(json.contains("\"tree_health\":{\"height\":"), "{json}");
+    assert!(json.contains("\"trace\":null"), "{json}");
+    assert!(json.contains("\"spans\":null"), "{json}");
+    assert!(json.contains("\"disk_write_attempts\":"), "{json}");
+    assert!(json.contains("\"disk_faults_injected\":"), "{json}");
 
     // `--threads 1` vs the serial default: byte-identical artifacts.
     // BIRCH_THREADS is scrubbed so the flagless run really is serial even
@@ -237,6 +251,138 @@ fn threads_flag_schema_v2_and_serial_identity() {
     for p in [&data, &metrics] {
         std::fs::remove_file(p).ok();
     }
+}
+
+/// `--metrics-prom` with `--profile` must emit well-formed Prometheus
+/// text exposition: typed families for the headline counters, the io
+/// counters (including write attempts / injected faults), the memory
+/// gauge, and — because the profiler is on — span series.
+#[test]
+fn metrics_prom_and_profile_export() {
+    let data = tmp("prom-data.csv");
+    let prom = tmp("metrics.prom");
+
+    let out = cli()
+        .args(["generate", "--preset", "ds1", "--out"])
+        .arg(&data)
+        .args(["--per-cluster", "40", "--seed", "5"])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // BIRCH_THREADS is scrubbed so the span paths are the serial ones
+    // (`phase1/insert`, not `phase1/shard/insert`) even under the CI
+    // matrix that exports it.
+    let out = cli()
+        .env_remove("BIRCH_THREADS")
+        .args(["cluster", "--input"])
+        .arg(&data)
+        .args([
+            "--k",
+            "100",
+            "--labeled",
+            "true",
+            "--profile",
+            "--metrics-prom",
+        ])
+        .arg(&prom)
+        .output()
+        .expect("run cluster --profile --metrics-prom");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&prom).unwrap();
+    for needle in [
+        "# TYPE birch_points_scanned counter",
+        "# TYPE birch_phase_seconds gauge",
+        "# TYPE birch_mem_budget_bytes gauge",
+        "birch_points_scanned 4000",
+        "birch_io_total{op=\"disk_write_attempts\"}",
+        "birch_io_total{op=\"disk_faults_injected\"}",
+        "birch_mem_highwater_bytes",
+        "birch_tree_height",
+        "birch_span_seconds{path=\"phase1\"}",
+        "birch_span_calls_total{path=\"phase1/insert\"}",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Every sample belongs to a family declared with a # TYPE header.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let family = line.split(['{', ' ']).next().unwrap_or_default();
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "sample {line:?} has no # TYPE header"
+        );
+    }
+
+    for p in [&data, &prom] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// `birch-report --folded` writes inferno-compatible folded stacks:
+/// every line is `root(;child)* <self-µs>` with an integer sample value,
+/// and the phase roots appear.
+#[test]
+fn birch_report_writes_folded_stacks() {
+    let folded = tmp("spans.folded");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_birch-report"))
+        .args([
+            "--preset",
+            "ds1",
+            "--per-cluster",
+            "20",
+            "--seed",
+            "3",
+            "--folded",
+        ])
+        .arg(&folded)
+        .output()
+        .expect("run birch-report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== span profile =="), "{stdout}");
+    assert!(
+        stdout.contains("span totals vs phase wall clocks:"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("== memory (budget M) =="), "{stdout}");
+
+    let text = std::fs::read_to_string(&folded).unwrap();
+    assert!(!text.is_empty(), "folded output is empty");
+    let mut saw_phase1 = false;
+    for line in text.lines() {
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("no sample value in folded line {line:?}"));
+        assert!(
+            value.parse::<u64>().is_ok(),
+            "sample value {value:?} is not an integer in {line:?}"
+        );
+        assert!(!stack.is_empty(), "empty stack in {line:?}");
+        for frame in stack.split(';') {
+            assert!(!frame.is_empty(), "empty frame in {line:?}");
+        }
+        saw_phase1 |= stack == "phase1" || stack.starts_with("phase1;");
+    }
+    assert!(saw_phase1, "no phase1 frames in folded output:\n{text}");
+
+    std::fs::remove_file(&folded).ok();
 }
 
 #[test]
