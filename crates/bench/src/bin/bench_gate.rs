@@ -9,9 +9,16 @@
 //!
 //! Rules (documented in `scripts/bench_gate.sh` and CI):
 //!
-//! * `insert_kernel` rows compare `kernel_ns` per (dim, metric, op); a
-//!   row regresses when `fresh > baseline × threshold`. Rows whose
-//!   baseline `kernel_ns < 1000` (sub-µs) are skipped as timer noise.
+//! * `insert_kernel` rows compare the `speedup` ratio (scalar-form time ÷
+//!   production-kernel time, both measured in the same process from
+//!   interleaved windows) per (dim, metric, op); a row regresses when
+//!   `fresh < baseline ÷ threshold`. The ratio is what the PR-level
+//!   claim actually is — the production kernel staying ahead of its
+//!   scalar oracle — and unlike raw `kernel_ns` it survives the
+//!   machine-wide wall-clock swings of shared runners (steal time moves
+//!   both sides of a ratio together but moves absolute ns by ±50%).
+//!   Rows whose baseline `kernel_ns < 1000` (sub-µs) are skipped as
+//!   timer noise.
 //! * `phase1_scaling` runs compare `points_per_s` per thread count; a
 //!   run regresses when `fresh < baseline ÷ threshold`. Runs whose
 //!   baseline `wall_s < 0.05` are skipped — wall clocks that short are
@@ -85,7 +92,8 @@ struct Outcome {
     regressions: Vec<String>,
 }
 
-/// insert_kernel: lower `kernel_ns` is better; keyed by (dim, metric, op).
+/// insert_kernel: higher `speedup` (scalar ÷ kernel, same-process ratio)
+/// is better; keyed by (dim, metric, op).
 fn gate_insert_kernel(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
     let key = |row: &str| {
         format!(
@@ -97,7 +105,7 @@ fn gate_insert_kernel(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
     };
     let fresh_rows: Vec<(String, f64)> = row_objects(fresh, "rows")
         .iter()
-        .filter_map(|r| Some((key(r), num_field(r, "kernel_ns")?)))
+        .filter_map(|r| Some((key(r), num_field(r, "speedup")?)))
         .collect();
     let mut out = Outcome {
         compared: 0,
@@ -106,12 +114,14 @@ fn gate_insert_kernel(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
     };
     for row in row_objects(baseline, "rows") {
         let k = key(&row);
-        let Some(base) = num_field(&row, "kernel_ns") else {
+        let (Some(base_ns), Some(base)) =
+            (num_field(&row, "kernel_ns"), num_field(&row, "speedup"))
+        else {
             continue;
         };
-        if base < 1000.0 {
+        if base_ns < 1000.0 {
             out.skipped += 1;
-            println!("  skip {k}: baseline {base:.0}ns is sub-µs timer noise");
+            println!("  skip {k}: baseline {base_ns:.0}ns is sub-µs timer noise");
             continue;
         }
         let Some((_, new)) = fresh_rows.iter().find(|(fk, _)| *fk == k) else {
@@ -120,9 +130,9 @@ fn gate_insert_kernel(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
             continue;
         };
         out.compared += 1;
-        if *new > base * threshold {
+        if *new < base / threshold {
             out.regressions.push(format!(
-                "{k}: kernel_ns {base:.0} -> {new:.0} ({:+.1}%)",
+                "{k}: speedup {base:.2} -> {new:.2} ({:+.1}%)",
                 100.0 * (new / base - 1.0)
             ));
         }
@@ -255,12 +265,12 @@ mod tests {
     use super::*;
 
     const BASE: &str = r#"{"bench":"insert_kernel","rows":[
-        {"dim":2,"metric":"D0","op":"descent","scalar_ns":200.0,"kernel_ns":210.0},
-        {"dim":8,"metric":"D1","op":"split","scalar_ns":6000.0,"kernel_ns":5000.0}]}"#;
+        {"dim":2,"metric":"D0","op":"descent","scalar_ns":200.0,"kernel_ns":210.0,"speedup":0.95},
+        {"dim":8,"metric":"D1","op":"split","scalar_ns":6000.0,"kernel_ns":5000.0,"speedup":1.2}]}"#;
 
     #[test]
     fn sub_microsecond_rows_are_skipped() {
-        let fresh = BASE.replace("210.0", "900.0"); // 4x slower but sub-µs
+        let fresh = BASE.replace("\"speedup\":0.95", "\"speedup\":0.2"); // collapsed but sub-µs
         let o = gate_insert_kernel(BASE, &fresh, 1.25);
         assert_eq!(o.skipped, 1);
         assert_eq!(o.compared, 1);
@@ -268,8 +278,8 @@ mod tests {
     }
 
     #[test]
-    fn kernel_regression_past_threshold_fails() {
-        let fresh = BASE.replace("\"kernel_ns\":5000.0", "\"kernel_ns\":7000.0");
+    fn speedup_collapse_past_threshold_fails() {
+        let fresh = BASE.replace("\"speedup\":1.2", "\"speedup\":0.9");
         let o = gate_insert_kernel(BASE, &fresh, 1.25);
         assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
         assert!(o.regressions[0].contains("split"));
@@ -277,9 +287,18 @@ mod tests {
 
     #[test]
     fn within_threshold_passes() {
-        let fresh = BASE.replace("\"kernel_ns\":5000.0", "\"kernel_ns\":6000.0");
+        let fresh = BASE.replace("\"speedup\":1.2", "\"speedup\":1.0");
         let o = gate_insert_kernel(BASE, &fresh, 1.25);
         assert!(o.regressions.is_empty(), "{:?}", o.regressions);
+    }
+
+    #[test]
+    fn missing_fresh_kernel_row_is_a_regression() {
+        let fresh = r#"{"bench":"insert_kernel","rows":[
+            {"dim":2,"metric":"D0","op":"descent","scalar_ns":200.0,"kernel_ns":210.0,"speedup":0.95}]}"#;
+        let o = gate_insert_kernel(BASE, fresh, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("missing"));
     }
 
     const SCALING: &str = r#"{"bench":"phase1_scaling","runs":[

@@ -195,8 +195,17 @@ fn main() {
         }
     }
 
+    // Which backend `birch_core::Cf` aliases in this build — the sweep
+    // itself always measures both explicitly, but the committed JSON
+    // should name the default the claims defend.
+    let default_backend = if cfg!(feature = "classic-cf") {
+        "classic"
+    } else {
+        "stable"
+    };
     let mut json = format!(
         "{{\"bench\":\"cf_stability\",\"seed\":{seed},\
+         \"default_backend\":\"{default_backend}\",\
          \"points_per_cluster\":{PER_CLUSTER},\"gap\":{GAP},\
          \"spread_quantum\":{QUANTUM},\"rows\":["
     );

@@ -1,21 +1,26 @@
-//! Insert-path kernel microbenchmark: batched SoA distance kernels vs the
-//! seed-era scalar loop, swept over dimensionality.
+//! Insert-path kernel microbenchmark: production batch kernels vs their
+//! scalar oracle forms, swept over dimensionality.
 //!
 //! Three hot loops are timed per dim ∈ {2, 8, 32, 128} × metric ∈ D0–D4:
 //!
-//! * `descent` — the §4.3 closest-child scan at B = 25: scalar first-min
-//!   over a `Vec<Cf>` (every `‖LS‖²` re-derived per call) vs one
-//!   [`closest_among`] sweep over a [`CfBlock`].
+//! * `descent` — the §4.3 closest-child scan at B = 25:
+//!   [`closest_among_scalar`] vs the production [`closest_among`].
 //! * `split` — the §4.3 split seeding: farthest pair among L+1 = 32
-//!   entries, scalar double loop vs [`farthest_pair`].
+//!   entries, [`farthest_pair_scalar`] vs [`farthest_pair`].
 //! * `phase3` — the Phase-3 heap-init pairwise matrix over 64 leaf
-//!   entries, scalar vs [`pair_in_block`].
+//!   entries, [`pair_in_block_scalar`] vs [`pair_in_block`].
 //!
-//! Both sides compute bit-identical distances (the scalar baseline is
-//! [`scalar_distance_replica`]); only the memory layout and norm reuse
-//! differ, so the reported speedup isolates exactly the PR's claim.
-//! Writes `BENCH_insert_kernel.json` and finishes with two end-to-end
-//! `# METRICS` lines (D0 descent-prune off/on) so the new distance-call
+//! Both sides scan the same [`CfBlock`]; the baseline routes every
+//! distance through the scalar kernel (bit-identical to
+//! `DistanceMetric::distance`) while the production side takes whatever
+//! [`KERNEL_KIND`] names — the lane path on default builds, the same
+//! scalar path under `classic-cf` / `--no-default-features`. The reported
+//! speedup therefore isolates exactly the lane-vs-scalar dispatch choice
+//! the `simd` feature makes. On lane builds the bin asserts the speedup
+//! matrix stays at or above [`MIN_LANE_SPEEDUP`] in every cell.
+//! Writes `BENCH_insert_kernel.json` (each row carries a `simd` column
+//! naming the kernel family measured) and finishes with two end-to-end
+//! `# METRICS` lines (D0 descent-prune off/on) so the distance-call
 //! counters land in the committed bench trajectory.
 //!
 //! ```text
@@ -23,8 +28,11 @@
 //!     [-- --seed 42 --reps 5 --out BENCH_insert_kernel.json]
 //! ```
 
-use birch_bench::{print_header, print_metrics, print_row, scalar_distance_replica};
-use birch_core::distance::{closest_among, farthest_pair, pair_in_block, CfBlock};
+use birch_bench::{print_header, print_metrics, print_row};
+use birch_core::distance::{
+    closest_among, closest_among_scalar, farthest_pair, farthest_pair_scalar, pair_in_block,
+    pair_in_block_scalar, CfBlock, KERNEL_KIND,
+};
 use birch_core::{Birch, BirchConfig, Cf, DistanceMetric, Point};
 use std::time::Instant;
 
@@ -32,6 +40,24 @@ const DIMS: [usize; 4] = [2, 8, 32, 128];
 const DESCENT_FANOUT: usize = 25;
 const SPLIT_ENTRIES: usize = 32;
 const PHASE3_ENTRIES: usize = 64;
+
+/// Floor the full speedup matrix must clear on lane builds: the lane
+/// path must never be slower than the scalar kernel form it replaces.
+/// The dim ≤ 4 serial specializations share the scalar arithmetic but
+/// hoist the slab accessors out of the scan (the scalar form re-derives
+/// its row views per distance), so even the smallest cells measure
+/// ~1.1–1.5x and clear 1.0 with margin when the machine is quiet.
+const MIN_LANE_SPEEDUP: f64 = 1.0;
+
+/// Measurement-noise allowance on the floor assert. Small cells on a
+/// shared machine jitter by up to ~10% even after min-wall retries
+/// (loaded runners dip ~1.2x cells to readings of 0.95), so a reading
+/// just under 1.0 is parity noise, not a regression; a real lane
+/// slowdown (the pre-specialization dim-2 cells sat at 0.6–0.8x) still
+/// trips the assert by a wide margin. The committed
+/// `BENCH_insert_kernel.json` is regenerated on a quiet machine and
+/// holds the full matrix at ≥ 1.0 outright.
+const LANE_NOISE_TOL: f64 = 0.1;
 
 /// xorshift64 — deterministic input without external RNG crates.
 struct Rng(u64);
@@ -76,6 +102,34 @@ fn time_ns(reps: usize, iters: usize, mut f: impl FnMut() -> f64) -> f64 {
     }
     assert!(sink.is_finite(), "benchmark kernels must stay finite");
     best
+}
+
+/// Min-wall times for one (scalar, kernel) cell. The two sides are
+/// sampled in *interleaved* windows (scalar, kernel, scalar, …) so a
+/// load episode on a shared machine inflates adjacent windows of both
+/// sides rather than one side's whole block — the asymmetry that makes a
+/// blocked measurement read a ~1.2x cell as 0.9x. When the cell still
+/// lands under [`MIN_LANE_SPEEDUP`], both mins are re-sampled (more
+/// draws only sharpen a min-wall estimate) a few times before the matrix
+/// assert judges it.
+fn timed_cell(
+    reps: usize,
+    iters: usize,
+    mut scalar: impl FnMut() -> f64,
+    mut kernel: impl FnMut() -> f64,
+) -> (f64, f64) {
+    let mut scalar_ns = f64::INFINITY;
+    let mut kernel_ns = f64::INFINITY;
+    for pass in 0..4 {
+        if pass > 0 && scalar_ns / kernel_ns >= MIN_LANE_SPEEDUP {
+            break;
+        }
+        for _ in 0..reps {
+            scalar_ns = scalar_ns.min(time_ns(1, iters, &mut scalar));
+            kernel_ns = kernel_ns.min(time_ns(1, iters, &mut kernel));
+        }
+    }
+    (scalar_ns, kernel_ns)
 }
 
 struct Row {
@@ -147,19 +201,12 @@ fn main() {
             let cands = make_cfs(dim, DESCENT_FANOUT, &mut rng);
             let probe = make_cfs(dim, 1, &mut rng).pop().unwrap();
             let block = CfBlock::from_cfs(&cands);
-            let scalar_ns = time_ns(reps, iters, || {
-                let mut best: Option<(usize, f64)> = None;
-                for (i, cand) in cands.iter().enumerate() {
-                    let d = scalar_distance_replica(metric, &probe, cand);
-                    if best.is_none_or(|(_, bd)| d < bd) {
-                        best = Some((i, d));
-                    }
-                }
-                best.map_or(0.0, |(_, d)| d)
-            });
-            let kernel_ns = time_ns(reps, iters, || {
-                closest_among(metric, &probe, &block).map_or(0.0, |(_, d)| d)
-            });
+            let (scalar_ns, kernel_ns) = timed_cell(
+                reps,
+                iters,
+                || closest_among_scalar(metric, &probe, &block).map_or(0.0, |(_, d)| d),
+                || closest_among(metric, &probe, &block).map_or(0.0, |(_, d)| d),
+            );
             rows.push(Row {
                 dim,
                 metric,
@@ -172,21 +219,12 @@ fn main() {
             let entries = make_cfs(dim, SPLIT_ENTRIES, &mut rng);
             let eblock = CfBlock::from_cfs(&entries);
             let pair_iters = (iters / 20).max(50);
-            let scalar_ns = time_ns(reps, pair_iters, || {
-                let mut far: Option<(usize, usize, f64)> = None;
-                for i in 0..entries.len() {
-                    for j in (i + 1)..entries.len() {
-                        let d = scalar_distance_replica(metric, &entries[i], &entries[j]);
-                        if far.is_none_or(|(_, _, fd)| d > fd) {
-                            far = Some((i, j, d));
-                        }
-                    }
-                }
-                far.map_or(0.0, |(_, _, d)| d)
-            });
-            let kernel_ns = time_ns(reps, pair_iters, || {
-                farthest_pair(metric, &eblock).map_or(0.0, |(_, _, d)| d)
-            });
+            let (scalar_ns, kernel_ns) = timed_cell(
+                reps,
+                pair_iters,
+                || farthest_pair_scalar(metric, &eblock).map_or(0.0, |(_, _, d)| d),
+                || farthest_pair(metric, &eblock).map_or(0.0, |(_, _, d)| d),
+            );
             rows.push(Row {
                 dim,
                 metric,
@@ -199,24 +237,28 @@ fn main() {
             let leaves = make_cfs(dim, PHASE3_ENTRIES, &mut rng);
             let lblock = CfBlock::from_cfs(&leaves);
             let mat_iters = (iters / 80).max(20);
-            let scalar_ns = time_ns(reps, mat_iters, || {
-                let mut acc = 0.0;
-                for i in 0..leaves.len() {
-                    for j in (i + 1)..leaves.len() {
-                        acc += scalar_distance_replica(metric, &leaves[i], &leaves[j]);
+            let (scalar_ns, kernel_ns) = timed_cell(
+                reps,
+                mat_iters,
+                || {
+                    let mut acc = 0.0;
+                    for i in 0..lblock.len() {
+                        for j in (i + 1)..lblock.len() {
+                            acc += pair_in_block_scalar(metric, &lblock, i, j);
+                        }
                     }
-                }
-                acc
-            });
-            let kernel_ns = time_ns(reps, mat_iters, || {
-                let mut acc = 0.0;
-                for i in 0..lblock.len() {
-                    for j in (i + 1)..lblock.len() {
-                        acc += pair_in_block(metric, &lblock, i, j);
+                    acc
+                },
+                || {
+                    let mut acc = 0.0;
+                    for i in 0..lblock.len() {
+                        for j in (i + 1)..lblock.len() {
+                            acc += pair_in_block(metric, &lblock, i, j);
+                        }
                     }
-                }
-                acc
-            });
+                    acc
+                },
+            );
             rows.push(Row {
                 dim,
                 metric,
@@ -243,6 +285,7 @@ fn main() {
 
     let mut json = format!(
         "{{\"bench\":\"insert_kernel\",\"seed\":{seed},\"reps\":{reps},\
+         \"simd\":\"{KERNEL_KIND}\",\
          \"descent_fanout\":{DESCENT_FANOUT},\"split_entries\":{SPLIT_ENTRIES},\
          \"phase3_entries\":{PHASE3_ENTRIES},\"rows\":["
     );
@@ -251,8 +294,8 @@ fn main() {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"dim\":{},\"metric\":\"{}\",\"op\":\"{}\",\"scalar_ns\":{},\
-             \"kernel_ns\":{},\"speedup\":{}}}",
+            "{{\"dim\":{},\"metric\":\"{}\",\"op\":\"{}\",\"simd\":\"{KERNEL_KIND}\",\
+             \"scalar_ns\":{},\"kernel_ns\":{},\"speedup\":{}}}",
             r.dim,
             r.metric,
             r.op,
@@ -264,6 +307,34 @@ fn main() {
     json.push_str("]}\n");
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("\nresults written to {out_path}");
+
+    // On lane builds the dispatch contract is "never slower than the
+    // scalar form": every cell of the speedup matrix must clear the
+    // noise-calibrated floor. Scalar-only builds time the same path twice,
+    // so the ratio is pure timer noise and the assert would be vacuous.
+    if KERNEL_KIND == "lane" {
+        let worst = rows
+            .iter()
+            .min_by(|a, b| {
+                let (sa, sb) = (a.scalar_ns / a.kernel_ns, b.scalar_ns / b.kernel_ns);
+                sa.total_cmp(&sb)
+            })
+            .expect("bench produced rows");
+        let worst_speedup = worst.scalar_ns / worst.kernel_ns;
+        assert!(
+            worst_speedup >= MIN_LANE_SPEEDUP - LANE_NOISE_TOL,
+            "lane kernel slower than its scalar form: dim={} metric={} op={} speedup={:.2} < {} - {LANE_NOISE_TOL} noise allowance",
+            worst.dim,
+            worst.metric,
+            worst.op,
+            worst_speedup,
+            MIN_LANE_SPEEDUP,
+        );
+        println!(
+            "speedup matrix floor: {worst_speedup:.2} (>= {} - {LANE_NOISE_TOL} noise allowance required)",
+            MIN_LANE_SPEEDUP
+        );
+    }
 
     // End-to-end counter datapoints: a fixed D0 workload with the descent
     // prune off vs on. The clusterings are identical (the prune is

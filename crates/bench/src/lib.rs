@@ -27,9 +27,10 @@ use std::time::{Duration, Instant};
 /// scalar baseline. Results are bit-identical to the production path
 /// (the memo is itself refreshed by exact recomputation, and the operand
 /// order below matches `distance.rs` term for term); only the cost
-/// differs. Under `stable-cf` the replica repeats the deviation-form
-/// kernel (compensated `Δμ`) instead of the classic closed forms.
-#[cfg(not(feature = "stable-cf"))]
+/// differs. The default (stable) build repeats the deviation-form
+/// kernel (compensated `Δμ`); under `classic-cf` the replica repeats
+/// the classic closed forms instead.
+#[cfg(feature = "classic-cf")]
 #[must_use]
 pub fn scalar_distance_replica(metric: DistanceMetric, a: &Cf, b: &Cf) -> f64 {
     fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -78,7 +79,7 @@ pub fn scalar_distance_replica(metric: DistanceMetric, a: &Cf, b: &Cf) -> f64 {
 /// Stable-backend variant: repeats `distance.rs`'s deviation-form kernel
 /// (`Δμᵢ = (μ_aᵢ − μ_bᵢ) + (c_aᵢ − c_bᵢ)`) term for term. See the
 /// classic variant's docs.
-#[cfg(feature = "stable-cf")]
+#[cfg(not(feature = "classic-cf"))]
 #[must_use]
 pub fn scalar_distance_replica(metric: DistanceMetric, a: &Cf, b: &Cf) -> f64 {
     let dmu = |i: usize| (a.mean()[i] - b.mean()[i]) + (a.mean_carry()[i] - b.mean_carry()[i]);

@@ -31,6 +31,11 @@
 //!    exactly `0` under the current refresh-by-recomputation policy), and
 //!    every node's flat SoA mirror ([`crate::distance::CfBlock`]) matches
 //!    its entries bit for bit.
+//! 7. **Kernel agreement** (lane builds only): every node's row distances
+//!    replayed through the production SIMD kernel ([`crate::simd`]) agree
+//!    with the bit-exact scalar oracle within the tolerance contract
+//!    [`crate::distance::SIMD_TOLERANCE_REL`] (worst case reported as
+//!    [`AuditReport::simd_kernel_drift`]).
 //!
 //! Floating-point drift between the incrementally maintained CFs and the
 //! recomputed-from-scratch ones is reported as a *measurable*
@@ -135,6 +140,9 @@ pub enum ViolationKind {
     NormCacheMismatch,
     /// A node's flat SoA mirror disagrees with its entries.
     BlockDesync,
+    /// The lane (SIMD) distance kernel disagrees with the scalar oracle
+    /// beyond [`crate::distance::SIMD_TOLERANCE_REL`] on a node's rows.
+    SimdKernelMismatch,
 }
 
 impl fmt::Display for ViolationKind {
@@ -158,6 +166,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::IdMismatch => "arena id mismatch",
             ViolationKind::NormCacheMismatch => "norm cache mismatch",
             ViolationKind::BlockDesync => "block mirror desync",
+            ViolationKind::SimdKernelMismatch => "simd kernel mismatch",
         };
         f.write_str(name)
     }
@@ -264,6 +273,16 @@ pub struct AuditReport {
     /// Report-only: it never fails the audit — the classic backend's
     /// nonzero drift is a documented bug, not a tree invariant violation.
     pub cancellation_drift: f64,
+    /// Worst relative disagreement between the lane (SIMD) row-distance
+    /// kernel and the bit-exact scalar oracle across every node's rows,
+    /// probed with the tree's own metric. Exactly `0` when the lane path
+    /// is not compiled (`classic-cf`, or `--no-default-features`) and at
+    /// dim ≤ 4 (where the lane kernel is the scalar loop, bit for bit);
+    /// above that, disagreement beyond
+    /// [`crate::distance::SIMD_TOLERANCE_REL`] *is* a violation
+    /// ([`ViolationKind::SimdKernelMismatch`]) — the tolerance contract,
+    /// machine-enforced on real trees rather than just test fixtures.
+    pub simd_kernel_drift: f64,
 }
 
 /// Audits `tree` with default [`AuditOptions`].
@@ -383,7 +402,7 @@ pub fn audit_with(tree: &CfTree, opts: &AuditOptions) -> Result<AuditReport, Aud
 /// the backend already discarded cannot come back; that is exactly what
 /// the measurable exposes. Stable: the mean (carry folded in, exactly)
 /// and the deviation sum read directly.
-#[cfg(not(feature = "stable-cf"))]
+#[cfg(feature = "classic-cf")]
 fn dd_entry_stats(cf: &Cf) -> (f64, Vec<Dd>, Dd) {
     let n = cf.n();
     let c: Vec<Dd> = cf
@@ -399,7 +418,7 @@ fn dd_entry_stats(cf: &Cf) -> (f64, Vec<Dd>, Dd) {
     (n, c, s)
 }
 
-#[cfg(feature = "stable-cf")]
+#[cfg(not(feature = "classic-cf"))]
 fn dd_entry_stats(cf: &Cf) -> (f64, Vec<Dd>, Dd) {
     let n = cf.n();
     let c: Vec<Dd> = cf
@@ -502,6 +521,60 @@ fn check_block_sync(node: &Node, id: NodeId) -> Result<(), AuditViolation> {
     Ok(())
 }
 
+/// Replays every row distance of a node's SoA mirror through both the
+/// production lane kernel and the bit-exact scalar oracle, folding the
+/// worst relative disagreement into
+/// [`AuditReport::simd_kernel_drift`] and failing beyond
+/// [`crate::distance::SIMD_TOLERANCE_REL`]. The probe is the node's own
+/// first entry — the same shape (`Cf` vs block row) the descend and
+/// split paths evaluate.
+#[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+fn check_simd_kernel(
+    node: &Node,
+    id: NodeId,
+    metric: crate::distance::DistanceMetric,
+    report: &mut AuditReport,
+) -> Result<(), AuditViolation> {
+    let block = node.block();
+    if block.is_empty() {
+        return Ok(());
+    }
+    let probe = match &node.kind {
+        NodeKind::Leaf { entries, .. } => &entries[0],
+        NodeKind::Interior { children } => &children[0].cf,
+    };
+    for i in 0..block.len() {
+        let lane = crate::simd::distance_to_row(metric, probe, block, i);
+        let scalar = crate::distance::distance_to_row(metric, probe, block, i);
+        let drift = (lane - scalar).abs() / scalar.abs().max(1.0);
+        report.simd_kernel_drift = report.simd_kernel_drift.max(drift);
+        if drift > crate::distance::SIMD_TOLERANCE_REL {
+            return Err(AuditViolation {
+                kind: ViolationKind::SimdKernelMismatch,
+                node: Some(id),
+                detail: format!(
+                    "row {i}: lane {metric} distance {lane} vs scalar {scalar} \
+                     (drift {drift:.3e} > contract {:.0e})",
+                    crate::distance::SIMD_TOLERANCE_REL
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Scalar-only builds have no second kernel to disagree with; the
+/// measurable stays at its `0` default.
+#[cfg(not(all(feature = "simd", not(feature = "classic-cf"))))]
+fn check_simd_kernel(
+    _node: &Node,
+    _id: NodeId,
+    _metric: crate::distance::DistanceMetric,
+    _report: &mut AuditReport,
+) -> Result<(), AuditViolation> {
+    Ok(())
+}
+
 /// Measures the drift between a CF's memoized `‖LS‖²` and a from-scratch
 /// `LS·LS`, folding it into the report and failing beyond tolerance.
 fn check_norm_cache(
@@ -556,6 +629,7 @@ fn check_subtree(
         });
     }
     check_block_sync(node, id)?;
+    check_simd_kernel(node, id, tree.params.metric, report)?;
     match &node.kind {
         NodeKind::Leaf { entries, .. } => {
             if depth != tree.height {
@@ -796,7 +870,7 @@ mod tests {
         t
     }
 
-    #[cfg(not(feature = "stable-cf"))]
+    #[cfg(feature = "classic-cf")]
     #[test]
     fn cancellation_drift_exposes_classic_collapse_at_large_offset() {
         // Near the origin the measurable is quiet...
@@ -817,7 +891,7 @@ mod tests {
         );
     }
 
-    #[cfg(feature = "stable-cf")]
+    #[cfg(not(feature = "classic-cf"))]
     #[test]
     fn cancellation_drift_stays_flat_for_stable_at_large_offset() {
         let near = audit(&offset_tree(0.0)).unwrap();
@@ -1037,6 +1111,43 @@ mod tests {
         let t = grown_tree();
         let r = audit(&t).unwrap();
         assert_eq!(r.norm_cache_drift, 0.0);
+    }
+
+    #[test]
+    fn simd_kernel_drift_is_zero_at_dim_2() {
+        // dim ≤ 4 dispatches to the serial specializations, which are the
+        // scalar loop bit for bit — so the measurable must read exactly 0
+        // on lane builds, and trivially 0 on scalar-only builds.
+        let t = grown_tree();
+        let r = audit(&t).unwrap();
+        assert_eq!(r.simd_kernel_drift, 0.0);
+    }
+
+    #[test]
+    fn simd_kernel_drift_respects_contract_at_wide_dims() {
+        // A dim-8 tree exercises the lane sweep proper; the audit itself
+        // fails on any row beyond the contract, and the reported worst
+        // case must sit within it.
+        let mut t = CfTree::new(TreeParams {
+            dim: 8,
+            ..params(0.5)
+        });
+        let mut s = 0xD1A8_u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 30.0
+        };
+        for _ in 0..80 {
+            t.insert_point(&Point::new((0..8).map(|_| next()).collect()));
+        }
+        let r = audit(&t).unwrap();
+        assert!(
+            r.simd_kernel_drift <= crate::distance::SIMD_TOLERANCE_REL,
+            "{}",
+            r.simd_kernel_drift
+        );
     }
 
     #[test]

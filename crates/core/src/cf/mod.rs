@@ -26,8 +26,10 @@
 //!   and SSE accumulation. Translation-invariant statistics at any offset.
 //!
 //! Both are always compiled (so diagnostics and benches can compare them
-//! in one binary); the `stable-cf` cargo feature only selects which one is
-//! re-exported as [`Cf`] and therefore drives the tree. Generic code uses
+//! in one binary); [`stable`] is re-exported as [`Cf`] by default and the
+//! `classic-cf` cargo feature selects [`classic`] instead (the `stable-cf`
+//! feature is a deprecated no-op from before the default flipped). The
+//! re-export is what drives the tree. Generic code uses
 //! the backend-agnostic accessor surface — `vec_stat` (LS or μ),
 //! `scalar_stat` (SS or SSE), `vec_stat_sq` (the memoized `‖·‖²`) — plus
 //! the shared constructors and algebra (`merge`/`merged`/`subtract`/
@@ -36,9 +38,16 @@
 pub mod classic;
 pub mod stable;
 
-#[cfg(not(feature = "stable-cf"))]
+#[cfg(all(feature = "classic-cf", feature = "stable-cf"))]
+compile_error!(
+    "features `classic-cf` and `stable-cf` select opposite CF backends; \
+     enable at most one (`stable-cf` is a deprecated no-op — the stable \
+     backend is the default)"
+);
+
+#[cfg(feature = "classic-cf")]
 pub use classic::Cf;
-#[cfg(feature = "stable-cf")]
+#[cfg(not(feature = "classic-cf"))]
 pub use stable::Cf;
 
 /// Relative dust threshold for [`Cf::subtract`]: a residual weight at or

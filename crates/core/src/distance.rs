@@ -14,8 +14,8 @@
 //!   squared deviation caused by merging.
 //!
 //! Two kernel families compute these, one per CF backend, and both are
-//! always compiled (the `stable-cf` feature only selects which one the
-//! pipeline routes through):
+//! always compiled (the `classic-cf` feature only selects which one the
+//! pipeline routes through; the stable kernel is the default):
 //!
 //! * [`classic_distance`] over [`ClassicView`] — the paper's closed forms
 //!   on `(N, LS, SS)`:
@@ -307,17 +307,17 @@ pub fn stable_distance(metric: DistanceMetric, a: &StableView<'_>, b: &StableVie
 // `Cf` alias maps onto. Both kernels stay compiled either way (the
 // stability bench compares them side by side in one binary).
 
-#[cfg(not(feature = "stable-cf"))]
+#[cfg(feature = "classic-cf")]
 use classic_distance as active_kernel;
-#[cfg(feature = "stable-cf")]
+#[cfg(not(feature = "classic-cf"))]
 use stable_distance as active_kernel;
 
-#[cfg(not(feature = "stable-cf"))]
+#[cfg(feature = "classic-cf")]
 fn cf_view(cf: &Cf) -> ClassicView<'_> {
     ClassicView::of(cf)
 }
 
-#[cfg(feature = "stable-cf")]
+#[cfg(not(feature = "classic-cf"))]
 fn cf_view(cf: &Cf) -> StableView<'_> {
     StableView::of(cf)
 }
@@ -328,17 +328,31 @@ fn cf_view(cf: &Cf) -> StableView<'_> {
 // The tree-descent inner loop (§4.3: "find the closest child") walks a
 // node's entries calling `DistanceMetric::distance` once per entry; with
 // `Vec<Cf>` each call chases a separate `Box<[f64]>`. A `CfBlock` lays the
-// same entries out as one dim-strided vector slab plus parallel scalar
-// arrays, so the scan is a linear sweep over contiguous memory. Both the
-// block path and the scalar path call the same kernel function on the
-// same field values, so a block scan returns bit-identical distances (and
-// therefore identical argmins, including tie order) to the scalar
-// reference by construction.
+// same entries out as one stride-padded vector slab plus parallel scalar
+// arrays, so the scan is a linear sweep over contiguous memory. The
+// scalar block path calls the same kernel function on the same field
+// values as `DistanceMetric::distance`, so it returns bit-identical
+// distances (and therefore identical argmins, including tie order) by
+// construction; the lane path (stable+`simd` builds, `crate::simd`) is
+// bit-identical at dim ≤ 4 and within `SIMD_TOLERANCE_REL` above that.
 // ---------------------------------------------------------------------
 
-/// A flat, cache-resident mirror of a sequence of CFs: one dim-strided
-/// vector slab (`LS`, or μ under `stable-cf`, plus its carry slab) and
-/// parallel `(N, scalar stat, ‖vec‖²)` arrays.
+/// Lane width of the explicit-SIMD kernels (`f64x4`), and therefore the
+/// row-stride granule of [`CfBlock`]'s vector slabs on the stable backend.
+pub const LANE_WIDTH: usize = 4;
+
+/// A flat, cache-resident mirror of a sequence of CFs: one stride-padded
+/// vector slab (μ by default plus its carry slab, or `LS` under
+/// `classic-cf`) and parallel `(N, scalar stat, ‖vec‖²)` arrays.
+///
+/// On the stable backend each vector row occupies [`CfBlock::stride`]
+/// slots — `dim` live coordinates followed by zero padding up to the next
+/// multiple of [`LANE_WIDTH`] — so the lane kernels can sweep row pairs in
+/// full lanes with no scalar tail (zero padding contributes exactly `0`
+/// to every deviation sum). Classic builds keep `stride == dim`: the
+/// classic kernels are scalar-only and their memory layout predates the
+/// padding. The row accessors always return exactly `dim` coordinates, so
+/// the padding is invisible outside the lane kernels.
 ///
 /// The dimensionality is fixed lazily by the first row pushed, so an empty
 /// block is dimension-agnostic (a fresh tree node can own one before any
@@ -359,7 +373,7 @@ pub struct CfBlock {
     vec: Vec<f64>,
     /// Row-major Neumaier carry slab for the mean (same striding as
     /// `vec`) — the deviation kernels need it for the compensated Δμ.
-    #[cfg(feature = "stable-cf")]
+    #[cfg(not(feature = "classic-cf"))]
     vec_c: Vec<f64>,
 }
 
@@ -398,17 +412,32 @@ impl CfBlock {
         self.dim
     }
 
+    /// Slots per row in the `vec`/`vec_c` slabs: `dim` rounded up to a
+    /// multiple of [`LANE_WIDTH`] on the stable backend (the padding is
+    /// zero-filled), exactly `dim` under `classic-cf`.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        #[cfg(feature = "classic-cf")]
+        {
+            self.dim
+        }
+        #[cfg(not(feature = "classic-cf"))]
+        {
+            self.dim.next_multiple_of(LANE_WIDTH)
+        }
+    }
+
     /// Heap bytes held by the block's slabs — *capacity*, not length,
     /// because the allocation is what occupies memory. Feeds the memory
     /// gauge's `cf_blocks` component ([`crate::obs::mem`]).
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
-        #[cfg_attr(not(feature = "stable-cf"), allow(unused_mut))]
+        #[cfg_attr(feature = "classic-cf", allow(unused_mut))]
         let mut slots = self.n.capacity()
             + self.scalar.capacity()
             + self.vec_sq.capacity()
             + self.vec.capacity();
-        #[cfg(feature = "stable-cf")]
+        #[cfg(not(feature = "classic-cf"))]
         {
             slots += self.vec_c.capacity();
         }
@@ -436,9 +465,14 @@ impl CfBlock {
         self.n.push(cf.n());
         self.scalar.push(cf.scalar_stat());
         self.vec_sq.push(cf.vec_stat_sq());
+        let padded = self.n.len() * self.stride();
         self.vec.extend_from_slice(cf.vec_stat());
-        #[cfg(feature = "stable-cf")]
-        self.vec_c.extend_from_slice(cf.mean_carry());
+        self.vec.resize(padded, 0.0);
+        #[cfg(not(feature = "classic-cf"))]
+        {
+            self.vec_c.extend_from_slice(cf.mean_carry());
+            self.vec_c.resize(padded, 0.0);
+        }
     }
 
     /// Overwrites row `i` with `cf`.
@@ -451,9 +485,10 @@ impl CfBlock {
         self.n[i] = cf.n();
         self.scalar[i] = cf.scalar_stat();
         self.vec_sq[i] = cf.vec_stat_sq();
-        self.vec[i * self.dim..(i + 1) * self.dim].copy_from_slice(cf.vec_stat());
-        #[cfg(feature = "stable-cf")]
-        self.vec_c[i * self.dim..(i + 1) * self.dim].copy_from_slice(cf.mean_carry());
+        let s = self.stride();
+        self.vec[i * s..i * s + self.dim].copy_from_slice(cf.vec_stat());
+        #[cfg(not(feature = "classic-cf"))]
+        self.vec_c[i * s..i * s + self.dim].copy_from_slice(cf.mean_carry());
     }
 
     /// Inserts a row mirroring `cf` at position `i`, shifting later rows.
@@ -466,11 +501,15 @@ impl CfBlock {
         self.n.insert(i, cf.n());
         self.scalar.insert(i, cf.scalar_stat());
         self.vec_sq.insert(i, cf.vec_stat_sq());
-        self.vec
-            .splice(i * self.dim..i * self.dim, cf.vec_stat().iter().copied());
-        #[cfg(feature = "stable-cf")]
+        let s = self.stride();
+        let pad = std::iter::repeat_n(0.0, s - self.dim);
+        self.vec.splice(
+            i * s..i * s,
+            cf.vec_stat().iter().copied().chain(pad.clone()),
+        );
+        #[cfg(not(feature = "classic-cf"))]
         self.vec_c
-            .splice(i * self.dim..i * self.dim, cf.mean_carry().iter().copied());
+            .splice(i * s..i * s, cf.mean_carry().iter().copied().chain(pad));
     }
 
     /// Removes row `i`, shifting later rows down.
@@ -482,9 +521,10 @@ impl CfBlock {
         self.n.remove(i);
         self.scalar.remove(i);
         self.vec_sq.remove(i);
-        self.vec.drain(i * self.dim..(i + 1) * self.dim);
-        #[cfg(feature = "stable-cf")]
-        self.vec_c.drain(i * self.dim..(i + 1) * self.dim);
+        let s = self.stride();
+        self.vec.drain(i * s..(i + 1) * s);
+        #[cfg(not(feature = "classic-cf"))]
+        self.vec_c.drain(i * s..(i + 1) * s);
     }
 
     /// Removes every row (the dimensionality stays fixed).
@@ -493,7 +533,7 @@ impl CfBlock {
         self.scalar.clear();
         self.vec_sq.clear();
         self.vec.clear();
-        #[cfg(feature = "stable-cf")]
+        #[cfg(not(feature = "classic-cf"))]
         self.vec_c.clear();
     }
 
@@ -516,22 +556,49 @@ impl CfBlock {
         self.vec_sq[i]
     }
 
-    /// Row `i`'s vector-statistic slice inside the slab: `LS` (classic)
-    /// or μ (stable).
+    /// Row `i`'s vector-statistic slice inside the slab: μ (stable) or
+    /// `LS` (classic). Exactly `dim` coordinates — padding excluded.
     #[must_use]
     pub fn row_vec(&self, i: usize) -> &[f64] {
-        &self.vec[i * self.dim..(i + 1) * self.dim]
+        let s = self.stride();
+        &self.vec[i * s..i * s + self.dim]
     }
 
-    /// Row `i`'s mean-carry slice inside the carry slab.
-    #[cfg(feature = "stable-cf")]
+    /// Row `i`'s mean-carry slice inside the carry slab. Exactly `dim`
+    /// coordinates — padding excluded.
+    #[cfg(not(feature = "classic-cf"))]
     #[must_use]
     pub fn row_vec_c(&self, i: usize) -> &[f64] {
-        &self.vec_c[i * self.dim..(i + 1) * self.dim]
+        let s = self.stride();
+        &self.vec_c[i * s..i * s + self.dim]
+    }
+
+    /// The full vector slab including padding, for the lane kernels.
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    pub(crate) fn vec_slab(&self) -> &[f64] {
+        &self.vec
+    }
+
+    /// The full mean-carry slab including padding, for the lane kernels.
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    pub(crate) fn vec_c_slab(&self) -> &[f64] {
+        &self.vec_c
+    }
+
+    /// The per-row `N` slab, for the lane kernels.
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    pub(crate) fn n_slab(&self) -> &[f64] {
+        &self.n
+    }
+
+    /// The per-row scalar-statistic (`SSE`) slab, for the lane kernels.
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    pub(crate) fn scalar_slab(&self) -> &[f64] {
+        &self.scalar
     }
 }
 
-#[cfg(not(feature = "stable-cf"))]
+#[cfg(feature = "classic-cf")]
 fn row_view(block: &CfBlock, i: usize) -> ClassicView<'_> {
     ClassicView {
         n: block.row_n(i),
@@ -541,7 +608,7 @@ fn row_view(block: &CfBlock, i: usize) -> ClassicView<'_> {
     }
 }
 
-#[cfg(feature = "stable-cf")]
+#[cfg(not(feature = "classic-cf"))]
 fn row_view(block: &CfBlock, i: usize) -> StableView<'_> {
     StableView {
         n: block.row_n(i),
@@ -558,6 +625,7 @@ fn row_view(block: &CfBlock, i: usize) -> StableView<'_> {
 ///
 /// Panics if `a` is empty, `i` is out of range, or dimensions disagree.
 #[must_use]
+#[inline]
 pub fn distance_to_row(metric: DistanceMetric, a: &Cf, block: &CfBlock, i: usize) -> f64 {
     assert!(!a.is_empty(), "distance from an empty cluster is undefined");
     assert_eq!(
@@ -570,23 +638,81 @@ pub fn distance_to_row(metric: DistanceMetric, a: &Cf, block: &CfBlock, i: usize
     active_kernel(metric, &cf_view(a), &row_view(block, i))
 }
 
-/// Distance between block rows `i` and `j` — bit-identical to
-/// `metric.distance(&row_i_cf, &row_j_cf)`.
+// ---------------------------------------------------------------------
+// Kernel routing: every batch scan exists in a scalar form (the oracle —
+// bit-identical to `DistanceMetric::distance` by construction) and, on
+// the default stable+`simd` build, a lane form in `crate::simd`. The
+// production names (`pair_in_block`, `closest_among`, …) route to the
+// lane kernels when they are compiled in and to the scalar forms
+// otherwise. Lane and scalar results agree bit-for-bit at dim ≤ 4 (the
+// small-dim specializations keep scalar accumulation order) and within
+// [`SIMD_TOLERANCE_REL`] above that (lane reduction reorders the sums).
+// ---------------------------------------------------------------------
+
+/// Which batched kernel family the production scans route through:
+/// `"lane"` on stable+`simd` builds, `"scalar"` otherwise. Recorded in
+/// the bench JSON so `bench_gate` baselines name the path they measured.
+#[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+pub const KERNEL_KIND: &str = "lane";
+/// Which batched kernel family the production scans route through:
+/// `"lane"` on stable+`simd` builds, `"scalar"` otherwise. Recorded in
+/// the bench JSON so `bench_gate` baselines name the path they measured.
+#[cfg(not(all(feature = "simd", not(feature = "classic-cf"))))]
+pub const KERNEL_KIND: &str = "scalar";
+
+/// Per-call tolerance contract of the lane kernels: for dims above the
+/// serial-order specializations a lane-computed distance `d_l` and its
+/// scalar oracle `d_s` satisfy `|d_l − d_s| ≤ SIMD_TOLERANCE_REL ·
+/// max(|d_s|, 1)`. The slack is enormous against the actual reordering
+/// error (four partial sums of non-negative terms differ from the serial
+/// sum by O(dim · ε) ≲ 1e-13 relative even at dim 1024), so the
+/// differential tests and the auditor can check it as a hard bound.
+pub const SIMD_TOLERANCE_REL: f64 = 1e-12;
+
+/// Distance between block rows `i` and `j` by the scalar kernel —
+/// bit-identical to `metric.distance(&row_i_cf, &row_j_cf)`. This is the
+/// oracle the lane path is differentially tested against.
 ///
 /// # Panics
 ///
 /// Panics if either index is out of range.
 #[must_use]
-pub fn pair_in_block(metric: DistanceMetric, block: &CfBlock, i: usize, j: usize) -> f64 {
+#[inline]
+pub fn pair_in_block_scalar(metric: DistanceMetric, block: &CfBlock, i: usize, j: usize) -> f64 {
     active_kernel(metric, &row_view(block, i), &row_view(block, j))
 }
 
-/// First-minimum closest row to `ent`: the batched form of the descent
-/// scan (`best` starts at `+∞`, strictly-smaller wins, so the earliest of
-/// tied rows is kept — the same tie-break as `CfTree::descend` and
-/// `CfTree::closest_leaf_entry`). Returns `None` on an empty block.
+/// Distance between block rows `i` and `j` — the production form:
+/// lane-computed on stable+`simd` builds (within [`SIMD_TOLERANCE_REL`]
+/// of [`pair_in_block_scalar`], bit-identical at dim ≤ 4), scalar
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
 #[must_use]
-pub fn closest_among(metric: DistanceMetric, ent: &Cf, block: &CfBlock) -> Option<(usize, f64)> {
+#[inline]
+pub fn pair_in_block(metric: DistanceMetric, block: &CfBlock, i: usize, j: usize) -> f64 {
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    {
+        crate::simd::pair_in_block(metric, block, i, j)
+    }
+    #[cfg(not(all(feature = "simd", not(feature = "classic-cf"))))]
+    {
+        pair_in_block_scalar(metric, block, i, j)
+    }
+}
+
+/// Scalar form of [`closest_among`]: first-minimum via
+/// [`distance_to_row`], so every distance is bit-identical to the scalar
+/// `DistanceMetric::distance`.
+#[must_use]
+#[inline]
+pub fn closest_among_scalar(
+    metric: DistanceMetric,
+    ent: &Cf,
+    block: &CfBlock,
+) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
     let mut best_d = f64::INFINITY;
     for i in 0..block.len() {
@@ -599,6 +725,55 @@ pub fn closest_among(metric: DistanceMetric, ent: &Cf, block: &CfBlock) -> Optio
     best
 }
 
+/// First-minimum closest row to `ent`: the batched form of the descent
+/// scan (`best` starts at `+∞`, strictly-smaller wins, so the earliest of
+/// tied rows is kept — the same tie-break as `CfTree::descend` and
+/// `CfTree::closest_leaf_entry`). Returns `None` on an empty block.
+/// Routes through the lane kernels on stable+`simd` builds.
+#[must_use]
+#[inline]
+pub fn closest_among(metric: DistanceMetric, ent: &Cf, block: &CfBlock) -> Option<(usize, f64)> {
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    {
+        crate::simd::closest_among(metric, ent, block)
+    }
+    #[cfg(not(all(feature = "simd", not(feature = "classic-cf"))))]
+    {
+        closest_among_scalar(metric, ent, block)
+    }
+}
+
+/// Per-row distance by whichever kernel family the production scans use
+/// — the evaluation the pruned scan must share with [`closest_among`] so
+/// prune-on and prune-off descents see identical distances.
+#[inline]
+fn row_distance_production(metric: DistanceMetric, ent: &Cf, block: &CfBlock, i: usize) -> f64 {
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    {
+        crate::simd::distance_to_row(metric, ent, block, i)
+    }
+    #[cfg(not(all(feature = "simd", not(feature = "classic-cf"))))]
+    {
+        distance_to_row(metric, ent, block, i)
+    }
+}
+
+/// Conservative slack of the stable-backend D0 prune bound, relative to
+/// the *sum* of the two centroid norms being compared.
+///
+/// The stable backend's cached `‖μ‖²` ignores the Neumaier carries that
+/// the distances fold in, and the lane kernels reorder sums, so the
+/// computed bound `|‖μ_a‖ − ‖μ_b‖|` can sit above the true D0 by a few
+/// ulps *of the norms* (not of their difference). Every contributing
+/// error is relative to the norms themselves — carry magnitude ≤ 2⁻⁵²‖μ‖,
+/// dot-product and `sqrt` rounding O(dim·ε)‖μ‖, lane reordering within
+/// [`SIMD_TOLERANCE_REL`] — totalling ≲ 3e-14·(‖μ_a‖+‖μ_b‖) at dim ≤ 128.
+/// Subtracting `D0_PRUNE_SLACK_REL · (‖μ_a‖+‖μ_b‖)` therefore makes the
+/// bound a true lower bound with ≥ 30× margin, preserving the
+/// exact-selection guarantee: a pruned row provably cannot win the
+/// strict-`<` comparison.
+pub const D0_PRUNE_SLACK_REL: f64 = 1e-12;
+
 /// [`closest_among`] with the D0 triangle-inequality lower-bound prune.
 ///
 /// For D0 (centroid Euclidean distance) the reverse triangle inequality
@@ -608,11 +783,13 @@ pub fn closest_among(metric: DistanceMetric, ent: &Cf, block: &CfBlock) -> Optio
 /// so skipping it provably never changes the selected index (tie order
 /// included). Non-D0 metrics fall back to the plain scan.
 ///
-/// Under `stable-cf` the prune is disabled (plain scan, `pruned = 0`):
-/// the cached norms are computed from the *uncompensated* means while the
-/// distances fold in the Neumaier carries, so the ulp-level mismatch
-/// between bound and distance would void the "provably never changes
-/// selection" guarantee.
+/// On the classic backend the cached-norm bound is exact (the memo is
+/// refreshed by exact recomputation), so no slack is needed. On the
+/// stable backend the bound is widened by [`D0_PRUNE_SLACK_REL`] to
+/// absorb the carry/rounding mismatch between the uncompensated cached
+/// norms and the compensated (and possibly lane-reordered) distances —
+/// conservative, so selection safety is preserved at the cost of a few
+/// un-pruned borderline rows.
 ///
 /// Returns `(best, evaluated, pruned)`: the winning `(index, distance)`,
 /// how many full distance evaluations ran, and how many rows the bound
@@ -623,48 +800,51 @@ pub fn closest_among_pruned(
     ent: &Cf,
     block: &CfBlock,
 ) -> (Option<(usize, f64)>, u64, u64) {
-    #[cfg(feature = "stable-cf")]
-    {
+    if metric != DistanceMetric::D0 {
         let best = closest_among(metric, ent, block);
-        (best, block.len() as u64, 0)
+        return (best, block.len() as u64, 0);
     }
-    #[cfg(not(feature = "stable-cf"))]
-    {
-        if metric != DistanceMetric::D0 {
-            let best = closest_among(metric, ent, block);
-            return (best, block.len() as u64, 0);
+    // Centroid norms from the cached squared vector-statistic norms: the
+    // vector statistic is LS on the classic backend (divide by N for the
+    // centroid) and μ itself on the stable one.
+    #[cfg(feature = "classic-cf")]
+    let centroid_norm = |sq: f64, n: f64| sq.sqrt() / n;
+    #[cfg(not(feature = "classic-cf"))]
+    let centroid_norm = |sq: f64, _n: f64| sq.sqrt();
+    let ent_norm = centroid_norm(ent.vec_stat_sq(), ent.n());
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_d = f64::INFINITY;
+    let mut evaluated = 0u64;
+    let mut pruned = 0u64;
+    for i in 0..block.len() {
+        let row_norm = centroid_norm(block.row_vec_sq(i), block.row_n(i));
+        #[cfg(feature = "classic-cf")]
+        let bound = (ent_norm - row_norm).abs();
+        #[cfg(not(feature = "classic-cf"))]
+        let bound = (ent_norm - row_norm).abs() - D0_PRUNE_SLACK_REL * (ent_norm + row_norm);
+        if bound > best_d {
+            pruned += 1;
+            continue;
         }
-        let ent_norm = ent.vec_stat_sq().sqrt() / ent.n();
-        let mut best: Option<(usize, f64)> = None;
-        let mut best_d = f64::INFINITY;
-        let mut evaluated = 0u64;
-        let mut pruned = 0u64;
-        for i in 0..block.len() {
-            let row_norm = block.row_vec_sq(i).sqrt() / block.row_n(i);
-            if (ent_norm - row_norm).abs() > best_d {
-                pruned += 1;
-                continue;
-            }
-            evaluated += 1;
-            let d = distance_to_row(metric, ent, block, i);
-            if d < best_d {
-                best_d = d;
-                best = Some((i, d));
-            }
+        evaluated += 1;
+        let d = row_distance_production(metric, ent, block, i);
+        if d < best_d {
+            best_d = d;
+            best = Some((i, d));
         }
-        (best, evaluated, pruned)
     }
+    (best, evaluated, pruned)
 }
 
-/// First-minimum closest pair among the block's rows (`i < j`, earliest
-/// pair wins ties) — the batched form of the §4.3 merging-refinement scan.
-/// Returns `None` when the block has fewer than two rows.
+/// Scalar form of [`closest_pair`] — every pair distance bit-identical
+/// to the scalar `DistanceMetric::distance`.
 #[must_use]
-pub fn closest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, usize, f64)> {
+#[inline]
+pub fn closest_pair_scalar(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, usize, f64)> {
     let mut best: Option<(usize, usize, f64)> = None;
     for i in 0..block.len() {
         for j in (i + 1)..block.len() {
-            let d = pair_in_block(metric, block, i, j);
+            let d = pair_in_block_scalar(metric, block, i, j);
             if best.is_none_or(|(_, _, bd)| d < bd) {
                 best = Some((i, j, d));
             }
@@ -673,19 +853,38 @@ pub fn closest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, u
     best
 }
 
-/// First-maximum farthest pair among the block's rows (`i < j`, earliest
-/// pair wins ties) — the batched form of the split seeding scan (§4.2:
-/// "the farthest pair of entries"). Returns `None` when the block has
-/// fewer than two rows.
+/// First-minimum closest pair among the block's rows (`i < j`, earliest
+/// pair wins ties) — the batched form of the §4.3 merging-refinement scan.
+/// Returns `None` when the block has fewer than two rows. Routes through
+/// the lane kernels on stable+`simd` builds.
 #[must_use]
-pub fn farthest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, usize, f64)> {
+#[inline]
+pub fn closest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, usize, f64)> {
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    {
+        crate::simd::closest_pair(metric, block)
+    }
+    #[cfg(not(all(feature = "simd", not(feature = "classic-cf"))))]
+    {
+        closest_pair_scalar(metric, block)
+    }
+}
+
+/// Scalar form of [`farthest_pair`] — every pair distance bit-identical
+/// to the scalar `DistanceMetric::distance`.
+#[must_use]
+#[inline]
+pub fn farthest_pair_scalar(
+    metric: DistanceMetric,
+    block: &CfBlock,
+) -> Option<(usize, usize, f64)> {
     if block.len() < 2 {
         return None;
     }
     let (mut far, mut far_d) = ((0, 1), f64::NEG_INFINITY);
     for i in 0..block.len() {
         for j in (i + 1)..block.len() {
-            let d = pair_in_block(metric, block, i, j);
+            let d = pair_in_block_scalar(metric, block, i, j);
             if d > far_d {
                 far = (i, j);
                 far_d = d;
@@ -693,6 +892,24 @@ pub fn farthest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, 
         }
     }
     Some((far.0, far.1, far_d))
+}
+
+/// First-maximum farthest pair among the block's rows (`i < j`, earliest
+/// pair wins ties) — the batched form of the split seeding scan (§4.2:
+/// "the farthest pair of entries"). Returns `None` when the block has
+/// fewer than two rows. Routes through the lane kernels on stable+`simd`
+/// builds.
+#[must_use]
+#[inline]
+pub fn farthest_pair(metric: DistanceMetric, block: &CfBlock) -> Option<(usize, usize, f64)> {
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    {
+        crate::simd::farthest_pair(metric, block)
+    }
+    #[cfg(not(all(feature = "simd", not(feature = "classic-cf"))))]
+    {
+        farthest_pair_scalar(metric, block)
+    }
 }
 
 /// What cluster statistic the CF-tree threshold `T` constrains (§4.2: the
@@ -888,7 +1105,7 @@ mod tests {
             assert_eq!(b.row_scalar(i), cf.scalar_stat());
             assert_eq!(b.row_vec_sq(i).to_bits(), cf.vec_stat_sq().to_bits());
             assert_eq!(b.row_vec(i), cf.vec_stat());
-            #[cfg(feature = "stable-cf")]
+            #[cfg(not(feature = "classic-cf"))]
             assert_eq!(b.row_vec_c(i), cf.mean_carry());
         }
     }
@@ -965,7 +1182,6 @@ mod tests {
         }
     }
 
-    #[cfg(not(feature = "stable-cf"))]
     #[test]
     fn pruned_scan_picks_identical_winner_and_counts() {
         // Rows with widely spread centroid norms so the D0 bound prunes.
@@ -991,30 +1207,37 @@ mod tests {
         assert_eq!((ev2, pr2), (rows.len() as u64, 0));
     }
 
-    #[cfg(feature = "stable-cf")]
+    #[cfg(not(feature = "classic-cf"))]
     #[test]
-    fn pruned_scan_falls_back_to_plain_under_stable() {
-        // The stable backend disables the norm bound (uncompensated norms
-        // vs compensated distances): same winner, nothing pruned.
-        let rows: Vec<Cf> = (0..40)
-            .map(|i| {
-                let x = f64::from(i) * 25.0;
-                cf_of(&[[x, x * 0.5]])
-            })
-            .collect();
+    fn stable_prune_bound_is_conservative_near_the_boundary() {
+        // Rows whose centroid norms equal the probe's exactly sit *on*
+        // the prune boundary once a very close best (d = 1e-9) is held:
+        // their exact norm-difference bound is 0 and the slack pushes it
+        // negative, so the conservative bound must refuse to prune them
+        // even though they are far away in actual distance. A wrong-sign
+        // slack (or a bound computed on drifted cached norms) would
+        // prune them here. Far rows with large norm gaps still prune.
+        let probe = cf_of(&[[30.0, 0.0]]);
+        let mut rows: Vec<Cf> = vec![
+            cf_of(&[[30.0 + 1e-9, 0.0]]), // true winner, evaluated first
+            cf_of(&[[0.0, 30.0]]),        // ‖μ‖ = 30 exactly: bound ≤ 0, must evaluate
+            cf_of(&[[-30.0, 0.0]]),       // same norm from the other side
+        ];
+        rows.extend((1..30).map(|i| {
+            let x = f64::from(i) * 500.0;
+            cf_of(&[[x, x]])
+        }));
         let b = CfBlock::from_cfs(&rows);
-        let probe = cf_of(&[[26.0, 12.0]]);
-        for m in DistanceMetric::ALL {
-            let plain = closest_among(m, &probe, &b);
-            let (best, evaluated, pruned) = closest_among_pruned(m, &probe, &b);
-            assert_eq!(plain.map(|(i, _)| i), best.map(|(i, _)| i), "{m}");
-            assert_eq!(
-                plain.map(|(_, d)| d.to_bits()),
-                best.map(|(_, d)| d.to_bits()),
-                "{m}"
-            );
-            assert_eq!((evaluated, pruned), (rows.len() as u64, 0), "{m}");
-        }
+        let plain = closest_among(DistanceMetric::D0, &probe, &b);
+        let (best, evaluated, pruned) = closest_among_pruned(DistanceMetric::D0, &probe, &b);
+        assert_eq!(plain.map(|(i, _)| i), best.map(|(i, _)| i));
+        assert_eq!(
+            plain.map(|(_, d)| d.to_bits()),
+            best.map(|(_, d)| d.to_bits())
+        );
+        assert!(pruned > 0, "far rows must prune");
+        assert!(evaluated >= 3, "equal-norm rows must not prune");
+        assert_eq!(evaluated + pruned, rows.len() as u64);
     }
 
     #[test]

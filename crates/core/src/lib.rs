@@ -57,6 +57,8 @@ pub mod phase4;
 pub mod point;
 pub mod quad;
 pub mod rebuild;
+#[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+mod simd;
 pub mod stream;
 pub mod threshold;
 pub mod tree;

@@ -1367,10 +1367,10 @@ mod tests {
         t
     }
 
-    // Classic backend only: under `stable-cf` the D0 prune is disabled
-    // (the norm bound can't be trusted against compensated distances), so
-    // `distance_calls_pruned` stays 0 and the trees trivially agree.
-    #[cfg(not(feature = "stable-cf"))]
+    // Runs on both backends: the classic bound is exact, the stable one
+    // is widened by `D0_PRUNE_SLACK_REL` — either way selection is
+    // provably unchanged, so the trees must be identical and the
+    // evaluated/pruned counters must reconcile exactly.
     #[test]
     fn d0_prune_builds_identical_tree_and_counts_pruned() {
         let mk = |prune: bool| {
@@ -1430,6 +1430,34 @@ mod tests {
 
     /// See `distance_call_counter_is_pinned_on_fixed_workload`.
     const DISTANCE_CALLS_PIN: u64 = 7419;
+
+    #[cfg(all(feature = "simd", not(feature = "classic-cf")))]
+    #[test]
+    fn simd_kernel_span_nests_under_descend_and_split() {
+        // The lane scans open a "simd_kernel" span, so a profiled run
+        // must show it nested under the insert paths that reach them:
+        // descend (closest_among) and split (farthest-pair seeding).
+        // Own thread: the profiler state is thread-local and must not
+        // leak into other tests sharing a cargo test worker.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                crate::obs::span::set_enabled(true);
+                walk_tree(small_params(0.5));
+                let report = crate::obs::span::take_report();
+                crate::obs::span::set_enabled(false);
+                let descend = report
+                    .get("insert/descend/simd_kernel")
+                    .expect("simd_kernel span under descend");
+                assert!(descend.calls > 0);
+                let split = report
+                    .get("insert/split/simd_kernel")
+                    .expect("simd_kernel span under split");
+                assert!(split.calls > 0);
+            })
+            .join()
+            .expect("span test thread");
+        });
+    }
 
     #[test]
     #[should_panic(expected = "cannot insert an empty CF")]

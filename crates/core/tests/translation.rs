@@ -5,11 +5,11 @@
 //!
 //! The classic (N, LS, SS) backend violates this in floating point:
 //! `SS − ‖LS‖²/N` cancels catastrophically once coordinates are large
-//! relative to the spread. The stable (N, μ, SSE) backend keeps every
-//! statistic in deviation form and stays flat. Tests on the 1e8 offset
-//! are therefore `should_panic` under the default backend — the bug is
-//! documented as an expected failure until the default flips — while the
-//! `stable-cf` feature must pass them outright.
+//! relative to the spread. The stable (N, μ, SSE) backend — the default
+//! since the flip — keeps every statistic in deviation form and stays
+//! flat, so the default build must pass every offset outright. Tests on
+//! the 1e8 offset are `should_panic` only under the `classic-cf` compat
+//! feature, where the collapse is the documented expected failure.
 //!
 //! Every fixture coordinate is a dyadic rational (multiples of 2⁻¹¹)
 //! and every offset is an exact small-integer float, so the shifted
@@ -107,19 +107,16 @@ fn statistics_translation_invariant_at_1e4() {
     // ~1e-3 against coordinates of 1e4, i.e. ~14 of the 53 mantissa bits
     // survive squaring); it just hasn't collapsed yet. The stable
     // backend is held to the full 1e-9 bar.
-    let tol = if cfg!(feature = "stable-cf") {
-        1e-9
-    } else {
+    let tol = if cfg!(feature = "classic-cf") {
         1e-2
+    } else {
+        1e-9
     };
     assert_statistics_invariant(1e4, tol);
 }
 
 #[test]
-#[cfg_attr(
-    not(feature = "stable-cf"),
-    should_panic(expected = "translation drift")
-)]
+#[cfg_attr(feature = "classic-cf", should_panic(expected = "translation drift"))]
 fn statistics_translation_invariant_at_1e8() {
     // Documented expected failure for (N, LS, SS): at offset 1e8 the
     // squared terms are ~1e16, so the ~1e-6 squared deviations sit 22
@@ -188,10 +185,7 @@ fn pipeline_memberships_translation_invariant_at_1e4() {
 }
 
 #[test]
-#[cfg_attr(
-    not(feature = "stable-cf"),
-    should_panic(expected = "memberships diverge")
-)]
+#[cfg_attr(feature = "classic-cf", should_panic(expected = "memberships diverge"))]
 fn pipeline_memberships_translation_invariant_at_1e8() {
     // Expected failure for the classic backend: with every radius and
     // diameter collapsed to 0 the threshold test always passes, entries
