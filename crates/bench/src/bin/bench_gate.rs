@@ -23,6 +23,14 @@
 //!   run regresses when `fresh < baseline ÷ threshold`. Runs whose
 //!   baseline `wall_s < 0.05` are skipped — wall clocks that short are
 //!   dominated by scheduling jitter, not throughput.
+//! * `phase3_scaling` rows (keyed by entries × metric) compare the
+//!   deterministic NN-chain work counters (`pairs_evaluated`,
+//!   `chain_peak_candidate_bytes`; fresh may not exceed baseline ×
+//!   threshold — seeds are fixed, so these never move with machine
+//!   speed) and the same-process `heap_over_chain_wall` ratio (fresh <
+//!   baseline ÷ threshold fails; rows whose baseline ratio is `null` —
+//!   the heap oracle skipped past its Θ(m²) memory wall — or whose
+//!   baseline chain wall is sub-50ms are skipped loudly).
 //! * `cf_stability` is an accuracy bench, not a throughput bench — it
 //!   has no gate.
 //!
@@ -181,6 +189,84 @@ fn gate_phase1_scaling(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
     out
 }
 
+/// phase3_scaling: keyed by (entries, metric). Three rules per row:
+///
+/// * `pairs_evaluated` and `chain_peak_candidate_bytes` are
+///   *deterministic* for a fixed seed — machine speed cannot move them,
+///   so growth past the threshold means the prune bound or the chain's
+///   candidate bookkeeping actually regressed (lower is better).
+/// * `heap_over_chain_wall` is a same-process ratio like
+///   `insert_kernel`'s speedup (higher is better); rows where the
+///   baseline ratio is `null` (the heap oracle was skipped past its
+///   Θ(m²) memory wall) or the baseline `chain_wall_s < 0.05` are
+///   skipped loudly.
+fn gate_phase3_scaling(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
+    let key = |row: &str| {
+        format!(
+            "entries={} metric={}",
+            num_field(row, "entries").unwrap_or(-1.0),
+            str_field(row, "metric").unwrap_or_default()
+        )
+    };
+    let fresh_rows: Vec<(String, String)> = row_objects(fresh, "rows")
+        .into_iter()
+        .map(|r| (key(&r), r))
+        .collect();
+    let mut out = Outcome {
+        compared: 0,
+        skipped: 0,
+        regressions: Vec::new(),
+    };
+    for row in row_objects(baseline, "rows") {
+        let k = key(&row);
+        let Some((_, new_row)) = fresh_rows.iter().find(|(fk, _)| *fk == k) else {
+            out.regressions
+                .push(format!("{k}: present in baseline, missing from fresh run"));
+            continue;
+        };
+        // Deterministic work counters: lower is better, no noise skip.
+        for field in ["pairs_evaluated", "chain_peak_candidate_bytes"] {
+            let (Some(base), Some(new)) = (num_field(&row, field), num_field(new_row, field))
+            else {
+                continue;
+            };
+            out.compared += 1;
+            if new > base * threshold {
+                out.regressions.push(format!(
+                    "{k}: {field} {base:.0} -> {new:.0} ({:+.1}%)",
+                    100.0 * (new / base - 1.0)
+                ));
+            }
+        }
+        // Same-process wall ratio: higher is better.
+        match num_field(&row, "heap_over_chain_wall") {
+            None => {
+                out.skipped += 1;
+                println!("  skip {k}: baseline heap oracle skipped (past its memory wall)");
+            }
+            Some(base) => {
+                if num_field(&row, "chain_wall_s").is_some_and(|w| w < 0.05) {
+                    out.skipped += 1;
+                    println!("  skip {k}: baseline chain wall < 0.05s is jitter-dominated");
+                } else if let Some(new) = num_field(new_row, "heap_over_chain_wall") {
+                    out.compared += 1;
+                    if new < base / threshold {
+                        out.regressions.push(format!(
+                            "{k}: heap_over_chain_wall {base:.2} -> {new:.2} ({:+.1}%)",
+                            100.0 * (new / base - 1.0)
+                        ));
+                    }
+                } else {
+                    out.regressions.push(format!(
+                        "{k}: heap_over_chain_wall present in baseline, null in fresh run"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let mut pairs: Vec<(String, String)> = Vec::new();
     let mut threshold = 1.25;
@@ -235,6 +321,7 @@ fn main() -> ExitCode {
         let outcome = match bench.as_str() {
             "insert_kernel" => gate_insert_kernel(&baseline, &fresh, threshold),
             "phase1_scaling" => gate_phase1_scaling(&baseline, &fresh, threshold),
+            "phase3_scaling" => gate_phase3_scaling(&baseline, &fresh, threshold),
             other => {
                 println!("  no gate rules for bench {other:?} (accuracy bench?) — skipping file");
                 continue;
@@ -323,5 +410,66 @@ mod tests {
         let o = gate_phase1_scaling(SCALING, fresh, 1.25);
         assert_eq!(o.regressions.len(), 1);
         assert!(o.regressions[0].contains("missing"));
+    }
+
+    const PHASE3: &str = r#"{"bench":"phase3_scaling","rows":[
+        {"entries":10000,"metric":"D2","chain_wall_s":1.5,"chain_peak_candidate_bytes":2000000,
+         "pairs_evaluated":3400000,"pairs_pruned":140000000,"heap_wall_s":28.0,
+         "heap_peak_candidate_bytes":2000000000,"heap_over_chain_wall":18.6},
+        {"entries":100000,"metric":"D2","chain_wall_s":150.0,"chain_peak_candidate_bytes":20000000,
+         "pairs_evaluated":340000000,"pairs_pruned":14000000000,"heap_wall_s":null,
+         "heap_peak_candidate_bytes":null,"heap_over_chain_wall":null}]}"#;
+
+    #[test]
+    fn phase3_null_heap_ratio_is_skipped_not_failed() {
+        let o = gate_phase3_scaling(PHASE3, PHASE3, 1.25);
+        // 100k row: both counters compared, ratio skipped (null baseline).
+        assert_eq!(o.skipped, 1);
+        assert_eq!(o.compared, 5, "{:?}", o.regressions);
+        assert!(o.regressions.is_empty(), "{:?}", o.regressions);
+    }
+
+    #[test]
+    fn phase3_pair_count_growth_fails_deterministically() {
+        // Prune efficacy lost: 60% more evaluations at the same seed.
+        let fresh = PHASE3.replace(
+            "\"pairs_evaluated\":3400000,",
+            "\"pairs_evaluated\":5500000,",
+        );
+        let o = gate_phase3_scaling(PHASE3, &fresh, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("pairs_evaluated"));
+    }
+
+    #[test]
+    fn phase3_candidate_memory_growth_fails() {
+        let fresh = PHASE3.replace(
+            "\"chain_peak_candidate_bytes\":20000000,",
+            "\"chain_peak_candidate_bytes\":90000000,",
+        );
+        let o = gate_phase3_scaling(PHASE3, &fresh, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("chain_peak_candidate_bytes"));
+    }
+
+    #[test]
+    fn phase3_ratio_collapse_and_fresh_null_fail() {
+        let collapsed = PHASE3.replace(
+            "\"heap_over_chain_wall\":18.6",
+            "\"heap_over_chain_wall\":9.0",
+        );
+        let o = gate_phase3_scaling(PHASE3, &collapsed, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("heap_over_chain_wall"));
+
+        // A fresh run that silently stopped running the oracle must fail,
+        // not narrow coverage.
+        let gone = PHASE3.replace(
+            "\"heap_over_chain_wall\":18.6",
+            "\"heap_over_chain_wall\":null",
+        );
+        let o = gate_phase3_scaling(PHASE3, &gone, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("null in fresh"));
     }
 }

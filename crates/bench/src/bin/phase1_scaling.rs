@@ -2,7 +2,10 @@
 //! build (`birch_core::parallel`) at threads ∈ {1, 2, 4, 8} on a
 //! full-scale DS1-shaped dataset (K = 100 × 1000 points = 100k by
 //! default). Writes `BENCH_phase1_scaling.json` with wall time,
-//! points/sec, and speedup vs the serial scan per thread count, plus
+//! points/sec, speedup vs the serial scan per thread count, and the
+//! per-level walls of the tournament merge tree (`merge_round_walls_s`;
+//! ⌈log₂ shards⌉ − 1 scoped-thread rounds — the final ≤2-way merge is
+//! part of `merge_s`, not a round), plus
 //! `host_cpus` — speedup is bounded by the physical cores actually
 //! available, so the numbers are only interpretable next to that field
 //! (on a single-core container the parallel path shows its overhead,
@@ -28,6 +31,7 @@ struct Run {
     rebuilds: u64,
     leaf_entries: usize,
     shard_walls: Vec<f64>,
+    merge_round_walls: Vec<f64>,
     total_cf_n: f64,
 }
 
@@ -96,10 +100,10 @@ fn main() {
         "Phase-1 scaling on DS1: N={n}, M={} KB, host_cpus={host_cpus}, reps={reps} (min wall kept)\n",
         config.memory_bytes / 1024
     );
-    let widths = [8, 10, 12, 9, 9, 10];
+    let widths = [8, 10, 12, 9, 9, 10, 8];
     print_header(
         &[
-            "threads", "wall-s", "points/s", "speedup", "rebuilds", "merge-s",
+            "threads", "wall-s", "points/s", "speedup", "rebuilds", "merge-s", "rounds",
         ],
         &widths,
     );
@@ -119,6 +123,7 @@ fn main() {
                     rebuilds: out.io.rebuilds,
                     leaf_entries: out.tree.leaf_entry_count(),
                     shard_walls: Vec::new(),
+                    merge_round_walls: Vec::new(),
                     total_cf_n: out.tree.total_cf().n(),
                 }
             } else {
@@ -130,6 +135,11 @@ fn main() {
                     rebuilds: out.io.rebuilds,
                     leaf_entries: out.tree.leaf_entry_count(),
                     shard_walls: out.shards.iter().map(|s| s.wall.as_secs_f64()).collect(),
+                    merge_round_walls: out
+                        .merge_round_walls
+                        .iter()
+                        .map(Duration::as_secs_f64)
+                        .collect(),
                     total_cf_n: out.tree.total_cf().n(),
                 }
             };
@@ -151,6 +161,7 @@ fn main() {
                 format!("{speedup:.2}"),
                 format!("{}", run.rebuilds),
                 format!("{:.3}", run.merge.as_secs_f64()),
+                format!("{}", run.merge_round_walls.len()),
             ],
             &widths,
         );
@@ -174,10 +185,16 @@ fn main() {
             .map(|w| json_f64(*w))
             .collect::<Vec<_>>()
             .join(",");
+        let round_walls = r
+            .merge_round_walls
+            .iter()
+            .map(|w| json_f64(*w))
+            .collect::<Vec<_>>()
+            .join(",");
         json.push_str(&format!(
             "{{\"threads\":{},\"wall_s\":{},\"points_per_s\":{},\"speedup_vs_serial\":{},\
              \"merge_s\":{},\"rebuilds\":{},\"leaf_entries\":{},\"shard_walls_s\":[{}],\
-             \"total_cf_n\":{}}}",
+             \"merge_round_walls_s\":[{}],\"total_cf_n\":{}}}",
             r.threads,
             json_f64(r.wall.as_secs_f64()),
             json_f64(n as f64 / r.wall.as_secs_f64()),
@@ -186,6 +203,7 @@ fn main() {
             r.rebuilds,
             r.leaf_entries,
             shard_walls,
+            round_walls,
             json_f64(r.total_cf_n),
         ));
     }

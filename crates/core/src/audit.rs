@@ -36,6 +36,11 @@
 //!    with the bit-exact scalar oracle within the tolerance contract
 //!    [`crate::distance::SIMD_TOLERANCE_REL`] (worst case reported as
 //!    [`AuditReport::simd_kernel_drift`]).
+//! 8. **Prune-bound soundness**: the Phase 3 candidate lower bound
+//!    ([`crate::distance::pair_lower_bound`]) never exceeds the true pair
+//!    distance, replayed for every same-node CF pair under every D0–D4
+//!    metric (tightest margin reported as
+//!    [`AuditReport::prune_bound_margin`]).
 //!
 //! Floating-point drift between the incrementally maintained CFs and the
 //! recomputed-from-scratch ones is reported as a *measurable*
@@ -143,6 +148,9 @@ pub enum ViolationKind {
     /// The lane (SIMD) distance kernel disagrees with the scalar oracle
     /// beyond [`crate::distance::SIMD_TOLERANCE_REL`] on a node's rows.
     SimdKernelMismatch,
+    /// [`crate::distance::pair_lower_bound`] exceeded the true pair
+    /// distance — the Phase 3 candidate prune could discard a winner.
+    PruneBoundUnsound,
 }
 
 impl fmt::Display for ViolationKind {
@@ -167,6 +175,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::NormCacheMismatch => "norm cache mismatch",
             ViolationKind::BlockDesync => "block mirror desync",
             ViolationKind::SimdKernelMismatch => "simd kernel mismatch",
+            ViolationKind::PruneBoundUnsound => "prune bound unsound",
         };
         f.write_str(name)
     }
@@ -283,6 +292,14 @@ pub struct AuditReport {
     /// ([`ViolationKind::SimdKernelMismatch`]) — the tolerance contract,
     /// machine-enforced on real trees rather than just test fixtures.
     pub simd_kernel_drift: f64,
+    /// Tightest observed safety margin of the Phase 3 candidate prune:
+    /// the minimum of `distance − pair_lower_bound` over every same-node
+    /// CF pair under every D0–D4 metric (`None` when no node holds two
+    /// entries). A negative margin means the bound overshot a real
+    /// distance — the prune would skip a true winner — and is a violation
+    /// ([`ViolationKind::PruneBoundUnsound`]); the measurable exists so
+    /// bound-tightening work can see how much headroom is left.
+    pub prune_bound_margin: Option<f64>,
 }
 
 /// Audits `tree` with default [`AuditOptions`].
@@ -575,6 +592,45 @@ fn check_simd_kernel(
     Ok(())
 }
 
+/// Replays [`crate::distance::pair_lower_bound`] against the true
+/// [`crate::distance::pair_in_block`] distance for every CF pair in a
+/// node's SoA mirror, under every D0–D4 metric (the Phase 3 agglomerator
+/// may be configured with any of them). The bound must never exceed the
+/// distance — that is the whole soundness contract of the NN-chain
+/// candidate prune — and the tightest margin is folded into
+/// [`AuditReport::prune_bound_margin`].
+fn check_prune_bounds(
+    node: &Node,
+    id: NodeId,
+    report: &mut AuditReport,
+) -> Result<(), AuditViolation> {
+    let block = node.block();
+    for metric in crate::distance::DistanceMetric::ALL {
+        for i in 0..block.len() {
+            for j in (i + 1)..block.len() {
+                let bound = crate::distance::pair_lower_bound(metric, block, i, j);
+                let dist = crate::distance::pair_in_block(metric, block, i, j);
+                let margin = dist - bound;
+                report.prune_bound_margin = Some(match report.prune_bound_margin {
+                    Some(m) => m.min(margin),
+                    None => margin,
+                });
+                if bound > dist {
+                    return Err(AuditViolation {
+                        kind: ViolationKind::PruneBoundUnsound,
+                        node: Some(id),
+                        detail: format!(
+                            "rows ({i},{j}): {metric} lower bound {bound} exceeds \
+                             true distance {dist}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Measures the drift between a CF's memoized `‖LS‖²` and a from-scratch
 /// `LS·LS`, folding it into the report and failing beyond tolerance.
 fn check_norm_cache(
@@ -630,6 +686,7 @@ fn check_subtree(
     }
     check_block_sync(node, id)?;
     check_simd_kernel(node, id, tree.params.metric, report)?;
+    check_prune_bounds(node, id, report)?;
     match &node.kind {
         NodeKind::Leaf { entries, .. } => {
             if depth != tree.height {
@@ -1148,6 +1205,41 @@ mod tests {
             "{}",
             r.simd_kernel_drift
         );
+    }
+
+    #[test]
+    fn prune_bound_margin_nonnegative_on_grown_tree() {
+        // Invariant 8: the Phase 3 candidate bound never overshoots a
+        // real distance, on a real tree, for every metric — and a grown
+        // tree has multi-entry nodes, so the measurable is populated.
+        let t = grown_tree();
+        let r = audit(&t).unwrap();
+        let margin = r.prune_bound_margin.expect("multi-entry nodes probed");
+        assert!(margin >= 0.0, "negative prune margin {margin}");
+    }
+
+    #[test]
+    fn prune_bound_margin_probed_at_wide_dims() {
+        // Same contract on a dim-8 tree, where the lane kernel (when
+        // compiled) takes its vectorized path rather than the serial
+        // specialization.
+        let mut t = CfTree::new(TreeParams {
+            dim: 8,
+            ..params(0.5)
+        });
+        let mut s = 0x9E37_u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 30.0
+        };
+        for _ in 0..80 {
+            t.insert_point(&Point::new((0..8).map(|_| next()).collect()));
+        }
+        let r = audit(&t).unwrap();
+        let margin = r.prune_bound_margin.expect("multi-entry nodes probed");
+        assert!(margin >= 0.0, "negative prune margin {margin}");
     }
 
     #[test]

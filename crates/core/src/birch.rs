@@ -33,9 +33,9 @@ use std::time::{Duration, Instant};
 
 /// Version stamp of the metrics JSON emitted by [`RunStats::to_json`].
 /// Bump here (and only here) when the schema changes; tests pin this
-/// constant, not a literal. See DESIGN.md §10 for the v3 → v4 migration
-/// table.
-pub const METRICS_SCHEMA_VERSION: u32 = 4;
+/// constant, not a literal. See DESIGN.md §10 for the v3 → v4 and
+/// v4 → v5 migration tables.
+pub const METRICS_SCHEMA_VERSION: u32 = 5;
 
 /// Errors surfaced by the pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -556,6 +556,9 @@ impl Birch {
             config.clusters,
             config.global_method,
         );
+        if let Some(hac) = p3.hac {
+            recorder.note_phase3_pairs(hac.pairs_evaluated, hac.pairs_pruned);
+        }
         stats.phase3_time = t0.elapsed();
         drop(sp3);
         Tee(&mut recorder, &mut *sink).record(&Event::PhaseFinished {

@@ -111,6 +111,40 @@ impl DistanceMetric {
         );
         active_kernel(self, &cf_view(a), &cf_view(b))
     }
+
+    /// Whether this metric is a *reducible* linkage: merging mutual
+    /// nearest neighbors `i`, `j` can never bring the merged cluster
+    /// closer to a third cluster `k` than both parents were —
+    /// `d(i∪j, k) ≥ min(d(i,k), d(j,k))` whenever `d(i,j) ≤ d(i,k)` and
+    /// `d(i,j) ≤ d(j,k)`. Reducibility is what makes the
+    /// nearest-neighbor-chain agglomerator ([`crate::hierarchical`])
+    /// exact: it guarantees the chain's locally discovered merges form
+    /// the same dendrogram as the globally greedy heap order.
+    ///
+    /// - **D2** (average inter-cluster distance): reducible. `D2²(i∪j,k)`
+    ///   is the *weighted average* `(nᵢ·D2²(i,k) + nⱼ·D2²(j,k))/(nᵢ+nⱼ)`
+    ///   — an average of two values is never below their minimum, and
+    ///   `sqrt` is monotone.
+    /// - **D4** (variance increase): reducible. `D4²` is the Ward merge
+    ///   cost `nᵢnⱼ/(nᵢ+nⱼ)·‖Δμ‖²`; Ward's linkage satisfies the
+    ///   Lance–Williams reducibility condition.
+    /// - **D0/D1** (centroid distances): *not* reducible — the merged
+    ///   centroid moves between the parents and can land closer to `k`
+    ///   than either parent was. Counterexample: singletons at `(0,0)`
+    ///   and `(2,0)` with `k` at `(1,√3)` have all three pairwise
+    ///   distances equal to 2, but the merged centroid `(1,0)` sits at
+    ///   `√3 < 2` from `k` — an inversion.
+    /// - **D3** (merged average intra-cluster distance): *not* reducible
+    ///   — coincident singletons `a = b = 0` with a singleton `k = 1`
+    ///   give `D3(a,b) = 0` but `D3(a∪b, k)² = 2·(2/3)/2 = 2/3 < 1 =
+    ///   D3(a,k)²`.
+    ///
+    /// Non-reducible metrics fall back to the exhaustive heap
+    /// agglomerator (see `crate::hierarchical::agglomerate`).
+    #[must_use]
+    pub fn is_reducible(self) -> bool {
+        matches!(self, DistanceMetric::D2 | DistanceMetric::D4)
+    }
 }
 
 impl fmt::Display for DistanceMetric {
@@ -251,13 +285,16 @@ pub fn classic_distance(metric: DistanceMetric, a: &ClassicView<'_>, b: &Classic
             // ‖LS_a + LS_b‖² without materializing the merged vector: the
             // memoized self-norms are bit-identical to recomputing
             // dot(ls, ls), so this is one dot product instead of three.
-            let merged = a.ls_sq + 2.0 * dot(a.ls, b.ls) + b.ls_sq;
+            // Summed self-norms first so the result is bit-symmetric in
+            // (a, b) — the agglomerators evaluate pairs in either order.
+            let merged = (a.ls_sq + b.ls_sq) + 2.0 * dot(a.ls, b.ls);
             let num = 2.0 * n * ss - 2.0 * merged;
             (num.max(0.0) / (n * (n - 1.0))).sqrt()
         }
         DistanceMetric::D4 => {
             let n = na + nb;
-            let merged = a.ls_sq + 2.0 * dot(a.ls, b.ls) + b.ls_sq;
+            // Self-norms summed first: bit-symmetric in (a, b), as above.
+            let merged = (a.ls_sq + b.ls_sq) + 2.0 * dot(a.ls, b.ls);
             let inc = a.ls_sq / na + b.ls_sq / nb - merged / n;
             inc.max(0.0).sqrt()
         }
@@ -836,6 +873,90 @@ pub fn closest_among_pruned(
     (best, evaluated, pruned)
 }
 
+/// Cheap lower bound on `pair_in_block(metric, block, i, j)` computed
+/// from the rows' cached summary statistics alone — no vector sweep.
+///
+/// This is the candidate prune of the Phase-3 agglomerator
+/// ([`crate::hierarchical`]): a row pair whose bound strictly exceeds
+/// the best distance found so far provably cannot win a strict-`<`
+/// nearest-neighbor scan, so the O(dim) kernel call is skipped.
+///
+/// Derivation (stable backend, where the cached triple per row is
+/// `(N, SSE, ‖μ‖²)`): the reverse triangle inequality gives
+/// `‖Δμ‖ ≥ |‖μ_a‖ − ‖μ_b‖|`; widening by [`D0_PRUNE_SLACK_REL`] ·
+/// `(‖μ_a‖+‖μ_b‖)` (the PR-4 slack argument: cached norms ignore the
+/// Neumaier carries the kernels fold in, and lane kernels reorder sums,
+/// every error term relative to the norms) yields a true lower bound
+/// `d0b ≤ ‖Δμ‖`. The deviation forms are monotone in `‖Δμ‖²` with all
+/// other inputs read bit-identically from the same cached statistics:
+///
+/// - D0: `d0b`; D1 ≥ D0 coordinate-wise (L1 dominates L2), so `d0b` too.
+/// - D2² = SSE_a/N_a + SSE_b/N_b + ‖Δμ‖² ≥ same with `d0b²`.
+/// - D3² = 2(SSE_a + SSE_b + (N_aN_b/N)‖Δμ‖²)/(N−1), same substitution.
+/// - D4² = (N_aN_b/N)‖Δμ‖² ≥ (N_aN_b/N)·d0b².
+///
+/// The derived-metric bounds are additionally shaved by one more
+/// [`D0_PRUNE_SLACK_REL`] relative step to absorb their own few-ulp
+/// assembly round-off, keeping `bound ≤ distance` a hard invariant (the
+/// auditor re-checks it on every node; see `crate::audit`).
+///
+/// Classic backend: only the D0/D1 centroid-norm bound is available —
+/// `SSE = SS − ‖LS‖²/N` suffers exactly the catastrophic cancellation
+/// that motivated the stable backend, so a cached-stat reconstruction
+/// of the D2/D3/D4 deviation terms cannot be trusted as a *lower*
+/// bound; those metrics return 0.0 (never prunes) there. The D0/D1
+/// bound gets the same relative slack as the stable path: the cached
+/// `‖LS‖²` is one rounding sequence and the kernel's coordinate-wise
+/// `Σ(Δc)²` another, so the two can disagree by a few ulps even in
+/// exact arithmetic's favor — observed live as a 1-ulp overshoot that
+/// tripped the audit's `bound ≤ distance` invariant.
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
+#[must_use]
+pub fn pair_lower_bound(metric: DistanceMetric, block: &CfBlock, i: usize, j: usize) -> f64 {
+    let (na, nb) = (block.row_n(i), block.row_n(j));
+    #[cfg(feature = "classic-cf")]
+    {
+        match metric {
+            DistanceMetric::D0 | DistanceMetric::D1 => {
+                let ca = block.row_vec_sq(i).sqrt() / na;
+                let cb = block.row_vec_sq(j).sqrt() / nb;
+                ((ca - cb).abs() - D0_PRUNE_SLACK_REL * (ca + cb)).max(0.0)
+            }
+            _ => 0.0,
+        }
+    }
+    #[cfg(not(feature = "classic-cf"))]
+    {
+        let ma = block.row_vec_sq(i).sqrt();
+        let mb = block.row_vec_sq(j).sqrt();
+        let d0b = ((ma - mb).abs() - D0_PRUNE_SLACK_REL * (ma + mb)).max(0.0);
+        let shave = 1.0 - D0_PRUNE_SLACK_REL;
+        match metric {
+            DistanceMetric::D0 | DistanceMetric::D1 => d0b,
+            DistanceMetric::D2 => {
+                let (sa, sb) = (block.row_scalar(i), block.row_scalar(j));
+                (sa / na + sb / nb + d0b * d0b).max(0.0).sqrt() * shave
+            }
+            DistanceMetric::D3 => {
+                let n = na + nb;
+                if n <= 1.0 {
+                    return 0.0;
+                }
+                let (sa, sb) = (block.row_scalar(i), block.row_scalar(j));
+                let sse_m = sa + sb + (na * nb / n) * (d0b * d0b);
+                (2.0 * sse_m / (n - 1.0)).max(0.0).sqrt() * shave
+            }
+            DistanceMetric::D4 => {
+                let n = na + nb;
+                ((na * nb / n) * (d0b * d0b)).max(0.0).sqrt() * shave
+            }
+        }
+    }
+}
+
 /// Scalar form of [`closest_pair`] — every pair distance bit-identical
 /// to the scalar `DistanceMetric::distance`.
 #[must_use]
@@ -1238,6 +1359,79 @@ mod tests {
         assert!(pruned > 0, "far rows must prune");
         assert!(evaluated >= 3, "equal-norm rows must not prune");
         assert_eq!(evaluated + pruned, rows.len() as u64);
+    }
+
+    #[test]
+    fn pair_in_block_is_bit_symmetric() {
+        // The agglomerators evaluate the same pair from either side (the
+        // chain from its tip, the heap in index order); bit-identical
+        // dendrograms across paths require d(i,j) == d(j,i) exactly. The
+        // classic D3/D4 merged-norm assembly once violated this by one
+        // ulp through association order.
+        let cfs = kernel_fixture();
+        let b = CfBlock::from_cfs(&cfs);
+        for m in DistanceMetric::ALL {
+            for i in 0..cfs.len() {
+                for j in 0..cfs.len() {
+                    if i == j {
+                        continue;
+                    }
+                    assert_eq!(
+                        pair_in_block(m, &b, i, j).to_bits(),
+                        pair_in_block(m, &b, j, i).to_bits(),
+                        "{m} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_lower_bound_is_sound_for_all_metrics() {
+        // The NN-chain prune contract: bound ≤ true distance, on every
+        // pair, every metric, both backends — including weighted CFs,
+        // tight co-located clusters, and mirrored-norm pairs where the
+        // norm-difference term collapses to zero.
+        let rows: Vec<Cf> = vec![
+            cf_of(&[[0.0, 0.0], [0.2, 0.1]]),
+            cf_of(&[[0.1, 0.05]]),
+            cf_of(&[[100.0, 100.0], [100.5, 99.5], [99.5, 100.5]]),
+            cf_of(&[[-100.0, -100.0]]), // same norm as above, opposite side
+            cf_of(&[[3.0, 4.0], [3.0, 4.0], [3.0, 4.0]]), // zero-SSE triple
+            cf_of(&[[-5.0, 12.0]]),     // ‖μ‖ = 13, near the (3,4)-norm 5
+            cf_of(&[[1e6, 1.0]]),
+        ];
+        let b = CfBlock::from_cfs(&rows);
+        for m in DistanceMetric::ALL {
+            for i in 0..rows.len() {
+                for j in (i + 1)..rows.len() {
+                    let bound = pair_lower_bound(m, &b, i, j);
+                    let dist = pair_in_block(m, &b, i, j);
+                    assert!(
+                        bound <= dist,
+                        "{m} rows ({i},{j}): bound {bound} > distance {dist}"
+                    );
+                    assert!(bound >= 0.0, "{m} rows ({i},{j}): negative bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_lower_bound_bites_on_separated_rows() {
+        // A bound that is always 0 would be sound but useless: for rows
+        // with well-separated centroid norms it must go positive — D0/D1
+        // on both backends, the derived D2/D3/D4 forms on the stable one.
+        let a = cf_of(&[[1.0, 0.0], [1.2, 0.1]]);
+        let z = cf_of(&[[800.0, 600.0], [800.4, 600.2]]);
+        let b = CfBlock::from_cfs([&a, &z]);
+        for m in [DistanceMetric::D0, DistanceMetric::D1] {
+            assert!(pair_lower_bound(m, &b, 0, 1) > 0.0, "{m}");
+        }
+        #[cfg(not(feature = "classic-cf"))]
+        for m in [DistanceMetric::D2, DistanceMetric::D3, DistanceMetric::D4] {
+            assert!(pair_lower_bound(m, &b, 0, 1) > 0.0, "{m}");
+        }
     }
 
     #[test]

@@ -403,6 +403,16 @@ impl MetricsRecorder {
         self.report.trace_dropped += stats.dropped;
     }
 
+    /// Records the Phase 3 agglomerator's candidate-pair work (performed
+    /// and prune-skipped distance evaluations) into the report. Called by
+    /// the pipeline after the global clustering step; pair counts are
+    /// deliberately kept separate from Phase 1's `distance_calls` so the
+    /// two prunes stay independently measurable.
+    pub fn note_phase3_pairs(&mut self, evaluated: u64, pruned: u64) {
+        self.report.phase3_pairs_evaluated += evaluated;
+        self.report.phase3_pairs_pruned += pruned;
+    }
+
     /// One-line summary for periodic progress printing, e.g.
     /// `inserts=1200 rebuilds=3 splits=57 peak_pages=9 T=0.81`. When a
     /// trace ring was attached (via [`MetricsRecorder::note_trace`]) the
@@ -513,6 +523,14 @@ pub struct MetricsReport {
     /// (always 0 with `descend_prune` off). Same provenance as
     /// [`MetricsReport::distance_calls`].
     pub distance_calls_pruned: u64,
+    /// Phase 3 candidate-pair distances actually evaluated by the
+    /// agglomerator (schema v5). Set via
+    /// [`MetricsRecorder::note_phase3_pairs`], not from events.
+    pub phase3_pairs_evaluated: u64,
+    /// Phase 3 candidate pairs skipped by the cached-statistic lower
+    /// bound (`pair_lower_bound`); 0 on the heap path or with the prune
+    /// off. Same provenance as [`MetricsReport::phase3_pairs_evaluated`].
+    pub phase3_pairs_pruned: u64,
     /// Capacity of the trace ring attached to the run (0 = no trace).
     /// Set via [`MetricsRecorder::note_trace`], not from events.
     pub trace_capacity: usize,
@@ -548,6 +566,8 @@ impl MetricsReport {
         self.peak_pages = self.peak_pages.max(other.peak_pages);
         self.distance_calls += other.distance_calls;
         self.distance_calls_pruned += other.distance_calls_pruned;
+        self.phase3_pairs_evaluated += other.phase3_pairs_evaluated;
+        self.phase3_pairs_pruned += other.phase3_pairs_pruned;
         self.trace_capacity = self.trace_capacity.max(other.trace_capacity);
         self.trace_dropped += other.trace_dropped;
         if self.insert_depth_histogram.len() < other.insert_depth_histogram.len() {
@@ -576,6 +596,7 @@ impl MetricsReport {
              \"thresholds_raised\":{},\"outliers_spilled\":{},\"outliers_reabsorbed\":{},\
              \"outliers_reinserted\":{},\"outliers_folded_back\":{},\
              \"outliers_discarded\":{},\"distance_calls\":{},\"distance_calls_pruned\":{},\
+             \"phase3_pairs_evaluated\":{},\"phase3_pairs_pruned\":{},\
              \"events\":{}}}",
             self.inserts,
             self.splits,
@@ -589,6 +610,8 @@ impl MetricsReport {
             self.outliers_discarded,
             self.distance_calls,
             self.distance_calls_pruned,
+            self.phase3_pairs_evaluated,
+            self.phase3_pairs_pruned,
             self.events
         )
     }

@@ -132,6 +132,23 @@ pub fn prometheus_exposition(stats: &RunStats) -> String {
 
     header(
         &mut out,
+        "birch_phase3_pairs_total",
+        "counter",
+        "Phase 3 agglomerator candidate pairs (pruned = skipped by the CF-statistic bound).",
+    );
+    let _ = writeln!(
+        out,
+        "birch_phase3_pairs_total{{kind=\"evaluated\"}} {}",
+        m.phase3_pairs_evaluated
+    );
+    let _ = writeln!(
+        out,
+        "birch_phase3_pairs_total{{kind=\"pruned\"}} {}",
+        m.phase3_pairs_pruned
+    );
+
+    header(
+        &mut out,
         "birch_outliers_total",
         "counter",
         "Outlier-entry dispositions (spilled, reabsorbed, reinserted, folded back, discarded).",
@@ -377,6 +394,8 @@ mod tests {
         s.memory.pager_pages.record(2048);
         s.metrics.inserts = 900;
         s.metrics.splits = 12;
+        s.metrics.phase3_pairs_evaluated = 77;
+        s.metrics.phase3_pairs_pruned = 33;
         s
     }
 
@@ -402,6 +421,14 @@ mod tests {
         );
         assert!(
             text.contains("birch_io_total{op=\"disk_faults_injected\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("birch_phase3_pairs_total{kind=\"evaluated\"} 77"),
+            "{text}"
+        );
+        assert!(
+            text.contains("birch_phase3_pairs_total{kind=\"pruned\"} 33"),
             "{text}"
         );
         assert!(text.contains("birch_mem_budget_bytes 4096"), "{text}");

@@ -16,15 +16,22 @@
 //!    permanently coarsen the result; the transient `n × M` aggregate is
 //!    reported honestly — see `peak_pages` below). Workers raise their
 //!    thresholds independently via the §5.1.2 heuristics.
-//! 3. **Merge** — the coordinator feeds every shard's leaf entries, as
-//!    CFs, into a final full-budget tree whose starting threshold is the
-//!    *maximum* shard threshold (so every incoming entry satisfies the
-//!    leaf-threshold invariant). If the merged tree overflows the page
+//! 3. **Merge** — a pairwise *tournament reduction*: while more than two
+//!    shard trees remain, adjacent trees are merged two at a time, each
+//!    pair on its own scoped thread (additivity makes every bracket
+//!    exact, so the tournament computes the same total CF as a serial
+//!    left fold, but the reduction depth is ⌈log₂ n⌉ rounds instead of an
+//!    `n`-long serial tail). Each pair merge starts at the *maximum* of
+//!    its two input thresholds (so every incoming entry satisfies the
+//!    leaf-threshold invariant); the final ≤2-tree merge runs on the
+//!    coordinator with the live event sink and, if it overflows the page
 //!    budget, the ordinary rebuild machinery raises `T` further. Shard
 //!    outliers are **not** discarded by the shards — an entry that looks
-//!    sparse inside one shard may be dense in the union — but carried
-//!    into the merge for one more re-absorption pass before the usual
-//!    end-of-scan disposition.
+//!    sparse inside one shard may be dense in the union — and are *not*
+//!    re-judged mid-bracket either (a half-merged tree is no better a
+//!    judge than a shard): they accumulate through the rounds and get
+//!    exactly one re-absorption pass against the final full tree before
+//!    the usual end-of-scan disposition.
 //!
 //! Exactness invariant: with outlier handling off (nothing discarded),
 //! the final tree's total CF equals the dataset's total CF *exactly* in
@@ -74,8 +81,13 @@ pub struct ParallelPhase1Output {
     pub metrics: MetricsReport,
     /// Per-shard telemetry, in shard (input) order.
     pub shards: Vec<ShardReport>,
-    /// Wall time of the merge stage alone.
+    /// Wall time of the merge stage alone (every tournament round plus
+    /// the final merge).
     pub merge_wall: Duration,
+    /// Wall time of each parallel tournament round, outermost first
+    /// (empty when ≤ 2 shards — the reduction degenerates to the final
+    /// merge). Each round also appears as a `merge_round_i` span.
+    pub merge_round_walls: Vec<Duration>,
     /// Combined byte accounting: shard gauges folded *concurrently*
     /// (peaks sum — the workers coexist), the merge stage folded
     /// *sequentially* (peaks max).
@@ -194,9 +206,71 @@ pub fn run(
 /// and the shard's frozen span tree (when profiling is on).
 type ShardRun = (Phase1Output, Vec<Cf>, Duration, Option<SpanReport>);
 
-/// The merge stage: fold every shard's leaf entries (and carried
-/// outliers) into one full-budget tree, assembling the combined
-/// telemetry.
+/// One tournament participant: a partially merged tree plus the outlier
+/// CFs accumulated (but not yet re-judged) along its bracket.
+struct MergeItem {
+    tree: CfTree,
+    carried: Vec<Cf>,
+}
+
+/// Static span names for the tournament rounds (`span::enter` needs
+/// `&'static str`); six names cover ≤ 128 shards, deeper brackets share
+/// the last name.
+const MERGE_ROUND_SPANS: [&str; 6] = [
+    "merge_round_0",
+    "merge_round_1",
+    "merge_round_2",
+    "merge_round_3",
+    "merge_round_4",
+    "merge_round_5",
+];
+
+fn round_span_name(round: usize) -> &'static str {
+    MERGE_ROUND_SPANS
+        .get(round)
+        .copied()
+        .unwrap_or(MERGE_ROUND_SPANS[MERGE_ROUND_SPANS.len() - 1])
+}
+
+/// Merges two tournament items into one: feed both trees' leaf entries
+/// into a fresh full-budget builder whose threshold dominates both
+/// inputs, keep (don't judge) the accumulated outliers.
+fn merge_pair(
+    config: &BirchConfig,
+    dim: usize,
+    total_points: u64,
+    a: MergeItem,
+    b: MergeItem,
+) -> (Phase1Output, Vec<Cf>) {
+    let t_start = a
+        .tree
+        .threshold()
+        .max(b.tree.threshold())
+        .max(config.initial_threshold);
+    let pair_config = config
+        .clone()
+        .initial_threshold(t_start)
+        .total_points(total_points)
+        .threads(1);
+    let mut builder = Phase1Builder::new(&pair_config, dim);
+    for cf in a.tree.into_leaf_entries() {
+        builder.feed(cf);
+    }
+    for cf in b.tree.into_leaf_entries() {
+        builder.feed(cf);
+    }
+    let (out, kept) = builder.finish_keeping_outliers();
+    let mut carried = a.carried;
+    carried.extend(b.carried);
+    carried.extend(kept);
+    (out, carried)
+}
+
+/// The merge stage: a pairwise tournament reduction over the shard
+/// trees (additivity makes every bracket exact), finishing with a
+/// coordinator-side merge of the last ≤ 2 trees plus one re-absorption
+/// pass for every bracket-carried outlier, assembling the combined
+/// telemetry along the way.
 fn merge_shards<S: EventSink>(
     config: &BirchConfig,
     dim: usize,
@@ -205,24 +279,12 @@ fn merge_shards<S: EventSink>(
     sink: &mut S,
 ) -> ParallelPhase1Output {
     // Graft every shard's span tree under whatever span is open on the
-    // coordinator (the pipeline's `phase1`), before the merge span opens.
+    // coordinator (the pipeline's `phase1`), before any merge span opens.
     for (_, _, _, spans) in &shard_runs {
         if let Some(r) = spans {
             span::merge_report(r);
         }
     }
-
-    // The merged tree's threshold must dominate every shard's, or shard
-    // entries would violate the leaf-threshold invariant on arrival.
-    let t_start = shard_runs
-        .iter()
-        .map(|(out, _, _, _)| out.tree.threshold())
-        .fold(config.initial_threshold, f64::max);
-    let merge_config = config
-        .clone()
-        .initial_threshold(t_start)
-        .total_points(total_points)
-        .threads(1);
 
     let mut io = IoStats::default();
     let mut metrics = MetricsReport::default();
@@ -231,9 +293,7 @@ fn merge_shards<S: EventSink>(
     let mut memory = MemoryGauge::with_budget(config.memory_bytes as u64);
 
     let merge_started = Instant::now();
-    let sp_merge = span::enter("merge");
-    let mut builder = Phase1Builder::with_sink(&merge_config, dim, &mut *sink);
-    let mut carried_outliers = Vec::new();
+    let mut items: Vec<MergeItem> = Vec::with_capacity(shard_runs.len());
     for (i, (out, carried, wall, _)) in shard_runs.into_iter().enumerate() {
         shards.push(ShardReport {
             shard: i,
@@ -251,13 +311,100 @@ fn merge_shards<S: EventSink>(
         io.absorb(&out.io);
         metrics.absorb(&out.metrics);
         memory.absorb_concurrent(&out.memory);
-        for cf in out.tree.into_leaf_entries() {
+        items.push(MergeItem {
+            tree: out.tree,
+            carried,
+        });
+    }
+
+    // ---- Tournament rounds: halve the tree count per round, pairs in
+    // parallel. The serial left fold this replaces re-inserted every
+    // shard's entries one shard at a time on the coordinator; here round
+    // `r` runs its pair merges concurrently, so the reduction's critical
+    // path is ⌈log₂ n⌉ pair merges instead of n−1.
+    let profiled = span::enabled();
+    let mut peak_pages_floor = shard_peak_sum;
+    let mut merge_round_walls = Vec::new();
+    let mut round = 0usize;
+    while items.len() > 2 {
+        let round_started = Instant::now();
+        let span_name = round_span_name(round);
+        let mut next: Vec<MergeItem> = Vec::with_capacity(items.len().div_ceil(2));
+        let mut pairs: Vec<(MergeItem, MergeItem)> = Vec::with_capacity(items.len() / 2);
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => pairs.push((a, b)),
+                // Odd tree out: a bye straight into the next round.
+                None => next.push(a),
+            }
+        }
+        let outputs: Vec<(Phase1Output, Vec<Cf>, Option<SpanReport>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .into_iter()
+                    .map(|(a, b)| {
+                        scope.spawn(move || {
+                            span::set_enabled(profiled);
+                            let sp = span::enter(span_name);
+                            let (out, carried) = merge_pair(config, dim, total_points, a, b);
+                            drop(sp);
+                            let spans = profiled.then(span::take_report);
+                            (out, carried, spans)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge-round worker panicked"))
+                    .collect()
+            });
+        // Pairs within a round coexist (peaks sum); rounds are sequential
+        // against each other and the shard stage (peaks max).
+        let mut round_mem = MemoryGauge::with_budget(config.memory_bytes as u64);
+        let mut round_peak_sum = 0usize;
+        for (out, carried, spans) in outputs {
+            if let Some(r) = &spans {
+                span::merge_report(r);
+            }
+            round_peak_sum += out.io.peak_pages;
+            io.absorb(&out.io);
+            metrics.absorb(&out.metrics);
+            round_mem.absorb_concurrent(&out.memory);
+            next.push(MergeItem {
+                tree: out.tree,
+                carried,
+            });
+        }
+        memory.absorb_sequential(&round_mem);
+        peak_pages_floor = peak_pages_floor.max(round_peak_sum);
+        merge_round_walls.push(round_started.elapsed());
+        items = next;
+        round += 1;
+    }
+
+    // ---- Final: merge the last ≤ 2 trees on the coordinator (live
+    // sink), then give every bracket-carried outlier its one chance
+    // against the full tree before the usual end-of-scan disposition
+    // (§5.1.3).
+    let t_start = items
+        .iter()
+        .map(|item| item.tree.threshold())
+        .fold(config.initial_threshold, f64::max);
+    let merge_config = config
+        .clone()
+        .initial_threshold(t_start)
+        .total_points(total_points)
+        .threads(1);
+    let sp_merge = span::enter("merge");
+    let mut builder = Phase1Builder::with_sink(&merge_config, dim, &mut *sink);
+    let mut carried_outliers = Vec::new();
+    for item in items {
+        for cf in item.tree.into_leaf_entries() {
             builder.feed(cf);
         }
-        carried_outliers.extend(carried);
+        carried_outliers.extend(item.carried);
     }
-    // Shard-carried outliers get one more chance against the full tree,
-    // then the ordinary end-of-scan disposition (§5.1.3).
     for cf in carried_outliers {
         builder.feed_outlier_candidate(cf);
     }
@@ -269,10 +416,9 @@ fn merge_shards<S: EventSink>(
     io.absorb(&merged.io);
     metrics.absorb(&merged.metrics);
     memory.absorb_sequential(&merged.memory);
-    // Shards run concurrently: the honest in-memory peak is the sum of
-    // their individual peaks (each bounded by M/n + transient), or the
-    // merge stage's peak if that is larger.
-    io.peak_pages = shard_peak_sum.max(merged.io.peak_pages);
+    // Honest in-memory peak: concurrent stages sum (shards; pairs within
+    // a round), sequential stages max — whichever stage peaked highest.
+    io.peak_pages = peak_pages_floor.max(merged.io.peak_pages);
     metrics.peak_pages = io.peak_pages;
 
     ParallelPhase1Output {
@@ -284,6 +430,7 @@ fn merge_shards<S: EventSink>(
         metrics,
         shards,
         merge_wall,
+        merge_round_walls,
         memory,
     }
 }
@@ -429,6 +576,40 @@ mod tests {
         let out = run_with_sink(&cfg, 2, &pts, Some(&weights), 4, &mut NoopSink);
         let expect: f64 = weights.iter().sum();
         assert!((out.tree.total_cf().n() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tournament_rounds_reported_and_bounded_by_merge_wall() {
+        let pts = blobs(6000, 3);
+        let cfg = BirchConfig::with_clusters(3).outliers(false);
+        // 6 shards → 3 → 2 → final: two parallel rounds.
+        let out = run(&cfg, 2, &pts, 6);
+        assert_eq!(out.merge_round_walls.len(), 2);
+        let rounds: Duration = out.merge_round_walls.iter().sum();
+        assert!(
+            rounds <= out.merge_wall,
+            "rounds {rounds:?} exceed merge wall {:?}",
+            out.merge_wall
+        );
+        // ≤ 2 shards need no tournament at all.
+        let out2 = run(&cfg, 2, &pts, 2);
+        assert!(out2.merge_round_walls.is_empty());
+    }
+
+    #[test]
+    fn tournament_merge_conserves_data_with_odd_bracket() {
+        // 5 shards exercises the bye path in both rounds (5 → 3 → 2).
+        let pts = blobs(5000, 4);
+        let cfg = BirchConfig::with_clusters(4).outliers(false);
+        let out = run(&cfg, 2, &pts, 5);
+        assert_eq!(out.merge_round_walls.len(), 2);
+        let expect = total_cf_of(&pts);
+        let got = out.tree.total_cf();
+        assert_eq!(got.n(), expect.n());
+        for (a, b) in got.vec_stat().iter().zip(expect.vec_stat()) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+        out.tree.check_invariants().unwrap();
     }
 
     #[test]

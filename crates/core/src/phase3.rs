@@ -13,7 +13,7 @@
 use crate::cf::Cf;
 use crate::config::ClusterCount;
 use crate::distance::DistanceMetric;
-use crate::hierarchical::{agglomerate, StopRule};
+use crate::hierarchical::{agglomerate, HacStats, StopRule};
 
 /// Which global algorithm Phase 3 applies to the leaf entries. The paper
 /// adapted agglomerative HC "because of its accuracy and flexibility" but
@@ -43,6 +43,9 @@ pub struct Phase3Result {
     /// The input leaf entries (kept so callers can map entries → clusters
     /// without re-walking the tree).
     pub entries: Vec<Cf>,
+    /// Agglomeration work counters when the hierarchical path ran
+    /// (`None` for k-means — it evaluates no CF pair distances).
+    pub hac: Option<HacStats>,
 }
 
 /// Clusters `entries` into the requested number of clusters (or by the
@@ -92,6 +95,7 @@ pub fn global_cluster_with(
                 clusters: result.clusters,
                 entry_labels: result.labels,
                 entries,
+                hac: Some(result.stats),
             }
         }
     }
@@ -194,6 +198,7 @@ fn kmeans_cf(entries: Vec<Cf>, k: usize, max_iters: usize) -> Phase3Result {
         clusters: compact,
         entry_labels: labels,
         entries,
+        hac: None,
     }
 }
 
@@ -327,5 +332,19 @@ mod tests {
     #[test]
     fn default_method_is_hierarchical() {
         assert_eq!(GlobalMethod::default(), GlobalMethod::Hierarchical);
+    }
+
+    #[test]
+    fn hac_stats_present_only_on_hierarchical_path() {
+        let r = global_cluster(blob_entries(), DistanceMetric::D2, ClusterCount::Exact(2));
+        let stats = r.hac.expect("hierarchical path reports HAC stats");
+        assert!(stats.pairs_evaluated > 0);
+        let km = global_cluster_with(
+            blob_entries(),
+            DistanceMetric::D2,
+            ClusterCount::Exact(2),
+            GlobalMethod::KMeans { max_iters: 10 },
+        );
+        assert!(km.hac.is_none());
     }
 }

@@ -11,6 +11,7 @@
 //! too far from every seed.
 
 use crate::cf::Cf;
+use crate::distance::D0_PRUNE_SLACK_REL;
 use crate::point::Point;
 
 /// Configuration for the refinement pass.
@@ -73,6 +74,7 @@ pub fn refine(
     for _ in 0..config.passes {
         let _sp = crate::obs::span::enter("refine_pass");
         let centroids: Vec<Point> = clusters.iter().map(Cf::centroid).collect();
+        let norms: Vec<f64> = centroids.iter().map(norm).collect();
         let radii: Vec<f64> = clusters.iter().map(Cf::radius).collect();
         let mean_radius = {
             let nz: Vec<f64> = radii.iter().copied().filter(|&r| r > 0.0).collect();
@@ -88,7 +90,7 @@ pub fn refine(
         discarded = 0;
 
         for (i, p) in points.iter().enumerate() {
-            let (best, best_d) = nearest_seed(p, &centroids);
+            let (best, best_d) = nearest_seed(p, &centroids, &norms);
             let keep = match config.outlier_factor {
                 None => true,
                 Some(f) => {
@@ -125,12 +127,29 @@ pub fn refine(
     }
 }
 
+fn norm(p: &Point) -> f64 {
+    p.coords().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
 /// Index and distance of the seed centroid nearest to `p` (Euclidean, per
 /// the paper: "the Euclidian distance to the closest seed").
-fn nearest_seed(p: &Point, centroids: &[Point]) -> (usize, f64) {
+///
+/// Seeds whose reverse-triangle lower bound `|‖p‖ − ‖c‖|` (shaved by
+/// [`D0_PRUNE_SLACK_REL`] against norm round-off, as in the Phase 1
+/// descend prune) already exceeds the running best are skipped without a
+/// full squared-distance evaluation. Exact-equivalent to the brute scan:
+/// the bound never exceeds the true distance and taking over `best`
+/// requires a strict win, so a pruned seed can never be the lowest-index
+/// minimizer — the property test pins byte-identical assignments.
+fn nearest_seed(p: &Point, centroids: &[Point], norms: &[f64]) -> (usize, f64) {
+    let pn = norm(p);
     let mut best = 0;
     let mut best_sq = f64::INFINITY;
     for (i, c) in centroids.iter().enumerate() {
+        let b = ((pn - norms[i]).abs() - D0_PRUNE_SLACK_REL * (pn + norms[i])).max(0.0);
+        if b * b > best_sq {
+            continue;
+        }
         let d = p.sq_dist(c);
         if d < best_sq {
             best_sq = d;
@@ -246,6 +265,38 @@ mod tests {
         let seeds = vec![Cf::from_points(&pts), lonely.clone()];
         let r = refine(&pts, None, &seeds, Phase4Config::default());
         assert_eq!(r.clusters[1], lonely);
+    }
+
+    #[test]
+    fn pruned_nearest_seed_matches_brute_scan() {
+        // Oracle: the plain linear scan the prune replaced.
+        fn brute(p: &Point, centroids: &[Point]) -> (usize, f64) {
+            let mut best = 0;
+            let mut best_sq = f64::INFINITY;
+            for (i, c) in centroids.iter().enumerate() {
+                let d = p.sq_dist(c);
+                if d < best_sq {
+                    best_sq = d;
+                    best = i;
+                }
+            }
+            (best, best_sq.sqrt())
+        }
+        let centroids: Vec<Point> = (0..30)
+            .map(|i| {
+                let j = f64::from(i);
+                Point::xy((j * 0.77).sin() * 40.0, (j * 1.31).cos() * 40.0)
+            })
+            .collect();
+        let norms: Vec<f64> = centroids.iter().map(norm).collect();
+        for i in 0..500 {
+            let j = f64::from(i);
+            let p = Point::xy((j * 0.29).sin() * 60.0, (j * 0.53).cos() * 60.0);
+            let (bi, bd) = brute(&p, &centroids);
+            let (pi, pd) = nearest_seed(&p, &centroids, &norms);
+            assert_eq!(bi, pi, "point {i}");
+            assert_eq!(bd.to_bits(), pd.to_bits(), "point {i}");
+        }
     }
 
     #[test]

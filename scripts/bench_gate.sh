@@ -7,10 +7,15 @@
 #   * >25% regression fails (speedup ratio down for insert_kernel —
 #     the same-process scalar÷kernel ratio rides out machine-wide
 #     wall-clock swings that whipsaw raw kernel_ns on shared runners —
-#     points_per_s down for phase1_scaling).
+#     points_per_s down for phase1_scaling; for phase3_scaling the
+#     deterministic NN-chain work counters up, or the same-process
+#     heap÷chain wall ratio down).
 #   * insert_kernel rows with baseline kernel_ns < 1000 (sub-µs) and
 #     phase1_scaling runs with baseline wall_s < 0.05 are skipped as
 #     timer/scheduler noise — every skip is printed, never silent.
+#     phase3_scaling rows whose baseline heap ratio is null (oracle
+#     skipped past its quadratic memory wall at 100k) skip the ratio
+#     check but still gate the work counters.
 #   * cf_stability is an accuracy bench; it has no throughput gate.
 #
 # The CI job invoking this is non-blocking (continue-on-error): shared
@@ -27,9 +32,14 @@ cargo run --release -p birch-bench --bin insert_kernel -- \
     --seed 42 --reps 5 --out "$FRESH/BENCH_insert_kernel.json"
 cargo run --release -p birch-bench --bin phase1_scaling -- \
     --seed 42 --reps 3 --out "$FRESH/BENCH_phase1_scaling.json"
+# Minutes-scale walls; reps=1 with deterministic work counters (see the
+# bin's docs) keeps this the longest but still bounded step of the gate.
+cargo run --release -p birch-bench --bin phase3_scaling -- \
+    --seed 42 --reps 1 --out "$FRESH/BENCH_phase3_scaling.json"
 
 echo "== diffing against committed baselines =="
 cargo run --release -p birch-bench --bin bench_gate -- \
     --threshold 1.25 \
     --baseline BENCH_insert_kernel.json --fresh "$FRESH/BENCH_insert_kernel.json" \
-    --baseline BENCH_phase1_scaling.json --fresh "$FRESH/BENCH_phase1_scaling.json"
+    --baseline BENCH_phase1_scaling.json --fresh "$FRESH/BENCH_phase1_scaling.json" \
+    --baseline BENCH_phase3_scaling.json --fresh "$FRESH/BENCH_phase3_scaling.json"
