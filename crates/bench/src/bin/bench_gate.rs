@@ -31,6 +31,12 @@
 //!   baseline ÷ threshold fails; rows whose baseline ratio is `null` —
 //!   the heap oracle skipped past its Θ(m²) memory wall — or whose
 //!   baseline chain wall is sub-50ms are skipped loudly).
+//! * `checkpoint_io` rows (keyed by point count) hold the deterministic
+//!   `snapshot_bytes` to the threshold exactly (fixed seed → same tree →
+//!   same versioned encoding, so growth is format bloat, not noise) and
+//!   compare the `checkpoint_mb_per_s` / `reopen_mb_per_s` rates (fresh
+//!   < baseline ÷ threshold fails; rows whose baseline wall is sub-50ms
+//!   are skipped loudly as timer noise).
 //! * `cf_stability` is an accuracy bench, not a throughput bench — it
 //!   has no gate.
 //!
@@ -189,6 +195,74 @@ fn gate_phase1_scaling(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
     out
 }
 
+/// checkpoint_io: keyed by point count. `snapshot_bytes` is
+/// deterministic for a fixed seed (same tree, same versioned page
+/// encoding), so format bloat past the threshold fails outright; the
+/// two MB/s rates (higher is better) are machine-dependent and skip
+/// rows whose baseline wall is sub-50ms — loudly, never silently.
+fn gate_checkpoint_io(baseline: &str, fresh: &str, threshold: f64) -> Outcome {
+    let key = |row: &str| format!("points={}", num_field(row, "points").unwrap_or(-1.0));
+    let fresh_rows: Vec<(String, String)> = row_objects(fresh, "rows")
+        .into_iter()
+        .map(|r| (key(&r), r))
+        .collect();
+    let mut out = Outcome {
+        compared: 0,
+        skipped: 0,
+        regressions: Vec::new(),
+    };
+    for row in row_objects(baseline, "rows") {
+        let k = key(&row);
+        let Some((_, new_row)) = fresh_rows.iter().find(|(fk, _)| *fk == k) else {
+            out.regressions
+                .push(format!("{k}: present in baseline, missing from fresh run"));
+            continue;
+        };
+        // Deterministic snapshot size: growth is a format regression.
+        if let (Some(base), Some(new)) = (
+            num_field(&row, "snapshot_bytes"),
+            num_field(new_row, "snapshot_bytes"),
+        ) {
+            out.compared += 1;
+            if new > base * threshold {
+                out.regressions.push(format!(
+                    "{k}: snapshot_bytes {base:.0} -> {new:.0} ({:+.1}%)",
+                    100.0 * (new / base - 1.0)
+                ));
+            }
+        }
+        // Throughput rates: higher is better, sub-50ms walls skipped.
+        for (rate, wall) in [
+            ("checkpoint_mb_per_s", "checkpoint_wall_s"),
+            ("reopen_mb_per_s", "reopen_wall_s"),
+        ] {
+            let (Some(base), Some(base_wall)) = (num_field(&row, rate), num_field(&row, wall))
+            else {
+                continue;
+            };
+            if base_wall < 0.05 {
+                out.skipped += 1;
+                println!("  skip {k} {rate}: baseline wall {base_wall:.4}s is jitter-dominated");
+                continue;
+            }
+            let Some(new) = num_field(new_row, rate) else {
+                out.regressions.push(format!(
+                    "{k}: {rate} present in baseline, missing from fresh run"
+                ));
+                continue;
+            };
+            out.compared += 1;
+            if new < base / threshold {
+                out.regressions.push(format!(
+                    "{k}: {rate} {base:.1} -> {new:.1} ({:+.1}%)",
+                    100.0 * (new / base - 1.0)
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// phase3_scaling: keyed by (entries, metric). Three rules per row:
 ///
 /// * `pairs_evaluated` and `chain_peak_candidate_bytes` are
@@ -322,6 +396,7 @@ fn main() -> ExitCode {
             "insert_kernel" => gate_insert_kernel(&baseline, &fresh, threshold),
             "phase1_scaling" => gate_phase1_scaling(&baseline, &fresh, threshold),
             "phase3_scaling" => gate_phase3_scaling(&baseline, &fresh, threshold),
+            "checkpoint_io" => gate_checkpoint_io(&baseline, &fresh, threshold),
             other => {
                 println!("  no gate rules for bench {other:?} (accuracy bench?) — skipping file");
                 continue;
@@ -450,6 +525,48 @@ mod tests {
         let o = gate_phase3_scaling(PHASE3, &fresh, 1.25);
         assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
         assert!(o.regressions[0].contains("chain_peak_candidate_bytes"));
+    }
+
+    const CKPT: &str = r#"{"bench":"checkpoint_io","rows":[
+        {"points":25000,"nodes":40,"leaf_entries":700,"snapshot_bytes":80000,
+         "checkpoint_wall_s":0.002,"checkpoint_mb_per_s":40.0,
+         "reopen_wall_s":0.001,"reopen_mb_per_s":80.0},
+        {"points":400000,"nodes":60,"leaf_entries":1100,"snapshot_bytes":120000,
+         "checkpoint_wall_s":0.2,"checkpoint_mb_per_s":30.0,
+         "reopen_wall_s":0.1,"reopen_mb_per_s":60.0}]}"#;
+
+    #[test]
+    fn checkpoint_sub_50ms_walls_skip_rates_but_still_gate_bytes() {
+        // The 25k row's walls are sub-50ms: both rates skipped, but its
+        // snapshot size still gates — so does the 400k row's everything.
+        let o = gate_checkpoint_io(CKPT, CKPT, 1.25);
+        assert_eq!(o.skipped, 2);
+        assert_eq!(o.compared, 4, "{:?}", o.regressions);
+        assert!(o.regressions.is_empty(), "{:?}", o.regressions);
+    }
+
+    #[test]
+    fn checkpoint_snapshot_bloat_fails_deterministically() {
+        let fresh = CKPT.replace("\"snapshot_bytes\":80000,", "\"snapshot_bytes\":160000,");
+        let o = gate_checkpoint_io(CKPT, &fresh, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("snapshot_bytes"));
+    }
+
+    #[test]
+    fn checkpoint_rate_collapse_fails_and_missing_row_is_a_regression() {
+        let fresh = CKPT.replace("\"reopen_mb_per_s\":60.0", "\"reopen_mb_per_s\":30.0");
+        let o = gate_checkpoint_io(CKPT, &fresh, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("reopen_mb_per_s"));
+
+        let gone = r#"{"bench":"checkpoint_io","rows":[
+            {"points":25000,"snapshot_bytes":80000,
+             "checkpoint_wall_s":0.002,"checkpoint_mb_per_s":40.0,
+             "reopen_wall_s":0.001,"reopen_mb_per_s":80.0}]}"#;
+        let o = gate_checkpoint_io(CKPT, gone, 1.25);
+        assert_eq!(o.regressions.len(), 1, "{:?}", o.regressions);
+        assert!(o.regressions[0].contains("missing"));
     }
 
     #[test]

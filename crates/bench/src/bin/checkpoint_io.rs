@@ -1,0 +1,172 @@
+//! Checkpoint/restore throughput: build a Phase-1 CF-tree on DS1 at a
+//! few scales, then time `CfTree::checkpoint` (snapshot encode + write)
+//! and `CfTree::reopen` (read + checksum verify + decode) against the
+//! snapshot size on disk. Writes `BENCH_checkpoint_io.json`.
+//!
+//! `snapshot_bytes` is deterministic for a fixed seed (same tree, same
+//! versioned encoding), so the gate can hold format growth to the
+//! threshold exactly; the MB/s rates are machine-dependent and gated
+//! with the usual sub-50ms loud-skip for jitter-dominated walls.
+//!
+//! ```text
+//! cargo run --release -p birch-bench --bin checkpoint_io \
+//!     [-- --seed 42 --reps 5 --out BENCH_checkpoint_io.json]
+//! ```
+
+use birch_bench::{paper_config, print_header, print_row, timed};
+use birch_core::tree::CfTree;
+use birch_core::{phase1, Cf};
+use birch_datagen::{presets, Dataset};
+
+/// Points per run: DS1 shape (100 clusters) scaled by per-cluster count.
+const PER_CLUSTER_SWEEP: [usize; 3] = [250, 1000, 4000];
+
+struct Row {
+    points: usize,
+    nodes: usize,
+    leaf_entries: usize,
+    snapshot_bytes: u64,
+    checkpoint_s: f64,
+    reopen_s: f64,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("null")
+    }
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut reps = 5usize;
+    let mut out_path = String::from("BENCH_checkpoint_io.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("--reps must be an integer");
+                assert!(reps >= 1, "--reps must be >= 1");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out needs a value");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: checkpoint_io [--seed n] [--reps n] [--out f]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+    }
+
+    let snap = std::env::temp_dir().join(format!("birch-bench-ckpt-{}.snap", std::process::id()));
+    println!(
+        "Checkpoint I/O on DS1: reps={reps} (min wall kept), snapshot at {}\n",
+        snap.display()
+    );
+    let widths = [9, 8, 8, 11, 8, 12, 8, 12];
+    print_header(
+        &[
+            "points",
+            "nodes",
+            "leaves",
+            "snap-bytes",
+            "ckpt-ms",
+            "ckpt-MB/s",
+            "open-ms",
+            "open-MB/s",
+        ],
+        &widths,
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &per in &PER_CLUSTER_SWEEP {
+        let mut spec = presets::ds1(seed);
+        spec.n_low = per;
+        spec.n_high = per;
+        let ds = Dataset::generate(&spec);
+        let n = ds.len();
+        let config = paper_config(100, n);
+        let mut out = phase1::run(&config, 2, ds.points.iter().map(Cf::from_point));
+
+        let mut best_ckpt = f64::INFINITY;
+        let mut best_open = f64::INFINITY;
+        let mut snapshot_bytes = 0u64;
+        for _ in 0..reps {
+            let ((), ckpt_wall) = timed(|| out.tree.checkpoint(&snap).expect("checkpoint"));
+            snapshot_bytes = std::fs::metadata(&snap).expect("stat snapshot").len();
+            let (reopened, open_wall) = timed(|| CfTree::reopen(&snap).expect("reopen"));
+            // Paranoia, not timing: a bench that measures decoding garbage
+            // fast would be worse than useless.
+            assert!(
+                (reopened.total_cf().n() - out.tree.total_cf().n()).abs() < 1e-9,
+                "reopened tree lost points"
+            );
+            best_ckpt = best_ckpt.min(ckpt_wall.as_secs_f64());
+            best_open = best_open.min(open_wall.as_secs_f64());
+        }
+        std::fs::remove_file(&snap).ok();
+
+        let row = Row {
+            points: n,
+            nodes: out.tree.node_count(),
+            leaf_entries: out.tree.leaf_entry_count(),
+            snapshot_bytes,
+            checkpoint_s: best_ckpt,
+            reopen_s: best_open,
+        };
+        let mb = row.snapshot_bytes as f64 / (1024.0 * 1024.0);
+        print_row(
+            &[
+                format!("{}", row.points),
+                format!("{}", row.nodes),
+                format!("{}", row.leaf_entries),
+                format!("{}", row.snapshot_bytes),
+                format!("{:.2}", 1e3 * row.checkpoint_s),
+                format!("{:.1}", mb / row.checkpoint_s),
+                format!("{:.2}", 1e3 * row.reopen_s),
+                format!("{:.1}", mb / row.reopen_s),
+            ],
+            &widths,
+        );
+        rows.push(row);
+    }
+
+    let mut json = format!(
+        "{{\"bench\":\"checkpoint_io\",\"dataset\":\"DS1\",\"seed\":{seed},\"reps\":{reps},\"rows\":["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let mb = r.snapshot_bytes as f64 / (1024.0 * 1024.0);
+        json.push_str(&format!(
+            "{{\"points\":{},\"nodes\":{},\"leaf_entries\":{},\"snapshot_bytes\":{},\
+             \"checkpoint_wall_s\":{},\"checkpoint_mb_per_s\":{},\
+             \"reopen_wall_s\":{},\"reopen_mb_per_s\":{}}}",
+            r.points,
+            r.nodes,
+            r.leaf_entries,
+            r.snapshot_bytes,
+            json_f64(r.checkpoint_s),
+            json_f64(mb / r.checkpoint_s),
+            json_f64(r.reopen_s),
+            json_f64(mb / r.reopen_s),
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nresults written to {out_path}");
+}

@@ -322,6 +322,46 @@ impl Cf {
         self.ls_sq = dot(&self.ls, &self.ls);
     }
 
+    /// Number of 8-byte words [`Cf::to_words`] emits for dimensionality
+    /// `dim`: `N`, `LS`, and `SS`. The `‖LS‖²` memo is recomputed exactly
+    /// on decode, the same zero-drift contract every mutation obeys.
+    #[must_use]
+    pub fn words_per_entry(dim: usize) -> usize {
+        dim + 2
+    }
+
+    /// Serializes the CF into `u64` words (f64 bit patterns), appending to
+    /// `out`. Layout: `n, ls[0..d], ss`.
+    pub fn to_words(&self, out: &mut Vec<u64>) {
+        out.push(self.n.to_bits());
+        out.extend(self.ls.iter().map(|l| l.to_bits()));
+        out.push(self.ss.to_bits());
+    }
+
+    /// Rebuilds a CF from [`Cf::to_words`] output, bit-identical to the
+    /// original (the memo is recomputed by the same exact `dot`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != Cf::words_per_entry(dim)` or `dim == 0`.
+    #[must_use]
+    pub fn from_words(words: &[u64], dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert_eq!(
+            words.len(),
+            Self::words_per_entry(dim),
+            "CF word count mismatch for dim {dim}"
+        );
+        let n = f64::from_bits(words[0]);
+        let ls: Box<[f64]> = words[1..1 + dim]
+            .iter()
+            .map(|&w| f64::from_bits(w))
+            .collect();
+        let ss = f64::from_bits(words[1 + dim]);
+        let ls_sq = dot(&ls, &ls);
+        Self { n, ls, ss, ls_sq }
+    }
+
     /// Centroid `X0 = LS / N` (paper eq. 1).
     ///
     /// # Panics
@@ -535,6 +575,24 @@ mod tests {
         let cf = Cf::from_point(&Point::xy(1.0, 2.0));
         let s = format!("{cf:?}");
         assert!(s.starts_with("CF(N=1.0"));
+    }
+
+    #[test]
+    fn words_round_trip_bit_identically() {
+        let mut cf = Cf::from_points(&pts(&[[1.25, -3.5], [0.1, 0.2], [7.0, 9.0]]));
+        cf.add_weighted_point(&Point::xy(-0.75, 2.5), 3.0);
+        let mut words = Vec::new();
+        cf.to_words(&mut words);
+        assert_eq!(words.len(), Cf::words_per_entry(2));
+        let back = Cf::from_words(&words, 2);
+        assert!(back == cf);
+        assert_eq!(back.ls_sq().to_bits(), cf.ls_sq().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_length() {
+        let _ = Cf::from_words(&[0; 3], 2);
     }
 
     #[test]

@@ -413,6 +413,64 @@ impl Cf {
         self.mean_sq = dot(&self.mean, &self.mean);
     }
 
+    /// Number of 8-byte words [`Cf::to_words`] emits for dimensionality
+    /// `dim`: `N`, `μ`, the mean carry, `SSE`, and the SSE carry. The
+    /// `‖μ‖²` memo is *not* serialized — it is recomputed exactly on
+    /// decode, the same zero-drift contract every mutation obeys.
+    #[must_use]
+    pub fn words_per_entry(dim: usize) -> usize {
+        2 * dim + 3
+    }
+
+    /// Serializes the CF into little-endian-friendly `u64` words (f64 bit
+    /// patterns), appending to `out`. Layout: `n, mean[0..d], mean_c[0..d],
+    /// sse, sse_c`.
+    pub fn to_words(&self, out: &mut Vec<u64>) {
+        out.push(self.n.to_bits());
+        out.extend(self.mean.iter().map(|m| m.to_bits()));
+        out.extend(self.mean_c.iter().map(|c| c.to_bits()));
+        out.push(self.sse.to_bits());
+        out.push(self.sse_c.to_bits());
+    }
+
+    /// Rebuilds a CF from [`Cf::to_words`] output. Bit-identical to the
+    /// original: every stored field round-trips through `f64::to_bits`,
+    /// and the `‖μ‖²` memo is recomputed by the same exact `dot` every
+    /// mutation uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != Cf::words_per_entry(dim)` or `dim == 0`.
+    #[must_use]
+    pub fn from_words(words: &[u64], dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert_eq!(
+            words.len(),
+            Self::words_per_entry(dim),
+            "CF word count mismatch for dim {dim}"
+        );
+        let n = f64::from_bits(words[0]);
+        let mean: Box<[f64]> = words[1..1 + dim]
+            .iter()
+            .map(|&w| f64::from_bits(w))
+            .collect();
+        let mean_c: Box<[f64]> = words[1 + dim..1 + 2 * dim]
+            .iter()
+            .map(|&w| f64::from_bits(w))
+            .collect();
+        let sse = f64::from_bits(words[1 + 2 * dim]);
+        let sse_c = f64::from_bits(words[2 + 2 * dim]);
+        let mean_sq = dot(&mean, &mean);
+        Self {
+            n,
+            mean,
+            mean_c,
+            sse,
+            sse_c,
+            mean_sq,
+        }
+    }
+
     /// Centroid `X0 = μ` (paper eq. 1), compensation folded in.
     ///
     /// # Panics
@@ -780,6 +838,26 @@ mod tests {
         let mut a = Cf::from_weighted_point(&p, 1e12);
         let b = Cf::from_weighted_point(&p, 1.01e12);
         a.subtract(&b);
+    }
+
+    #[test]
+    fn words_round_trip_bit_identically() {
+        let mut cf = Cf::from_points(&pts(&[[1e8, 1e8 + 1e-3], [1e8 + 2e-3, 1e8]]));
+        cf.add_weighted_point(&Point::xy(1e8 + 5e-4, 1e8), 2.5);
+        let mut words = Vec::new();
+        cf.to_words(&mut words);
+        assert_eq!(words.len(), Cf::words_per_entry(2));
+        let back = Cf::from_words(&words, 2);
+        // PartialEq compares every field including carries and the memo.
+        assert!(back == cf);
+        assert_eq!(back.vec_stat_sq().to_bits(), cf.vec_stat_sq().to_bits());
+        assert_eq!(back.sse().to_bits(), cf.sse().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_length() {
+        let _ = Cf::from_words(&[0; 5], 2);
     }
 
     #[test]

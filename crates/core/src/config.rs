@@ -14,6 +14,7 @@
 //! | Phase4 | Refinement passes                | 1 (§6: "refine … once or more") |
 
 use crate::distance::{DistanceMetric, ThresholdKind};
+use std::path::PathBuf;
 
 /// How Phase 3 decides the number of clusters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,6 +87,19 @@ pub struct BirchConfig {
     /// environment variable (read once per config construction) — CI uses
     /// this to force the parallel path through the whole test suite.
     pub threads: usize,
+    /// Out-of-core Phase 1 (default off). When on, the CF-tree is backed
+    /// by a file of real pages: instead of raising the threshold and
+    /// rebuilding when `node_count × P` exceeds `M`, cold nodes are
+    /// evicted to the spill file and faulted back on descent, so budget
+    /// `M` bounds *residency* while the tree itself may grow past it.
+    /// The threshold stays at `T0` — this trades rebuild CPU for page
+    /// I/O, the classic paging trade.
+    pub out_of_core: bool,
+    /// Directory for out-of-core spill files (page store and outlier
+    /// journal). `None` (the default) uses the system temp directory.
+    /// Files are uniquely named per process/run and removed when the
+    /// owning store drops.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl BirchConfig {
@@ -129,6 +143,8 @@ impl BirchConfig {
             phase4_outlier_factor: None,
             total_points_hint: None,
             threads: default_threads(),
+            out_of_core: false,
+            spill_dir: None,
         }
     }
 
@@ -245,6 +261,21 @@ impl BirchConfig {
         self
     }
 
+    /// Enables/disables the out-of-core (file-backed) CF-tree.
+    #[must_use]
+    pub fn out_of_core(mut self, enabled: bool) -> Self {
+        self.out_of_core = enabled;
+        self
+    }
+
+    /// Sets the directory for out-of-core spill files (implies nothing
+    /// about [`BirchConfig::out_of_core`] itself).
+    #[must_use]
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Validates cross-field consistency; called by the pipeline.
     ///
     /// # Panics
@@ -329,6 +360,22 @@ mod tests {
         let c = BirchConfig::with_clusters(2).threads(4);
         assert_eq!(c.threads, 4);
         c.validate();
+    }
+
+    #[test]
+    fn out_of_core_knobs() {
+        let c = BirchConfig::with_clusters(2)
+            .out_of_core(true)
+            .spill_dir("/tmp/birch-spill");
+        assert!(c.out_of_core);
+        assert_eq!(
+            c.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/birch-spill"))
+        );
+        c.validate();
+        let d = BirchConfig::with_clusters(2);
+        assert!(!d.out_of_core);
+        assert!(d.spill_dir.is_none());
     }
 
     #[test]

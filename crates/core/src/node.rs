@@ -20,6 +20,7 @@
 
 use crate::cf::Cf;
 use crate::distance::CfBlock;
+use birch_pager::{DecodedPage, PageKind, NO_NEIGHBOR};
 
 /// Index of a node in the tree's arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -443,6 +444,109 @@ impl Node {
         self.rebuild_block();
     }
 
+    /// Words one serialized entry of a `kind` node occupies: the CF words
+    /// plus, for interior nodes, the child pointer.
+    #[must_use]
+    pub fn words_per_entry(kind: PageKind, dim: usize) -> usize {
+        match kind {
+            PageKind::Leaf => Cf::words_per_entry(dim),
+            PageKind::Interior => Cf::words_per_entry(dim) + 1,
+        }
+    }
+
+    /// Serializes this node into page-codec inputs: `(kind, count, prev,
+    /// next, words)` for [`birch_pager::encode_page`]. Leaf chain links
+    /// map `None` to [`NO_NEIGHBOR`]; interior nodes carry no neighbours.
+    #[must_use]
+    pub fn to_page_words(&self) -> (PageKind, u32, u64, u64, Vec<u64>) {
+        let chain = |link: &Option<NodeId>| link.map_or(NO_NEIGHBOR, |id| u64::from(id.0));
+        match &self.kind {
+            NodeKind::Leaf {
+                entries,
+                prev,
+                next,
+            } => {
+                let mut words = Vec::with_capacity(entries.len() * Cf::words_per_entry(1));
+                for e in entries {
+                    e.to_words(&mut words);
+                }
+                (
+                    PageKind::Leaf,
+                    entries.len() as u32,
+                    chain(prev),
+                    chain(next),
+                    words,
+                )
+            }
+            NodeKind::Interior { children } => {
+                let mut words = Vec::new();
+                for c in children {
+                    c.cf.to_words(&mut words);
+                    words.push(u64::from(c.child.0));
+                }
+                (
+                    PageKind::Interior,
+                    children.len() as u32,
+                    NO_NEIGHBOR,
+                    NO_NEIGHBOR,
+                    words,
+                )
+            }
+        }
+    }
+
+    /// Rebuilds a node from a decoded page. The arena id is *not* stored
+    /// on the page — the caller (the tree) stamps it. Entries are replayed
+    /// through the mutators, so the SoA mirror comes back in sync and the
+    /// CF memos are recomputed under their exact contracts: the rebuilt
+    /// node is bit-identical to the one serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page's word count is not a multiple of the entry
+    /// width for its kind (a decoding-layer bug; torn pages are caught by
+    /// the page CRC before this point).
+    #[must_use]
+    pub fn from_decoded_page(page: &DecodedPage, dim: usize) -> Self {
+        let chain = |w: u64| {
+            (w != NO_NEIGHBOR)
+                .then(|| NodeId(u32::try_from(w).expect("leaf chain word exceeds arena range")))
+        };
+        let per = Self::words_per_entry(page.kind, dim);
+        assert_eq!(
+            page.words.len(),
+            page.count as usize * per,
+            "page word count does not match {} entries of {per} words",
+            page.count
+        );
+        match page.kind {
+            PageKind::Leaf => {
+                let mut node = Self::new_leaf();
+                for row in page.words.chunks_exact(per) {
+                    node.push_leaf_entry(Cf::from_words(row, dim));
+                }
+                if let NodeKind::Leaf { prev, next, .. } = &mut node.kind {
+                    *prev = chain(page.prev);
+                    *next = chain(page.next);
+                }
+                node
+            }
+            PageKind::Interior => {
+                let mut node = Self::new_interior();
+                for row in page.words.chunks_exact(per) {
+                    let child = NodeId(
+                        u32::try_from(row[per - 1]).expect("child pointer exceeds arena range"),
+                    );
+                    node.push_child(ChildEntry {
+                        cf: Cf::from_words(&row[..per - 1], dim),
+                        child,
+                    });
+                }
+                node
+            }
+        }
+    }
+
     /// Exact CF summary of this node: the sum of its entries.
     ///
     /// # Panics
@@ -595,6 +699,70 @@ mod tests {
         }
         n.rebuild_block();
         assert_block_in_sync(&n);
+    }
+
+    #[test]
+    fn leaf_round_trips_through_page_words_bitwise() {
+        let mut n = Node::new_leaf();
+        n.push_leaf_entry(Cf::from_points(&[
+            Point::xy(1e8, 1e8 + 1e-3),
+            Point::xy(1e8, 1e8),
+        ]));
+        n.push_leaf_entry(Cf::from_point(&Point::xy(-3.5, 0.25)));
+        if let NodeKind::Leaf { prev, next, .. } = &mut n.kind {
+            *prev = Some(NodeId(11));
+            *next = None;
+        }
+        let (kind, count, prev, next, words) = n.to_page_words();
+        assert_eq!(kind, PageKind::Leaf);
+        assert_eq!(count, 2);
+        assert_eq!(prev, 11);
+        assert_eq!(next, NO_NEIGHBOR);
+        let buf = birch_pager::encode_page(4096, kind, count, prev, next, &words).unwrap();
+        let decoded = birch_pager::decode_page(&buf, Cf::words_per_entry(2)).unwrap();
+        let back = Node::from_decoded_page(&decoded, 2);
+        assert_eq!(back.entry_count(), 2);
+        for (a, b) in back.leaf_entries().iter().zip(n.leaf_entries()) {
+            assert!(a == b, "leaf CF changed across the page round-trip");
+            assert_eq!(a.vec_stat_sq().to_bits(), b.vec_stat_sq().to_bits());
+        }
+        match (&back.kind, &n.kind) {
+            (
+                NodeKind::Leaf {
+                    prev: bp, next: bn, ..
+                },
+                NodeKind::Leaf {
+                    prev: ap, next: an, ..
+                },
+            ) => {
+                assert_eq!(bp, ap);
+                assert_eq!(bn, an);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn interior_round_trips_through_page_words_bitwise() {
+        let mut n = Node::new_interior();
+        for i in 0..3u32 {
+            n.push_child(ChildEntry {
+                cf: Cf::from_point(&Point::xy(f64::from(i) * 2.5, -f64::from(i))),
+                child: NodeId(i * 7 + 1),
+            });
+        }
+        let (kind, count, prev, next, words) = n.to_page_words();
+        assert_eq!(kind, PageKind::Interior);
+        assert_eq!(count, 3);
+        let buf = birch_pager::encode_page(4096, kind, count, prev, next, &words).unwrap();
+        let decoded =
+            birch_pager::decode_page(&buf, Node::words_per_entry(PageKind::Interior, 2)).unwrap();
+        let back = Node::from_decoded_page(&decoded, 2);
+        assert_eq!(back.entry_count(), 3);
+        for (a, b) in back.children().iter().zip(n.children()) {
+            assert_eq!(a.child, b.child);
+            assert!(a.cf == b.cf);
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * `outlier_disk` — bytes parked on the simulated outlier/delay disks
 //!   (budgeted separately by `disk_bytes`, reported here for the full
 //!   picture).
+//! * `page_spill` — bytes of evicted CF-tree nodes in the out-of-core
+//!   spill file (zero unless `out_of_core` is on). Spilled pages are
+//!   exactly what does *not* count against M: in paged runs the budgeted
+//!   `pager_pages` component follows the resident count instead.
 //!
 //! *Headroom* (`budget − peak(pager_pages)`) is a first-class measurable,
 //! and so is its violation: `overrun_bytes() > 0` names exactly how far a
@@ -71,6 +75,9 @@ pub struct MemoryGauge {
     pub cf_blocks: MemComponent,
     /// Bytes parked on the simulated outlier/delay disks.
     pub outlier_disk: MemComponent,
+    /// Bytes of evicted tree nodes in the out-of-core page spill file
+    /// (zero for in-core runs).
+    pub page_spill: MemComponent,
 }
 
 impl MemoryGauge {
@@ -93,6 +100,29 @@ impl MemoryGauge {
         self.pager_pages
             .record((tree.node_count() * page_bytes) as u64);
         self.outlier_disk.record(outlier_bytes);
+        // In-core: nothing is spilled, but keep the live value honest.
+        self.page_spill.record(0);
+    }
+
+    /// Paged (out-of-core) variant of [`MemoryGauge::sample_tree`]: the
+    /// budgeted `pager_pages` component follows the *resident* page
+    /// count — what actually occupies budget M — and the evicted
+    /// remainder is accounted as `page_spill`.
+    pub fn sample_paged_tree(
+        &mut self,
+        tree: &CfTree,
+        page_bytes: usize,
+        outlier_bytes: u64,
+        resident_nodes: usize,
+        spill_file_bytes: u64,
+    ) {
+        let fp = tree.memory_footprint();
+        self.node_arena.record(fp.arena_bytes);
+        self.cf_blocks.record(fp.block_bytes);
+        self.pager_pages
+            .record((resident_nodes * page_bytes) as u64);
+        self.outlier_disk.record(outlier_bytes);
+        self.page_spill.record(spill_file_bytes);
     }
 
     /// The page high-water mark in bytes — schema v4's
@@ -137,43 +167,46 @@ impl MemoryGauge {
         }
     }
 
-    fn components(&self) -> [&MemComponent; 4] {
+    fn components(&self) -> [&MemComponent; 5] {
         [
             &self.pager_pages,
             &self.node_arena,
             &self.cf_blocks,
             &self.outlier_disk,
+            &self.page_spill,
         ]
     }
 
-    fn components_mut(&mut self) -> [&mut MemComponent; 4] {
+    fn components_mut(&mut self) -> [&mut MemComponent; 5] {
         [
             &mut self.pager_pages,
             &mut self.node_arena,
             &mut self.cf_blocks,
             &mut self.outlier_disk,
+            &mut self.page_spill,
         ]
     }
 
     /// Component names paired with their values, in stable export order
     /// (used by the Prometheus exposition).
     #[must_use]
-    pub fn named_components(&self) -> [(&'static str, MemComponent); 4] {
+    pub fn named_components(&self) -> [(&'static str, MemComponent); 5] {
         [
             ("pager_pages", self.pager_pages),
             ("node_arena", self.node_arena),
             ("cf_blocks", self.cf_blocks),
             ("outlier_disk", self.outlier_disk),
+            ("page_spill", self.page_spill),
         ]
     }
 
-    /// Serializes as the schema-v4 `"memory"` JSON object.
+    /// Serializes as the schema-v6 `"memory"` JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
             "{{\"budget_bytes\":{},\"mem_highwater_bytes\":{},\"headroom_bytes\":{},\
              \"overrun_bytes\":{},\"budget_held\":{},\"pager_pages\":{},\"node_arena\":{},\
-             \"cf_blocks\":{},\"outlier_disk\":{}}}",
+             \"cf_blocks\":{},\"outlier_disk\":{},\"page_spill\":{}}}",
             self.budget_bytes,
             self.highwater_bytes(),
             self.headroom_bytes(),
@@ -183,6 +216,7 @@ impl MemoryGauge {
             self.node_arena.to_json(),
             self.cf_blocks.to_json(),
             self.outlier_disk.to_json(),
+            self.page_spill.to_json(),
         )
     }
 
@@ -268,6 +302,26 @@ mod tests {
         assert_eq!(g.highwater_bytes(), g.pager_pages.peak_bytes);
         assert_eq!(g.headroom_bytes(), (1 << 20) - g.highwater_bytes());
         assert_eq!(g.overrun_bytes(), 0);
+    }
+
+    #[test]
+    fn paged_sample_budgets_residency_not_tree_size() {
+        let tree = tiny_tree(50);
+        let mut g = MemoryGauge::with_budget(4 * 1024);
+        // 3 resident pages of a much larger tree, the rest spilled.
+        g.sample_paged_tree(&tree, 1024, 0, 3, 9000);
+        assert_eq!(g.pager_pages.live_bytes, 3 * 1024);
+        assert_eq!(g.page_spill.live_bytes, 9000);
+        assert_eq!(g.overrun_bytes(), 0, "resident fits the budget");
+        let json = g.to_json();
+        assert!(
+            json.contains("\"page_spill\":{\"live_bytes\":9000"),
+            "{json}"
+        );
+        // Back in core: the spill component's live value drops to zero.
+        g.sample_tree(&tree, 1024, 0);
+        assert_eq!(g.page_spill.live_bytes, 0);
+        assert_eq!(g.page_spill.peak_bytes, 9000);
     }
 
     #[test]

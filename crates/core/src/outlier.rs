@@ -16,7 +16,10 @@
 use crate::cf::Cf;
 use crate::obs::{Event, EventSink, NoopSink};
 use crate::tree::CfTree;
-use birch_pager::SimDisk;
+use birch_pager::{crc32, SimDisk};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// Configuration of the outlier-handling option.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,11 +86,117 @@ pub struct ReabsorbReport {
     pub retained: u64,
 }
 
+/// Append-only journal of spilled CF entries in a real file: each record
+/// is `u32 word-count | u32 crc32(payload) | payload` (little-endian u64
+/// words, the CF's [`Cf::to_words`] layout). Draining reads every record
+/// back, verifies its checksum, and bit-compares it against the in-memory
+/// copy — so the "disk R" of §5.1.3 genuinely round-trips through the
+/// filesystem instead of only being *accounted* as if it did.
+#[derive(Debug)]
+struct CfJournal {
+    file: File,
+    path: PathBuf,
+    records: usize,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl CfJournal {
+    fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+        })
+    }
+
+    fn append(&mut self, cf: &Cf) -> io::Result<()> {
+        let mut words = Vec::new();
+        cf.to_words(&mut words);
+        let mut payload = Vec::with_capacity(words.len() * 8);
+        for w in &words {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(
+            &u32::try_from(words.len())
+                .expect("CF word range")
+                .to_le_bytes(),
+        );
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(&rec)?;
+        self.records += 1;
+        self.bytes_written += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Reads every record back (verifying checksums), truncates the file,
+    /// and returns the decoded CFs in append order.
+    fn drain(&mut self, dim: usize) -> io::Result<Vec<Cf>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut out = Vec::with_capacity(self.records);
+        for i in 0..self.records {
+            let mut head = [0u8; 8];
+            self.file.read_exact(&mut head)?;
+            let n_words = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as usize;
+            let stored = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+            let mut payload = vec![0u8; n_words * 8];
+            self.file.read_exact(&mut payload)?;
+            self.bytes_read += (8 + payload.len()) as u64;
+            assert_eq!(
+                crc32(&payload),
+                stored,
+                "outlier journal record {i} failed its checksum"
+            );
+            let words: Vec<u64> = payload
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            out.push(Cf::from_words(&words, dim));
+        }
+        self.file.set_len(0)?;
+        self.records = 0;
+        Ok(out)
+    }
+}
+
+impl Drop for CfJournal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Disk-backed store of potential-outlier CF entries.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OutlierStore {
     disk: SimDisk<Cf>,
     config: OutlierConfig,
+    /// Real-file journal mirroring the parked entries (`None` = memory
+    /// only). [`SimDisk`] stays the capacity/fault/accounting model the
+    /// paper's evaluation needs; the journal is the bytes.
+    journal: Option<CfJournal>,
+}
+
+impl Clone for OutlierStore {
+    /// Clones the in-memory state; the clone is *not* file-backed (the
+    /// parallel Phase-1 shards that clone stores run memory-only).
+    fn clone(&self) -> Self {
+        Self {
+            disk: self.disk.clone(),
+            config: self.config,
+            journal: None,
+        }
+    }
 }
 
 impl OutlierStore {
@@ -99,7 +208,32 @@ impl OutlierStore {
         Self {
             disk: SimDisk::new(disk_bytes, entry_bytes),
             config,
+            journal: None,
         }
+    }
+
+    /// Backs the store with a real append-only journal at `path`: every
+    /// parked entry's statistics are written (checksummed) to the file,
+    /// and every drain reads them back and verifies them bit-for-bit
+    /// against the in-memory copies. The file is deleted when the store
+    /// is dropped. Capacity, fault injection, and the I/O *cost model*
+    /// stay with the simulated disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal-file creation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when entries are already parked (the journal must see every
+    /// record from the start to stay in sync).
+    pub fn back_with_file(&mut self, path: &Path) -> io::Result<()> {
+        assert!(
+            self.disk.is_empty(),
+            "cannot attach a journal to a non-empty outlier store"
+        );
+        self.journal = Some(CfJournal::create(path)?);
+        Ok(())
     }
 
     /// The store's configuration.
@@ -126,10 +260,56 @@ impl OutlierStore {
         self.disk.has_space()
     }
 
-    /// Underlying disk counters (reads/writes/bytes) for reporting.
+    /// Entries successfully written to the (simulated) disk.
     #[must_use]
-    pub fn disk(&self) -> &SimDisk<Cf> {
-        &self.disk
+    pub fn writes(&self) -> u64 {
+        self.disk.writes()
+    }
+
+    /// Entries read back from the (simulated) disk.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.disk.reads()
+    }
+
+    /// Bytes written, under the paper's per-entry cost model.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.disk.bytes_written()
+    }
+
+    /// Bytes read, under the paper's per-entry cost model.
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.disk.bytes_read()
+    }
+
+    /// Write attempts, landed or refused.
+    #[must_use]
+    pub fn write_attempts(&self) -> u64 {
+        self.disk.write_attempts()
+    }
+
+    /// Writes refused by an injected fault (as opposed to a genuinely
+    /// full disk).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.disk.faults_injected()
+    }
+
+    /// Bytes currently occupied on the (simulated) disk.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.disk.used_bytes()
+    }
+
+    /// Lifetime bytes `(written, read)` through the real-file journal —
+    /// both 0 when the store is memory-only.
+    #[must_use]
+    pub fn journal_bytes(&self) -> (u64, u64) {
+        self.journal
+            .as_ref()
+            .map_or((0, 0), |j| (j.bytes_written, j.bytes_read))
     }
 
     /// Installs a fault-injection plan on the underlying disk (tests and
@@ -149,9 +329,48 @@ impl OutlierStore {
 
     /// Parks a potential outlier on disk. On a full disk the entry is
     /// handed back so the caller can fold it into the tree instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is file-backed and the journal write fails —
+    /// a local I/O failure, not a recoverable input condition.
     pub fn spill(&mut self, entry: Cf) -> Result<(), Cf> {
         let _sp = crate::obs::span::enter("disk_write");
-        self.disk.write(entry).map_err(|(cf, _)| cf)
+        match self.disk.write(entry) {
+            Ok(()) => {
+                if let Some(j) = self.journal.as_mut() {
+                    let cf = self.disk.peek().last().expect("entry just written");
+                    j.append(cf).expect("outlier journal write failed");
+                }
+                Ok(())
+            }
+            Err((cf, _)) => Err(cf),
+        }
+    }
+
+    /// Drains the simulated disk and, when file-backed, reads the journal
+    /// back and verifies every record bit-for-bit against the in-memory
+    /// copies — the real-I/O half of the §5.1.3 outlier disk.
+    fn drain_verified(&mut self) -> Vec<Cf> {
+        let _sp = crate::obs::span::enter("disk_read");
+        let pending = self.disk.drain_all();
+        if let Some(j) = self.journal.as_mut() {
+            assert_eq!(
+                j.records,
+                pending.len(),
+                "outlier journal out of sync with the store"
+            );
+            let dim = pending.first().map_or(1, Cf::dim);
+            let from_file = j.drain(dim).expect("outlier journal read failed");
+            for (i, (disk_cf, mem_cf)) in from_file.iter().zip(&pending).enumerate() {
+                let mut wa = Vec::new();
+                let mut wb = Vec::new();
+                disk_cf.to_words(&mut wa);
+                mem_cf.to_words(&mut wb);
+                assert_eq!(wa, wb, "outlier journal record {i} diverges from memory");
+            }
+        }
+        pending
     }
 
     /// Scans every entry on disk and tries to re-absorb it into `tree`
@@ -203,10 +422,7 @@ impl OutlierStore {
 
     fn reabsorb_inner(&mut self, tree: &mut CfTree, mean_entry_n: f64) -> ReabsorbReport {
         let mut report = ReabsorbReport::default();
-        let pending = {
-            let _sp = crate::obs::span::enter("disk_read");
-            self.disk.drain_all()
-        };
+        let pending = self.drain_verified();
         for cf in pending {
             if tree.try_absorb(&cf) {
                 report.absorbed += 1;
@@ -241,7 +457,7 @@ impl OutlierStore {
     /// where they get one more re-absorption chance against the full tree
     /// before the usual end-of-scan disposition.
     pub fn take_remaining(&mut self) -> Vec<Cf> {
-        self.disk.drain_all()
+        self.drain_verified()
     }
 
     /// Final disposition at the end of the scan: either discards the
@@ -257,10 +473,7 @@ impl OutlierStore {
     /// (when not). With [`NoopSink`] this monomorphizes to exactly
     /// [`OutlierStore::finalize`].
     pub fn finalize_observed(&mut self, tree: &mut CfTree, sink: &mut impl EventSink) -> u64 {
-        let remaining = {
-            let _sp = crate::obs::span::enter("disk_read");
-            self.disk.drain_all()
-        };
+        let remaining = self.drain_verified();
         if self.config.discard_at_end {
             let count = remaining.len() as u64;
             if sink.enabled() && count > 0 {
@@ -310,10 +523,46 @@ impl DelaySplitBuffer {
         self.disk.has_space()
     }
 
-    /// Underlying disk counters.
+    /// Points successfully parked on the (simulated) disk.
     #[must_use]
-    pub fn disk(&self) -> &SimDisk<Cf> {
-        &self.disk
+    pub fn writes(&self) -> u64 {
+        self.disk.writes()
+    }
+
+    /// Points read back from the (simulated) disk.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.disk.reads()
+    }
+
+    /// Bytes written, under the paper's per-entry cost model.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.disk.bytes_written()
+    }
+
+    /// Bytes read, under the paper's per-entry cost model.
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.disk.bytes_read()
+    }
+
+    /// Write attempts, landed or refused.
+    #[must_use]
+    pub fn write_attempts(&self) -> u64 {
+        self.disk.write_attempts()
+    }
+
+    /// Writes refused by an injected fault.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.disk.faults_injected()
+    }
+
+    /// Bytes currently occupied on the (simulated) disk.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.disk.used_bytes()
     }
 
     /// Installs a fault-injection plan on the underlying disk.
@@ -480,6 +729,53 @@ mod tests {
     }
 
     #[test]
+    fn file_backed_store_round_trips_bit_identically() {
+        let path =
+            std::env::temp_dir().join(format!("birch-outlier-journal-{}.log", std::process::id()));
+        let mut store = OutlierStore::new(4096, 32, OutlierConfig::default());
+        store.back_with_file(&path).unwrap();
+        // Awkward bit patterns: spread-out weighted subclusters.
+        for i in 0..7 {
+            let pts: Vec<Point> = (0..=i)
+                .map(|k| Point::xy(f64::from(i) * 1e8 + 0.1, f64::from(k) * 0.3 - 7.7))
+                .collect();
+            store.spill(Cf::from_points(&pts)).unwrap();
+        }
+        assert!(path.exists(), "journal file must exist while parked");
+        let (written, read) = store.journal_bytes();
+        assert!(written > 0);
+        assert_eq!(read, 0);
+
+        // drain_verified (via take_remaining) re-reads every record from
+        // the file and bit-compares — a divergence would panic here.
+        let drained = store.take_remaining();
+        assert_eq!(drained.len(), 7);
+        let (_, read) = store.journal_bytes();
+        assert_eq!(read, written, "every journal byte must be read back");
+
+        drop(store);
+        assert!(!path.exists(), "journal file must be deleted on drop");
+    }
+
+    #[test]
+    fn journal_detects_file_corruption() {
+        let path =
+            std::env::temp_dir().join(format!("birch-outlier-corrupt-{}.log", std::process::id()));
+        let mut store = OutlierStore::new(4096, 32, OutlierConfig::default());
+        store.back_with_file(&path).unwrap();
+        store.spill(Cf::from_point(&Point::xy(3.0, 4.0))).unwrap();
+        // Corrupt the payload behind the store's back.
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.take_remaining()));
+        assert!(result.is_err(), "corrupted journal record must not decode");
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn delay_buffer_roundtrip() {
         let mut buf = DelaySplitBuffer::new(96, 32);
         assert!(buf.is_empty());
@@ -492,7 +788,7 @@ mod tests {
         let drained = buf.drain();
         assert_eq!(drained.len(), 3);
         assert!(buf.is_empty());
-        assert_eq!(buf.disk().writes(), 3);
-        assert_eq!(buf.disk().reads(), 3);
+        assert_eq!(buf.writes(), 3);
+        assert_eq!(buf.reads(), 3);
     }
 }

@@ -21,6 +21,8 @@ use crate::rebuild::rebuild_observed;
 use crate::threshold::ThresholdEstimator;
 use crate::tree::{CfTree, TreeParams};
 use birch_pager::{IoStats, PageLayout};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Hard cap on rebuilds per run: the threshold grows strictly every
@@ -61,6 +63,15 @@ pub struct Phase1Output {
 #[derive(Debug)]
 pub struct Phase1Builder<S: EventSink = NoopSink> {
     max_pages: usize,
+    /// Out-of-core mode ([`BirchConfig::out_of_core`]): the page budget
+    /// bounds *residency* through the tree pager instead of triggering
+    /// threshold rebuilds, so the tree may grow past `M` on disk.
+    out_of_core: bool,
+    /// Page-spill file path while paging is active (`None` after
+    /// `finish`, and always in in-core mode). Kept so rebuild paths —
+    /// which replace the tree wholesale — can re-enable paging on the
+    /// replacement.
+    spill_path: Option<PathBuf>,
     tree: CfTree,
     estimator: ThresholdEstimator,
     outliers: Option<OutlierStore>,
@@ -209,6 +220,8 @@ fn builder<S: EventSink>(config: &BirchConfig, dim: usize, sink: S) -> Phase1Bui
 
     let mut b = Phase1Builder {
         max_pages,
+        out_of_core: config.out_of_core,
+        spill_path: None,
         tree: CfTree::new(params),
         estimator: ThresholdEstimator::new(config.total_points_hint),
         outliers,
@@ -227,8 +240,30 @@ fn builder<S: EventSink>(config: &BirchConfig, dim: usize, sink: S) -> Phase1Bui
         page_bytes: config.page_bytes,
         memory: MemoryGauge::with_budget(config.memory_bytes as u64),
     };
+    if config.out_of_core {
+        let dir = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let path = spill_file(&dir, "pages");
+        b.tree
+            .enable_paging(&path, b.resident_cap())
+            .expect("create page spill file");
+        b.spill_path = Some(path);
+        if let Some(store) = b.outliers.as_mut() {
+            store
+                .back_with_file(&spill_file(&dir, "journal"))
+                .expect("create outlier journal file");
+        }
+    }
     b.emit(Event::PhaseStarted { phase: Phase::Load });
     b
+}
+
+/// Process-wide spill-file sequence, so concurrent builders (parallel
+/// shards, test threads) never collide on a path.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn spill_file(dir: &std::path::Path, ext: &str) -> PathBuf {
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("birch-spill-{}-{seq}.{ext}", std::process::id()))
 }
 
 impl Phase1Builder {
@@ -278,20 +313,32 @@ impl<S: EventSink> Phase1Builder<S> {
         }
     }
 
+    /// The pager's residency ceiling in out-of-core mode: the page
+    /// budget, floored at 2 so a root split always has a resident child.
+    fn resident_cap(&self) -> usize {
+        self.max_pages.max(2)
+    }
+
     /// Full memory sample (walks the node arena and SoA slabs): kept off
     /// the per-insert path — called after rebuilds and at `finish`, the
-    /// moments the footprint actually shifts shape.
+    /// moments the footprint actually shifts shape. In out-of-core mode
+    /// the budgeted component follows the *resident* page count and the
+    /// spill file is accounted separately.
     fn sample_memory(&mut self) {
-        let outlier = self
-            .outliers
-            .as_ref()
-            .map_or(0, |s| s.disk().used_bytes() as u64)
-            + self
-                .delay
-                .as_ref()
-                .map_or(0, |b| b.disk().used_bytes() as u64);
-        self.memory
-            .sample_tree(&self.tree, self.page_bytes, outlier);
+        let outlier = self.outliers.as_ref().map_or(0, |s| s.used_bytes() as u64)
+            + self.delay.as_ref().map_or(0, |b| b.used_bytes() as u64);
+        match self.tree.page_stats() {
+            Some(ps) => self.memory.sample_paged_tree(
+                &self.tree,
+                self.page_bytes,
+                outlier,
+                ps.resident_nodes,
+                ps.spill_file_bytes,
+            ),
+            None => self
+                .memory
+                .sample_tree(&self.tree, self.page_bytes, outlier),
+        }
     }
 
     /// The memory gauge so far (live view; snapshot any time).
@@ -354,18 +401,52 @@ impl<S: EventSink> Phase1Builder<S> {
     /// tree or parked on the outlier/delay-split disks, since nothing is
     /// discarded before `finish` (§5.1.3).
     ///
+    /// In out-of-core mode the whole-tree page cap does not apply (the
+    /// pager bounds residency instead, checked here against the cap);
+    /// auditing faults every spilled node back in, and the pager evicts
+    /// back down at the next insert.
+    ///
     /// # Errors
     ///
     /// Returns the first invariant violation found.
-    pub fn audit(&self) -> Result<crate::audit::AuditReport, crate::audit::AuditViolation> {
+    ///
+    /// # Panics
+    ///
+    /// Panics in out-of-core mode if the pager let residency exceed the
+    /// page budget — that is a pager bug, not a data-dependent condition.
+    pub fn audit(&mut self) -> Result<crate::audit::AuditReport, crate::audit::AuditViolation> {
         let parked = self.outliers.as_ref().map_or(0.0, OutlierStore::parked_n)
             + self.delay.as_ref().map_or(0.0, DelaySplitBuffer::parked_n);
+        let max_pages = if let Some(ps) = self.tree.page_stats() {
+            assert!(
+                ps.resident_nodes <= self.resident_cap(),
+                "pager residency {} exceeds cap {}",
+                ps.resident_nodes,
+                self.resident_cap()
+            );
+            self.tree.fault_all();
+            None
+        } else {
+            Some(self.max_pages + self.tree.height() + 1)
+        };
         let opts = crate::audit::AuditOptions {
-            max_pages: Some(self.max_pages + self.tree.height() + 1),
+            max_pages,
             expected_n: Some(self.fed_n - parked),
             ..crate::audit::AuditOptions::default()
         };
         crate::audit::audit_with(&self.tree, &opts)
+    }
+
+    /// Checkpoints the live tree to `path` mid-scan (see
+    /// [`CfTree::checkpoint`]), paged or not — a paged tree is faulted
+    /// fully resident for the write and the pager evicts back down at
+    /// the next insert boundary.
+    ///
+    /// # Errors
+    ///
+    /// Any [`birch_pager::SnapshotError`] from the snapshot writer.
+    pub fn checkpoint(&mut self, path: &std::path::Path) -> Result<(), birch_pager::SnapshotError> {
+        self.tree.checkpoint(path)
     }
 
     /// Feeds one CF (a point or a pre-aggregated subcluster).
@@ -459,8 +540,18 @@ impl<S: EventSink> Phase1Builder<S> {
     }
 
     /// The post-insert memory check shared by the owned and borrowed feed
-    /// paths.
+    /// paths. In out-of-core mode the pager already evicted down to the
+    /// budget at the insert boundary, so pressure never triggers a
+    /// rebuild; the high-water mark tracks *resident* pages.
     fn react_to_pressure(&mut self) {
+        if self.out_of_core {
+            let resident = self
+                .tree
+                .page_stats()
+                .map_or_else(|| self.tree.node_count(), |ps| ps.resident_nodes);
+            self.note_pages(resident);
+            return;
+        }
         self.note_pages(self.tree.node_count());
         if self.tree.node_count() > self.max_pages {
             let can_delay = self.delay.as_ref().is_some_and(DelaySplitBuffer::has_space);
@@ -501,9 +592,28 @@ impl<S: EventSink> Phase1Builder<S> {
         }
     }
 
+    /// Re-enables paging after a rebuild replaced the tree (rebuilds work
+    /// on a fully-resident tree and produce an unpaged one). No-op unless
+    /// an out-of-core spill path is active.
+    fn reenable_paging(&mut self) {
+        if let Some(path) = self.spill_path.clone() {
+            if !self.tree.is_paged() {
+                self.tree
+                    .enable_paging(&path, self.resident_cap())
+                    .expect("recreate page spill file after rebuild");
+            }
+        }
+    }
+
     /// The inner rebuild loop of Fig. 2: raise the threshold and rebuild
     /// until the tree fits the page budget.
     fn rebuild_until_fits(&mut self) {
+        // Rebuilds walk and replace the whole tree: bring it resident
+        // first, re-enable paging on the replacement after.
+        let was_paged = self.tree.is_paged();
+        if was_paged {
+            self.tree.disable_paging();
+        }
         while self.tree.node_count() > self.max_pages {
             assert!(
                 self.io.rebuilds < MAX_REBUILDS,
@@ -549,6 +659,9 @@ impl<S: EventSink> Phase1Builder<S> {
             }
             self.sample_memory();
         }
+        if was_paged {
+            self.reenable_paging();
+        }
     }
 
     /// Raises the tree threshold to at least `t` (rebuilding once), so
@@ -559,6 +672,10 @@ impl<S: EventSink> Phase1Builder<S> {
     pub(crate) fn ensure_threshold(&mut self, t: f64) {
         if t <= self.tree.threshold() {
             return;
+        }
+        let was_paged = self.tree.is_paged();
+        if was_paged {
+            self.tree.disable_paging();
         }
         let old_t = self.tree.threshold();
         self.emit(Event::ThresholdRaised {
@@ -584,6 +701,9 @@ impl<S: EventSink> Phase1Builder<S> {
         self.retire_tree_counters();
         self.tree = new_tree;
         self.sample_memory();
+        if was_paged {
+            self.reenable_paging();
+        }
     }
 
     /// Routes a CF that a previous scan already flagged as a potential
@@ -663,8 +783,24 @@ impl<S: EventSink> Phase1Builder<S> {
             }
         }
 
-        self.note_pages(self.tree.node_count());
-        self.sample_memory();
+        // Out-of-core epilogue: bank the pager's counters and take the
+        // final sample while residency is still bounded, then bring the
+        // tree fully resident — Phases 2–4 walk it in memory, and the
+        // spill file is deleted with the page store.
+        if self.tree.is_paged() {
+            if let Some(ps) = self.tree.page_stats() {
+                self.io.page_refs = ps.refs;
+                self.io.page_faults = ps.faults;
+                self.io.page_evictions = ps.evictions;
+                self.note_pages(ps.resident_nodes);
+            }
+            self.sample_memory();
+            self.tree.disable_paging();
+            self.spill_path = None;
+        } else {
+            self.note_pages(self.tree.node_count());
+            self.sample_memory();
+        }
         self.emit(Event::PhaseFinished {
             phase: Phase::Load,
             wall: self.started.elapsed(),
@@ -682,20 +818,20 @@ impl<S: EventSink> Phase1Builder<S> {
             self.io.peak_pages = self.io.peak_pages.max(m.peak_pages);
         }
         if let Some(store) = &self.outliers {
-            self.io.disk_writes += store.disk().writes();
-            self.io.disk_reads += store.disk().reads();
-            self.io.disk_bytes_written += store.disk().bytes_written();
-            self.io.disk_bytes_read += store.disk().bytes_read();
-            self.io.disk_write_attempts += store.disk().write_attempts();
-            self.io.disk_faults_injected += store.disk().faults_injected();
+            self.io.disk_writes += store.writes();
+            self.io.disk_reads += store.reads();
+            self.io.disk_bytes_written += store.bytes_written();
+            self.io.disk_bytes_read += store.bytes_read();
+            self.io.disk_write_attempts += store.write_attempts();
+            self.io.disk_faults_injected += store.faults_injected();
         }
         if let Some(buf) = &self.delay {
-            self.io.disk_writes += buf.disk().writes();
-            self.io.disk_reads += buf.disk().reads();
-            self.io.disk_bytes_written += buf.disk().bytes_written();
-            self.io.disk_bytes_read += buf.disk().bytes_read();
-            self.io.disk_write_attempts += buf.disk().write_attempts();
-            self.io.disk_faults_injected += buf.disk().faults_injected();
+            self.io.disk_writes += buf.writes();
+            self.io.disk_reads += buf.reads();
+            self.io.disk_bytes_written += buf.bytes_written();
+            self.io.disk_bytes_read += buf.bytes_read();
+            self.io.disk_write_attempts += buf.write_attempts();
+            self.io.disk_faults_injected += buf.faults_injected();
         }
 
         let mut metrics = self.recorder.report();
@@ -786,6 +922,80 @@ mod tests {
                 out.threshold_history
             );
         }
+    }
+
+    #[test]
+    fn out_of_core_bounds_residency_not_tree_size() {
+        let cfg = tiny_config().out_of_core(true).delay_split(false);
+        let max_pages = cfg.memory_bytes / cfg.page_bytes;
+        let mut b = Phase1Builder::new(&cfg, 2);
+        assert!(b.tree().is_paged());
+        let n = 20_000;
+        for (i, cf) in blobs(n, 4).into_iter().enumerate() {
+            b.feed(cf);
+            if i % 4000 == 1999 {
+                b.audit().unwrap_or_else(|v| panic!("audit at {i}: {v}"));
+            }
+        }
+        let out = b.finish();
+        // Paged mode replaces rebuilds with eviction: the threshold never
+        // rose, the tree grew past the page budget on disk, and the
+        // resident high-water mark stayed within it.
+        assert_eq!(out.io.rebuilds, 0, "paging must replace rebuilds");
+        assert!(
+            out.tree.node_count() > max_pages,
+            "test premise: tree must outgrow the budget ({} nodes <= {max_pages} pages)",
+            out.tree.node_count()
+        );
+        assert!(
+            out.io.peak_pages <= max_pages,
+            "resident peak {} pages exceeds budget {max_pages}",
+            out.io.peak_pages
+        );
+        assert!(out.io.page_evictions > 0, "nothing was ever spilled");
+        assert!(out.io.page_faults > 0, "nothing was ever faulted back");
+        assert!(out.io.page_refs >= out.io.page_faults);
+        assert!(
+            out.memory.page_spill.peak_bytes > 0,
+            "spill file never sampled"
+        );
+        assert!(
+            out.memory.overrun_bytes() == 0,
+            "resident bytes overran budget M by {}",
+            out.memory.overrun_bytes()
+        );
+        // Phase boundary: the tree is fully resident and intact.
+        assert!(!out.tree.is_paged());
+        crate::audit::audit(&out.tree).unwrap();
+        assert!((out.tree.total_cf().n() - n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_core_outlier_journal_round_trips() {
+        let cfg = tiny_config().out_of_core(true);
+        let mut b = Phase1Builder::new(&cfg, 2);
+        for cf in blobs(500, 4) {
+            b.feed(cf);
+        }
+        // Far singletons: absorption fails at the tiny threshold, so they
+        // park on the outlier disk — and its real backing journal.
+        for i in 0..8 {
+            let j = f64::from(i);
+            b.feed_outlier_candidate(Cf::from_point(&Point::xy(1e6 + j * 1e4, -1e6 - j * 1e4)));
+        }
+        assert!(
+            !b.outliers_mut().expect("outliers on").is_empty(),
+            "test premise: at least one candidate must have parked"
+        );
+        let out = b.finish();
+        let store = out.outliers.as_ref().expect("outlier handling on");
+        let (jw, jr) = store.journal_bytes();
+        assert!(jw > 0, "parked entries never hit the journal file");
+        assert_eq!(
+            jw, jr,
+            "finalize must read back (and bit-verify) every journaled byte"
+        );
+        crate::audit::audit(&out.tree).unwrap();
     }
 
     #[test]

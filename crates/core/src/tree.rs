@@ -32,6 +32,13 @@ use crate::distance::{
 };
 use crate::node::{ChildEntry, Node, NodeId, NodeKind};
 use crate::obs::{Event, EventSink, NoopSink};
+use birch_pager::{
+    decode_page, encode_page, peek_kind, ClockCache, PageStore, SnapshotError, SnapshotReader,
+    SnapshotWriter, PAGE_HEADER_BYTES,
+};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
 
 /// Static parameters of a CF-tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,8 +243,65 @@ impl TreeHealth {
     }
 }
 
+/// Snapshot of the page cache's lifetime counters and current occupancy
+/// (see [`CfTree::page_stats`]); `None`-free mirror of what `birch-report`
+/// prints as the page-cache hit-rate rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Node accesses routed through the pager (`fault_in` calls).
+    pub refs: u64,
+    /// Accesses that had to read the node back from the spill file.
+    pub faults: u64,
+    /// Nodes written out to the spill file to honour the page budget.
+    pub evictions: u64,
+    /// Live nodes currently resident in memory.
+    pub resident_nodes: usize,
+    /// Live nodes currently spilled to disk.
+    pub evicted_nodes: usize,
+    /// Bytes the spill file occupies (slots × page size).
+    pub spill_file_bytes: u64,
+    /// Bytes ever written to the spill file.
+    pub spill_bytes_written: u64,
+    /// Bytes ever read back from the spill file.
+    pub spill_bytes_read: u64,
+}
+
+impl PageCacheStats {
+    /// Fraction of pager-routed accesses served from memory, in `[0, 1]`
+    /// (1.0 when there were no accesses).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.refs == 0 {
+            1.0
+        } else {
+            1.0 - self.faults as f64 / self.refs as f64
+        }
+    }
+}
+
+/// Out-of-core state of a [`CfTree`]: the spill file, the clock over
+/// resident non-root nodes, and the id → slot map of evicted nodes.
+///
+/// The root is *pinned* — it never enters the clock, so every descent
+/// starts from a resident node. Eviction happens only at insert-operation
+/// boundaries ([`CfTree::insert_cf`] and friends call `evict_to_cap` after
+/// the tree is back within its B/L capacities), so an evicted node is
+/// always within capacity and fits the physical page slot.
+#[derive(Debug)]
+struct TreePager {
+    store: PageStore,
+    cache: ClockCache,
+    /// Spill slot of each currently-evicted node id.
+    slot_of: HashMap<u32, u32>,
+    /// Max live nodes resident at an operation boundary.
+    max_resident: usize,
+    refs: u64,
+    faults: u64,
+    evictions: u64,
+}
+
 /// A height-balanced tree of Clustering Features.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CfTree {
     pub(crate) params: TreeParams,
     pub(crate) nodes: Vec<Node>,
@@ -254,6 +318,31 @@ pub struct CfTree {
     /// because an input CF cannot be split. The auditor widens its
     /// threshold check by this amount.
     pub(crate) max_input_stat: f64,
+    /// Out-of-core mode: `Some` after [`CfTree::enable_paging`]. Never
+    /// cloned (a clone is always fully resident with paging off).
+    pager: Option<Box<TreePager>>,
+}
+
+impl Clone for CfTree {
+    fn clone(&self) -> Self {
+        assert!(
+            !self.has_evicted_nodes(),
+            "cannot clone a CF-tree with spilled nodes; fault them in first"
+        );
+        Self {
+            params: self.params,
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            first_leaf: self.first_leaf,
+            height: self.height,
+            leaf_entry_count: self.leaf_entry_count,
+            total: self.total.clone(),
+            stats: self.stats,
+            max_input_stat: self.max_input_stat,
+            pager: None,
+        }
+    }
 }
 
 impl CfTree {
@@ -278,6 +367,7 @@ impl CfTree {
             total: Cf::empty(params.dim),
             stats: TreeStats::default(),
             max_input_stat: 0.0,
+            pager: None,
         }
     }
 
@@ -424,6 +514,13 @@ impl CfTree {
     }
 
     fn node(&self, id: NodeId) -> &Node {
+        debug_assert!(
+            self.pager
+                .as_ref()
+                .is_none_or(|p| !p.slot_of.contains_key(&id.0)),
+            "access to evicted node {} without fault_in",
+            id.0
+        );
         &self.nodes[id.index()]
     }
 
@@ -433,11 +530,18 @@ impl CfTree {
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        debug_assert!(
+            self.pager
+                .as_ref()
+                .is_none_or(|p| !p.slot_of.contains_key(&id.0)),
+            "mutation of evicted node {} without fault_in",
+            id.0
+        );
         &mut self.nodes[id.index()]
     }
 
     pub(crate) fn alloc(&mut self, mut node: Node) -> NodeId {
-        if let Some(id) = self.free.pop() {
+        let id = if let Some(id) = self.free.pop() {
             node.id = id;
             self.nodes[id.index()] = node;
             id
@@ -446,10 +550,24 @@ impl CfTree {
             node.id = id;
             self.nodes.push(node);
             id
+        };
+        // A fresh node is resident by construction; the root stays pinned
+        // outside the clock.
+        if let Some(p) = self.pager.as_mut() {
+            if id != self.root {
+                p.cache.insert(u64::from(id.0));
+            }
         }
+        id
     }
 
     fn free_node(&mut self, id: NodeId) {
+        if let Some(p) = self.pager.as_mut() {
+            p.cache.remove(u64::from(id.0));
+            if let Some(slot) = p.slot_of.remove(&id.0) {
+                p.store.free(slot);
+            }
+        }
         self.free.push(id);
     }
 
@@ -554,6 +672,7 @@ impl CfTree {
             }
         }
         self.strict_audit("insert_cf");
+        self.evict_to_cap();
         outcome
     }
 
@@ -562,6 +681,12 @@ impl CfTree {
     /// they can be re-absorbed into the current tree without causing the
     /// tree to grow in size"). Returns `true` on success.
     pub fn try_absorb(&mut self, ent: &Cf) -> bool {
+        let absorbed = self.try_absorb_inner(ent);
+        self.evict_to_cap();
+        absorbed
+    }
+
+    fn try_absorb_inner(&mut self, ent: &Cf) -> bool {
         assert!(!ent.is_empty(), "cannot absorb an empty CF");
         assert_eq!(ent.dim(), self.params.dim, "dimension mismatch");
         let (leaf_id, path) = self.descend(ent);
@@ -594,6 +719,7 @@ impl CfTree {
         }
         let (leaf_id, path) = self.descend(ent);
         if self.node(leaf_id).entry_count() >= self.params.leaf_capacity {
+            self.evict_to_cap();
             return false;
         }
         self.note_atomic_input(ent);
@@ -602,6 +728,7 @@ impl CfTree {
         self.add_to_path(&path, ent);
         self.total.merge(ent);
         self.strict_audit("try_add_no_split");
+        self.evict_to_cap();
         true
     }
 
@@ -619,6 +746,7 @@ impl CfTree {
         let mut cur = self.root;
         let mut calls = 0u64;
         let mut skipped = 0u64;
+        self.fault_in(cur);
         while !self.node(cur).is_leaf() {
             let node = self.node(cur);
             debug_assert!(node.entry_count() > 0, "interior node with no children");
@@ -634,6 +762,7 @@ impl CfTree {
             let best = best.map_or(0, |(i, _)| i);
             path.push((cur, best));
             cur = node.children()[best].child;
+            self.fault_in(cur);
         }
         self.stats.distance_calls += calls;
         self.stats.distance_calls_pruned += skipped;
@@ -728,8 +857,15 @@ impl CfTree {
                 cf: self.summary(new_id),
                 child: new_id,
             });
-            self.root = self.alloc(root);
+            let new_root = self.alloc(root);
+            self.root = new_root;
             self.height += 1;
+            // The pin moves with the root: the new root leaves the clock,
+            // the demoted one becomes evictable.
+            if let Some(p) = self.pager.as_mut() {
+                p.cache.remove(u64::from(new_root.0));
+                p.cache.insert(u64::from(old_root.0));
+            }
         }
     }
 
@@ -750,6 +886,10 @@ impl CfTree {
 
         let a_id = self.node(nid).children()[i].child;
         let b_id = self.node(nid).children()[j].child;
+        // The closest pair need not lie on the descent path: fault both
+        // children in before merging their contents.
+        self.fault_in(a_id);
+        self.fault_in(b_id);
         let a_is_leaf = self.node(a_id).is_leaf();
         debug_assert_eq!(
             a_is_leaf,
@@ -826,6 +966,10 @@ impl CfTree {
             NodeKind::Leaf { next, .. } => *next,
             NodeKind::Interior { .. } => unreachable!("link_after on interior"),
         };
+        // The chain successor is off the descent path and may be spilled.
+        if let Some(n) = old_next {
+            self.fault_in(n);
+        }
         if let NodeKind::Leaf { next, .. } = &mut self.node_mut(after).kind {
             *next = Some(new_id);
         }
@@ -847,6 +991,13 @@ impl CfTree {
             NodeKind::Leaf { prev, next, .. } => (*prev, *next),
             NodeKind::Interior { .. } => unreachable!("unlink_leaf on interior"),
         };
+        // Chain neighbours are off the descent path and may be spilled.
+        if let Some(p) = p {
+            self.fault_in(p);
+        }
+        if let Some(n) = n {
+            self.fault_in(n);
+        }
         match p {
             Some(p) => {
                 if let NodeKind::Leaf { next, .. } = &mut self.node_mut(p).kind {
@@ -968,6 +1119,12 @@ impl CfTree {
     /// debug soak run into a per-operation correctness proof.
     #[cfg(feature = "strict-audit")]
     pub(crate) fn strict_audit(&self, op: &str) {
+        // The auditor walks the whole tree; with nodes spilled out-of-core
+        // it would read hollow placeholders. Out-of-core runs audit at
+        // fault-all boundaries instead (see Phase 1's finish path).
+        if self.has_evicted_nodes() {
+            return;
+        }
         if let Err(v) = crate::audit::audit(self) {
             panic!("strict-audit after {op}: {v}");
         }
@@ -978,6 +1135,510 @@ impl CfTree {
     #[cfg(not(feature = "strict-audit"))]
     #[inline(always)]
     pub(crate) fn strict_audit(&self, _op: &str) {}
+
+    // ------------------------------------------------------------------
+    // Out-of-core paging (§4.2's "M bytes of memory, pages of P bytes"
+    // made literal) and checkpoint/restore.
+    // ------------------------------------------------------------------
+
+    /// Switches the tree into out-of-core mode: nodes beyond a resident
+    /// budget of `max_resident` pages are spilled to `spill_path` (clock
+    /// eviction, root pinned) and faulted back on access. The spill file
+    /// is created immediately and deleted when paging is disabled or the
+    /// tree is dropped.
+    ///
+    /// Eviction runs at insert-operation boundaries, so the budget is a
+    /// bound on the resident set *between* operations; mid-operation the
+    /// descent path plus split churn is transiently resident on top.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file creation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if paging is already enabled or `max_resident < 2`.
+    pub fn enable_paging(&mut self, spill_path: &Path, max_resident: usize) -> io::Result<()> {
+        assert!(self.pager.is_none(), "paging already enabled");
+        assert!(
+            max_resident >= 2,
+            "page budget must keep at least the root and one other node resident"
+        );
+        // Physical slots leave one entry row of slack over B/L: splits
+        // transiently hold capacity + 1 entries, and a checkpoint taken
+        // from a foreign (pre-rebuild) tree may too.
+        let cf_words = Cf::words_per_entry(self.params.dim);
+        let leaf_words = (self.params.leaf_capacity + 1) * cf_words;
+        let interior_words = (self.params.branching + 1) * (cf_words + 1);
+        let page_bytes = PAGE_HEADER_BYTES + 8 * leaf_words.max(interior_words);
+        let store = PageStore::create(spill_path, page_bytes)?;
+        let mut cache = ClockCache::new();
+        let free: HashSet<u32> = self.free.iter().map(|id| id.0).collect();
+        for n in 0..self.nodes.len() {
+            let n = u32::try_from(n).expect("arena overflow");
+            if n != self.root.0 && !free.contains(&n) {
+                cache.insert(u64::from(n));
+            }
+        }
+        self.pager = Some(Box::new(TreePager {
+            store,
+            cache,
+            slot_of: HashMap::new(),
+            max_resident,
+            refs: 0,
+            faults: 0,
+            evictions: 0,
+        }));
+        self.evict_to_cap();
+        Ok(())
+    }
+
+    /// Leaves out-of-core mode: faults every spilled node back in and
+    /// deletes the spill file. No-op when paging is off.
+    pub fn disable_paging(&mut self) {
+        self.fault_all();
+        self.pager = None;
+    }
+
+    /// Whether out-of-core mode is on.
+    #[must_use]
+    pub fn is_paged(&self) -> bool {
+        self.pager.is_some()
+    }
+
+    /// Whether any live node is currently spilled to disk (always `false`
+    /// with paging off). Whole-tree walks — audits, health, leaf
+    /// iteration — require this to be `false`; call [`CfTree::fault_all`]
+    /// first.
+    #[must_use]
+    pub fn has_evicted_nodes(&self) -> bool {
+        self.pager.as_ref().is_some_and(|p| !p.slot_of.is_empty())
+    }
+
+    /// Page-cache counters and occupancy, or `None` with paging off.
+    #[must_use]
+    pub fn page_stats(&self) -> Option<PageCacheStats> {
+        self.pager.as_ref().map(|p| PageCacheStats {
+            refs: p.refs,
+            faults: p.faults,
+            evictions: p.evictions,
+            resident_nodes: self.node_count() - p.slot_of.len(),
+            evicted_nodes: p.slot_of.len(),
+            spill_file_bytes: p.store.file_bytes(),
+            spill_bytes_written: p.store.stats().bytes_written,
+            spill_bytes_read: p.store.stats().bytes_read,
+        })
+    }
+
+    /// Faults every spilled node back into memory (paging stays on, so
+    /// subsequent inserts will evict again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill file is unreadable or a page fails to verify —
+    /// the spill file lives for exactly one process, so damage to it is a
+    /// local I/O failure, not a recoverable input condition.
+    pub fn fault_all(&mut self) {
+        let Some(pager) = self.pager.as_ref() else {
+            return;
+        };
+        let mut ids: Vec<u32> = pager.slot_of.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.fault_in(NodeId(id));
+        }
+    }
+
+    /// Ensures `id` is resident, reading it back from the spill file if it
+    /// was evicted, and marks it recently-used. No-op with paging off —
+    /// the hot path pays one `Option` branch.
+    fn fault_in(&mut self, id: NodeId) {
+        if self.pager.is_none() {
+            return;
+        }
+        let root = self.root;
+        let dim = self.params.dim;
+        let pager = self.pager.as_mut().expect("pager checked above");
+        pager.refs += 1;
+        if id != root {
+            pager.cache.insert(u64::from(id.0));
+        }
+        let Some(slot) = pager.slot_of.remove(&id.0) else {
+            return;
+        };
+        pager.faults += 1;
+        let buf = pager.store.read_slot(slot).expect("spill file read failed");
+        pager.store.free(slot);
+        let kind = peek_kind(&buf).expect("spill page header corrupt");
+        let page = decode_page(&buf, Node::words_per_entry(kind, dim)).expect("spill page corrupt");
+        let mut node = Node::from_decoded_page(&page, dim);
+        node.id = id;
+        self.nodes[id.index()] = node;
+    }
+
+    /// Spills the clock's victim to the spill file, replacing its arena
+    /// entry with a hollow placeholder. Returns `false` when nothing is
+    /// evictable.
+    fn evict_one(&mut self) -> bool {
+        let Some(pager) = self.pager.as_mut() else {
+            return false;
+        };
+        let Some(key) = pager.cache.evict() else {
+            return false;
+        };
+        let id = NodeId(u32::try_from(key).expect("cache keys are node ids"));
+        let (kind, count, prev, next, words) = self.nodes[id.index()].to_page_words();
+        let pager = self.pager.as_mut().expect("pager checked above");
+        let buf = encode_page(pager.store.page_bytes(), kind, count, prev, next, &words)
+            .expect("node exceeds its physical page slot");
+        let slot = pager.store.alloc();
+        pager
+            .store
+            .write_slot(slot, &buf)
+            .expect("spill file write failed");
+        pager.slot_of.insert(id.0, slot);
+        pager.evictions += 1;
+        let mut hollow = Node::new_leaf();
+        hollow.id = id;
+        self.nodes[id.index()] = hollow;
+        true
+    }
+
+    /// Evicts until the live resident set fits the page budget. Called at
+    /// operation boundaries, when every node is within B/L capacity.
+    fn evict_to_cap(&mut self) {
+        loop {
+            let Some(pager) = self.pager.as_ref() else {
+                return;
+            };
+            let resident = self.node_count() - pager.slot_of.len();
+            if resident <= pager.max_resident || !self.evict_one() {
+                return;
+            }
+        }
+    }
+
+    /// 0 = stable CF backend, 1 = classic. A snapshot records which
+    /// backend wrote it because their word layouts differ and cross-uses
+    /// would reinterpret statistics.
+    fn backend_tag() -> u32 {
+        u32::from(cfg!(feature = "classic-cf"))
+    }
+
+    /// Writes a versioned, per-section-checksummed snapshot of the whole
+    /// tree to `path` (atomically: temp sibling + fsync + rename). Spilled
+    /// nodes are faulted in first, so the snapshot is always complete.
+    /// Restore with [`CfTree::reopen`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the snapshot.
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), SnapshotError> {
+        self.fault_all();
+        let mut w = SnapshotWriter::new();
+        w.add_section(*b"META", self.encode_meta());
+        let free: HashSet<u32> = self.free.iter().map(|id| id.0).collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = u32::try_from(i).expect("arena overflow");
+            if free.contains(&id) {
+                continue;
+            }
+            let (kind, count, prev, next, words) = node.to_page_words();
+            // Snapshot pages are tight (header + payload), not padded to
+            // the physical slot size: node id first, page bytes after.
+            let page_bytes = PAGE_HEADER_BYTES + words.len() * 8;
+            let page = encode_page(page_bytes, kind, count, prev, next, &words)
+                .expect("tight page cannot overflow");
+            let mut payload = Vec::with_capacity(4 + page.len());
+            payload.extend_from_slice(&id.to_le_bytes());
+            payload.extend_from_slice(&page);
+            w.add_section(*b"NODE", payload);
+        }
+        w.finish(path)?;
+        Ok(())
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut m = Vec::with_capacity(128 + 8 * Cf::words_per_entry(self.params.dim));
+        let p = &self.params;
+        m.extend_from_slice(&Self::backend_tag().to_le_bytes());
+        m.extend_from_slice(&u32::try_from(p.dim).expect("dim range").to_le_bytes());
+        m.extend_from_slice(&u32::try_from(p.branching).expect("B range").to_le_bytes());
+        m.extend_from_slice(
+            &u32::try_from(p.leaf_capacity)
+                .expect("L range")
+                .to_le_bytes(),
+        );
+        m.push(threshold_kind_to_byte(p.threshold_kind));
+        m.push(metric_to_byte(p.metric));
+        m.push(u8::from(p.merge_refinement));
+        m.push(u8::from(p.descend_prune));
+        m.extend_from_slice(&p.threshold.to_bits().to_le_bytes());
+        m.extend_from_slice(&self.root.0.to_le_bytes());
+        m.extend_from_slice(&self.first_leaf.0.to_le_bytes());
+        m.extend_from_slice(
+            &u32::try_from(self.height)
+                .expect("height range")
+                .to_le_bytes(),
+        );
+        m.extend_from_slice(
+            &u32::try_from(self.nodes.len())
+                .expect("arena overflow")
+                .to_le_bytes(),
+        );
+        m.extend_from_slice(&(self.leaf_entry_count as u64).to_le_bytes());
+        m.extend_from_slice(&self.max_input_stat.to_bits().to_le_bytes());
+        m.extend_from_slice(&self.stats.splits.to_le_bytes());
+        m.extend_from_slice(&self.stats.merge_refinements.to_le_bytes());
+        m.extend_from_slice(&self.stats.distance_calls.to_le_bytes());
+        m.extend_from_slice(&self.stats.distance_calls_pruned.to_le_bytes());
+        m.extend_from_slice(
+            &u32::try_from(self.free.len())
+                .expect("free list range")
+                .to_le_bytes(),
+        );
+        for id in &self.free {
+            m.extend_from_slice(&id.0.to_le_bytes());
+        }
+        let mut words = Vec::with_capacity(Cf::words_per_entry(self.params.dim));
+        self.total.to_words(&mut words);
+        m.extend_from_slice(
+            &u32::try_from(words.len())
+                .expect("CF word range")
+                .to_le_bytes(),
+        );
+        for w in words {
+            m.extend_from_slice(&w.to_le_bytes());
+        }
+        m
+    }
+
+    /// Reconstructs a tree from a [`CfTree::checkpoint`] snapshot. The
+    /// result is fully resident with paging off (re-enable it with
+    /// [`CfTree::enable_paging`] if desired); leaf CF statistics are
+    /// bit-identical to the checkpointed tree's.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: unreadable file, bad magic/version, a
+    /// checksum mismatch anywhere, or a structurally inconsistent META
+    /// section — corruption is always a typed error, never garbage stats.
+    pub fn reopen(path: &Path) -> Result<Self, SnapshotError> {
+        let malformed = |detail: String| SnapshotError::Malformed { detail };
+        let snap = SnapshotReader::open(path)?;
+        let meta = snap.require(*b"META")?;
+        let mut c = MetaCursor { buf: meta, at: 0 };
+
+        let backend = c.u32()?;
+        if backend != Self::backend_tag() {
+            return Err(malformed(format!(
+                "snapshot written by CF backend {backend}, this build is {}",
+                Self::backend_tag()
+            )));
+        }
+        let dim = c.u32()? as usize;
+        let branching = c.u32()? as usize;
+        let leaf_capacity = c.u32()? as usize;
+        let threshold_kind = threshold_kind_from_byte(c.u8()?)
+            .ok_or_else(|| malformed("unknown threshold kind byte".into()))?;
+        let metric = metric_from_byte(c.u8()?)
+            .ok_or_else(|| malformed("unknown distance metric byte".into()))?;
+        let merge_refinement = c.u8()? != 0;
+        let descend_prune = c.u8()? != 0;
+        let threshold = f64::from_bits(c.u64()?);
+        if dim == 0 || branching < 2 || leaf_capacity < 2 || !threshold.is_finite() {
+            return Err(malformed("inconsistent tree parameters".into()));
+        }
+        let params = TreeParams {
+            dim,
+            branching,
+            leaf_capacity,
+            threshold,
+            threshold_kind,
+            metric,
+            merge_refinement,
+            descend_prune,
+        };
+        let root = NodeId(c.u32()?);
+        let first_leaf = NodeId(c.u32()?);
+        let height = c.u32()? as usize;
+        let arena_len = c.u32()? as usize;
+        let leaf_entry_count = usize::try_from(c.u64()?)
+            .map_err(|_| malformed("leaf entry count exceeds this platform".into()))?;
+        let max_input_stat = f64::from_bits(c.u64()?);
+        let stats = TreeStats {
+            splits: c.u64()?,
+            merge_refinements: c.u64()?,
+            distance_calls: c.u64()?,
+            distance_calls_pruned: c.u64()?,
+        };
+        let free_len = c.u32()? as usize;
+        let mut free = Vec::with_capacity(free_len);
+        let mut free_set = HashSet::with_capacity(free_len);
+        for _ in 0..free_len {
+            let id = c.u32()?;
+            if id as usize >= arena_len || !free_set.insert(id) {
+                return Err(malformed(format!("bad free-list id {id}")));
+            }
+            free.push(NodeId(id));
+        }
+        let total_words_len = c.u32()? as usize;
+        if total_words_len != Cf::words_per_entry(dim) {
+            return Err(malformed(format!(
+                "total CF has {total_words_len} words, expected {}",
+                Cf::words_per_entry(dim)
+            )));
+        }
+        let mut total_words = Vec::with_capacity(total_words_len);
+        for _ in 0..total_words_len {
+            total_words.push(c.u64()?);
+        }
+        c.finish()?;
+        let total = Cf::from_words(&total_words, dim);
+
+        if root.index() >= arena_len || first_leaf.index() >= arena_len || height == 0 {
+            return Err(malformed("root/first-leaf/height out of range".into()));
+        }
+
+        let mut slots: Vec<Option<Node>> =
+            std::iter::repeat_with(|| None).take(arena_len).collect();
+        for payload in snap.sections(*b"NODE") {
+            if payload.len() < 4 {
+                return Err(malformed("NODE section shorter than its id".into()));
+            }
+            let id = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+            if id as usize >= arena_len {
+                return Err(malformed(format!("node id {id} outside the arena")));
+            }
+            let page_buf = &payload[4..];
+            let kind = peek_kind(page_buf).map_err(|e| malformed(format!("node {id}: {e}")))?;
+            let page = decode_page(page_buf, Node::words_per_entry(kind, dim))
+                .map_err(|e| malformed(format!("node {id}: {e}")))?;
+            let mut node = Node::from_decoded_page(&page, dim);
+            node.id = NodeId(id);
+            if slots[id as usize].replace(node).is_some() {
+                return Err(malformed(format!("duplicate NODE section for id {id}")));
+            }
+        }
+        let mut nodes = Vec::with_capacity(arena_len);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let id = u32::try_from(i).expect("arena overflow");
+            match slot {
+                Some(node) => {
+                    if free_set.contains(&id) {
+                        return Err(malformed(format!("free-listed id {id} has a NODE")));
+                    }
+                    nodes.push(node);
+                }
+                None => {
+                    if !free_set.contains(&id) {
+                        return Err(malformed(format!("live node {id} missing its NODE")));
+                    }
+                    let mut hollow = Node::new_leaf();
+                    hollow.id = NodeId(id);
+                    nodes.push(hollow);
+                }
+            }
+        }
+
+        Ok(Self {
+            params,
+            nodes,
+            free,
+            root,
+            first_leaf,
+            height,
+            leaf_entry_count,
+            total,
+            stats,
+            max_input_stat,
+            pager: None,
+        })
+    }
+}
+
+/// Bounds-checked little-endian reader over the snapshot META payload:
+/// every short read is a typed [`SnapshotError::Malformed`], never a
+/// panic, so a truncating corruption that survives framing cannot crash
+/// the restore path.
+struct MetaCursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> MetaCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(SnapshotError::Malformed {
+                detail: format!("META truncated at byte {}", self.at),
+            });
+        };
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn finish(&self) -> Result<(), SnapshotError> {
+        if self.at != self.buf.len() {
+            return Err(SnapshotError::Malformed {
+                detail: format!("META has {} trailing bytes", self.buf.len() - self.at),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn threshold_kind_to_byte(k: ThresholdKind) -> u8 {
+    match k {
+        ThresholdKind::Diameter => 0,
+        ThresholdKind::Radius => 1,
+    }
+}
+
+fn threshold_kind_from_byte(b: u8) -> Option<ThresholdKind> {
+    match b {
+        0 => Some(ThresholdKind::Diameter),
+        1 => Some(ThresholdKind::Radius),
+        _ => None,
+    }
+}
+
+fn metric_to_byte(m: DistanceMetric) -> u8 {
+    match m {
+        DistanceMetric::D0 => 0,
+        DistanceMetric::D1 => 1,
+        DistanceMetric::D2 => 2,
+        DistanceMetric::D3 => 3,
+        DistanceMetric::D4 => 4,
+    }
+}
+
+fn metric_from_byte(b: u8) -> Option<DistanceMetric> {
+    match b {
+        0 => Some(DistanceMetric::D0),
+        1 => Some(DistanceMetric::D1),
+        2 => Some(DistanceMetric::D2),
+        3 => Some(DistanceMetric::D3),
+        4 => Some(DistanceMetric::D4),
+        _ => None,
+    }
 }
 
 /// An entry on its way into the tree: owned (the public `insert_cf` path)
@@ -1471,5 +2132,171 @@ mod tests {
     fn wrong_dim_panics() {
         let mut t = CfTree::new(small_params(1.0));
         t.insert_cf(Cf::from_point(&Point::new(vec![1.0, 2.0, 3.0])));
+    }
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("birch-tree-test-{}-{tag}", std::process::id()))
+    }
+
+    /// Identical f64 bit patterns, entry by entry, leaf chain order.
+    fn assert_bit_identical(a: &CfTree, b: &CfTree) {
+        let ea: Vec<&Cf> = a.leaf_entries().collect();
+        let eb: Vec<&Cf> = b.leaf_entries().collect();
+        assert_eq!(ea.len(), eb.len(), "leaf entry counts differ");
+        for (i, (x, y)) in ea.iter().zip(&eb).enumerate() {
+            let mut wx = Vec::new();
+            let mut wy = Vec::new();
+            x.to_words(&mut wx);
+            y.to_words(&mut wy);
+            assert_eq!(wx, wy, "leaf entry {i} differs bitwise");
+        }
+    }
+
+    #[test]
+    fn paged_build_bounds_residency_and_matches_unpaged() {
+        let spill = temp_file("paged-build.pages");
+        let budget = 4;
+
+        let mut paged = CfTree::new(small_params(0.5));
+        paged.enable_paging(&spill, budget).unwrap();
+        let mut resident = CfTree::new(small_params(0.5));
+
+        let mut x = 0.0f64;
+        let mut y = 0.0f64;
+        for i in 0..500 {
+            x = (x * 1.3 + f64::from(i) * 0.7).rem_euclid(50.0);
+            y = (y * 1.7 + f64::from(i) * 0.3).rem_euclid(50.0);
+            paged.insert_point(&Point::xy(x, y));
+            resident.insert_point(&Point::xy(x, y));
+            let s = paged.page_stats().unwrap();
+            assert!(
+                s.resident_nodes <= budget,
+                "resident {} exceeds page budget {budget} at op boundary",
+                s.resident_nodes
+            );
+        }
+        assert!(
+            paged.node_count() > budget,
+            "workload too small to exercise eviction"
+        );
+        let s = paged.page_stats().unwrap();
+        assert!(s.evictions > 0, "no evictions despite budget pressure");
+        assert!(s.faults > 0, "no faults despite evictions");
+        assert!(s.spill_bytes_written > 0);
+
+        // Descent order, splits, and CF arithmetic are untouched by
+        // paging: counters and leaf stats must be exactly equal.
+        assert_eq!(paged.stats(), resident.stats());
+        paged.disable_paging();
+        assert!(!spill.exists(), "spill file must be deleted");
+        paged.audit().unwrap();
+        assert_bit_identical(&paged, &resident);
+    }
+
+    #[test]
+    fn checkpoint_reopen_is_bit_identical_and_continues_equally() {
+        let snap = temp_file("checkpoint.snapshot");
+        let mut t = walk_tree(small_params(0.5));
+        t.checkpoint(&snap).unwrap();
+
+        let mut back = CfTree::reopen(&snap).unwrap();
+        std::fs::remove_file(&snap).unwrap();
+        back.audit().unwrap();
+        assert_eq!(back.params(), t.params());
+        assert_eq!(back.height(), t.height());
+        assert_eq!(back.node_count(), t.node_count());
+        assert_eq!(back.leaf_entry_count(), t.leaf_entry_count());
+        assert_eq!(back.stats(), t.stats());
+        assert_bit_identical(&back, &t);
+        {
+            let mut wa = Vec::new();
+            let mut wb = Vec::new();
+            t.total_cf().to_words(&mut wa);
+            back.total_cf().to_words(&mut wb);
+            assert_eq!(wa, wb, "total CF differs bitwise");
+        }
+
+        // The restored tree must behave identically from here on.
+        for i in 0..100 {
+            let p = Point::xy(f64::from(i) * 0.37 % 50.0, f64::from(i) * 0.73 % 50.0);
+            assert_eq!(t.insert_point(&p), back.insert_point(&p));
+        }
+        assert_eq!(back.stats(), t.stats());
+        assert_bit_identical(&back, &t);
+    }
+
+    #[test]
+    fn paged_checkpoint_faults_all_and_restores() {
+        let spill = temp_file("paged-ckpt.pages");
+        let snap = temp_file("paged-ckpt.snapshot");
+        let mut t = CfTree::new(small_params(0.5));
+        t.enable_paging(&spill, 3).unwrap();
+        for i in 0..200 {
+            let p = Point::xy(f64::from(i) * 1.37 % 40.0, f64::from(i) * 2.11 % 40.0);
+            t.insert_point(&p);
+        }
+        assert!(t.has_evicted_nodes(), "budget 3 must force spills");
+        t.checkpoint(&snap).unwrap();
+        assert!(!t.has_evicted_nodes(), "checkpoint faults everything in");
+
+        let back = CfTree::reopen(&snap).unwrap();
+        std::fs::remove_file(&snap).unwrap();
+        back.audit().unwrap();
+        assert!(!back.is_paged(), "a reopened tree starts fully resident");
+        t.disable_paging();
+        assert_bit_identical(&back, &t);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let snap = temp_file("corrupt.snapshot");
+        let mut t = walk_tree(small_params(0.5));
+        t.checkpoint(&snap).unwrap();
+        let bytes = std::fs::read(&snap).unwrap();
+
+        // Flip one byte at a spread of offsets: every read must fail
+        // loudly, never return a tree with silently wrong statistics.
+        for at in (0..bytes.len()).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            std::fs::write(&snap, &bad).unwrap();
+            assert!(
+                CfTree::reopen(&snap).is_err(),
+                "flip at byte {at} went undetected"
+            );
+        }
+        // Truncations too.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&snap, &bytes[..cut]).unwrap();
+            assert!(
+                CfTree::reopen(&snap).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+        std::fs::remove_file(&snap).unwrap();
+    }
+
+    #[test]
+    fn reopen_rejects_wrong_backend_tag() {
+        let snap = temp_file("backend.snapshot");
+        let mut t = walk_tree(small_params(0.5));
+        t.checkpoint(&snap).unwrap();
+        // A payload edit means re-checksumming, so rebuild the snapshot
+        // through the writer with the backend tag flipped.
+        let reader = SnapshotReader::open(&snap).unwrap();
+        let mut meta = reader.require(*b"META").unwrap().to_vec();
+        meta[0] ^= 1; // flip the backend tag
+        let mut w = SnapshotWriter::new();
+        w.add_section(*b"META", meta);
+        for node in reader.sections(*b"NODE") {
+            w.add_section(*b"NODE", node.to_vec());
+        }
+        w.finish(&snap).unwrap();
+        let err = CfTree::reopen(&snap).unwrap_err();
+        std::fs::remove_file(&snap).unwrap();
+        assert!(
+            matches!(err, SnapshotError::Malformed { .. }),
+            "wrong backend must be malformed, got {err}"
+        );
     }
 }

@@ -65,7 +65,7 @@ fn spill_full_then_reabsorb_end_to_end() {
 
     let store = b.outliers_mut().expect("outliers enabled");
     assert!(
-        store.disk().faults_injected() > 0,
+        store.faults_injected() > 0,
         "the forced-full watermark never refused a write"
     );
     let m = b.metrics().snapshot();
@@ -115,7 +115,7 @@ fn injected_spill_failure_folds_entry_into_tree() {
     b.feed_outlier_candidate(Cf::from_point(&Point::xy(1e5, 1e5)));
     {
         let store = b.outliers_mut().expect("outliers enabled");
-        assert_eq!(store.disk().faults_injected(), 1);
+        assert_eq!(store.faults_injected(), 1);
         assert!(store.is_empty(), "refused entry must not be on disk");
     }
     assert!(
@@ -128,7 +128,7 @@ fn injected_spill_failure_folds_entry_into_tree() {
     {
         let store = b.outliers_mut().expect("outliers enabled");
         assert_eq!(store.len(), 1, "second spill should succeed");
-        assert_eq!(store.disk().faults_injected(), 1);
+        assert_eq!(store.faults_injected(), 1);
     }
     b.audit().unwrap();
 }
@@ -190,7 +190,7 @@ fn shard_merge_with_failed_spill_conserves_everything() {
         let store = m.outliers_mut().expect("outliers enabled");
         assert!(store.is_empty(), "no write can have succeeded");
         assert!(
-            store.disk().faults_injected() > 0,
+            store.faults_injected() > 0,
             "none of the {spill_attempts} carried outliers hit the faulty disk \
              (all absorbed?) — premise broken"
         );
@@ -233,7 +233,6 @@ fn delay_split_park_failures_are_lossless() {
     assert!(
         b.delay_mut()
             .expect("delay-split enabled")
-            .disk()
             .faults_injected()
             > 0,
         "no park was ever refused — raise the failure probability"

@@ -215,6 +215,22 @@ impl<T> SimDisk<T> {
 
     /// Appends a record.
     ///
+    /// Rejection classification, in precedence order:
+    ///
+    /// 1. The record does not fit in the remaining *physical* capacity:
+    ///    the rejection is **organic** (`injected = false`), even if the
+    ///    [`FaultPlan`] also fired on this attempt or the force-full
+    ///    watermark has been reached — the write would have been refused
+    ///    with no plan installed, so counting it as injected would make
+    ///    `faults_injected` over-report.
+    /// 2. Otherwise, a plan firing (k-th write or random) or a reached
+    ///    force-full watermark (`bytes_written >= limit`, the exact
+    ///    boundary included) makes the rejection **injected**.
+    ///
+    /// The plan's random stream is advanced exactly once per attempt
+    /// regardless of how the attempt resolves, so fault sequences stay a
+    /// pure function of the seed and the attempt order.
+    ///
     /// # Errors
     ///
     /// Returns [`DiskError`] (and gives the record back via the error's
@@ -223,13 +239,13 @@ impl<T> SimDisk<T> {
     pub fn write(&mut self, record: T) -> Result<(), (T, DiskError)> {
         self.write_attempts += 1;
         let attempt = self.write_attempts;
-        let mut injected = self.fault_plan.fires_on(attempt);
-        if !injected && !self.has_space() {
-            // Distinguish a genuinely full disk from the force-full
-            // watermark, which is also an injected condition.
-            injected =
-                self.forced_full() && self.used_bytes() + self.record_bytes <= self.capacity_bytes;
-        } else if !injected {
+        // Consult the plan unconditionally: the xorshift64 stream must
+        // advance once per attempt even when the outcome is decided by
+        // capacity, or fault sequences would depend on disk occupancy.
+        let plan_fired = self.fault_plan.fires_on(attempt);
+        let genuinely_full = self.used_bytes() + self.record_bytes > self.capacity_bytes;
+        let injected = !genuinely_full && (plan_fired || self.forced_full());
+        if !genuinely_full && !injected {
             self.records.push(record);
             self.bytes_written += self.record_bytes as u64;
             self.writes += 1;
@@ -425,6 +441,90 @@ mod tests {
         let (_, err) = d.write(2).unwrap_err();
         assert!(!err.injected);
         assert_eq!(d.faults_injected(), 0);
+    }
+
+    #[test]
+    fn fault_firing_on_a_full_disk_is_classified_organic() {
+        // The plan fires on attempt 2, but the disk is also genuinely
+        // full: the rejection would have happened with no plan installed,
+        // so it must not count as injected (satellite bugfix 1).
+        let mut d: SimDisk<u32> = SimDisk::new(32, 32);
+        d.set_fault_plan(FaultPlan::new().fail_write(2));
+        d.write(1).unwrap();
+        let (_, err) = d.write(2).unwrap_err();
+        assert!(!err.injected, "genuine-full takes precedence over the plan");
+        assert_eq!(d.faults_injected(), 0);
+        assert_eq!(d.write_attempts(), 2);
+    }
+
+    #[test]
+    fn watermark_on_a_full_disk_is_organic_until_space_frees() {
+        // Capacity 96, watermark 96: after three writes the disk is both
+        // genuinely full and past the watermark. The 4th rejection is
+        // organic (capacity decides); after a drain frees space, the
+        // watermark alone refuses — that rejection is injected.
+        let mut d: SimDisk<u32> = SimDisk::new(96, 32);
+        d.set_fault_plan(FaultPlan::new().force_full_after(96));
+        for i in 0..3 {
+            d.write(i).unwrap();
+        }
+        assert_eq!(d.bytes_written(), 96);
+        let (_, err) = d.write(3).unwrap_err();
+        assert!(!err.injected, "over-determined rejection is organic");
+        assert_eq!(d.faults_injected(), 0);
+        let _ = d.drain_all();
+        let (_, err) = d.write(4).unwrap_err();
+        assert!(err.injected, "with space free, the watermark is the cause");
+        assert_eq!(d.faults_injected(), 1);
+    }
+
+    #[test]
+    fn watermark_fires_at_exactly_bytes_written_equals_limit() {
+        // The documented contract is "reaches this watermark": the exact
+        // `bytes_written == limit` boundary must already refuse (and the
+        // record still fits, so the rejection is injected).
+        let mut d: SimDisk<u32> = SimDisk::new(4096, 32);
+        d.set_fault_plan(FaultPlan::new().force_full_after(64));
+        d.write(1).unwrap();
+        d.write(2).unwrap();
+        assert_eq!(d.bytes_written(), 64);
+        assert!(!d.has_space());
+        let (_, err) = d.write(3).unwrap_err();
+        assert!(err.injected);
+        assert_eq!(d.faults_injected(), 1);
+    }
+
+    #[test]
+    fn random_stream_advances_once_per_attempt_even_when_full() {
+        // Two disks, same random plan; one hits genuine-full rejections
+        // mid-sequence. The injected-fault decisions must depend only on
+        // the attempt index, not on how earlier attempts resolved.
+        let plan = FaultPlan::new().fail_randomly(7, 0.4);
+        let mut roomy: SimDisk<u32> = SimDisk::new(1 << 20, 32);
+        roomy.set_fault_plan(plan.clone());
+        let fired: Vec<bool> = (0..50u32)
+            .map(|i| matches!(roomy.write(i), Err((_, e)) if e.injected))
+            .collect();
+
+        let mut cramped: SimDisk<u32> = SimDisk::new(64, 32);
+        cramped.set_fault_plan(plan);
+        for (i, &expect_fire) in fired.iter().enumerate() {
+            match cramped.write(i as u32) {
+                Ok(()) => assert!(!expect_fire, "attempt {i}: plan fired on the roomy disk"),
+                Err((_, e)) if e.injected => {
+                    assert!(expect_fire, "attempt {i}: injected without the plan firing");
+                }
+                // Organic rejection: the plan may or may not have fired
+                // underneath; either way the stream advanced once.
+                Err(_) => {}
+            }
+            // Keep the cramped disk oscillating between full and one
+            // free slot so both rejection kinds occur.
+            if cramped.len() == 2 {
+                let _ = cramped.drain_all();
+            }
+        }
+        assert!(fired.iter().any(|&f| f), "plan should fire at p=0.4");
     }
 
     #[test]

@@ -71,6 +71,20 @@ impl PageLayout {
         (self.page_bytes.saturating_sub(2 * WORD)) / self.cf_entry_bytes()
     }
 
+    /// Physical bytes of one encoded page slot able to hold either node
+    /// flavour, given how many 8-byte words one CF entry serializes to
+    /// (backend-dependent: the stable mean/SSE form is wider than the
+    /// classic `(N, LS, SS)` triple this cost model counts).
+    ///
+    /// The slot is the page header plus the larger of a full leaf
+    /// (`L` CF rows) and a full interior node (`B` rows of CF + child).
+    #[must_use]
+    pub fn physical_page_bytes(&self, cf_entry_words: usize) -> usize {
+        let leaf_words = self.leaf_capacity() * cf_entry_words;
+        let interior_words = self.branching_factor() * (cf_entry_words + 1);
+        crate::page::PAGE_HEADER_BYTES + WORD * leaf_words.max(interior_words)
+    }
+
     /// Number of whole pages required to hold `nodes` tree nodes (one node
     /// per page, as in the paper's cost model).
     #[must_use]
@@ -128,6 +142,22 @@ mod tests {
     #[should_panic(expected = "dimensionality must be positive")]
     fn zero_dim_rejected() {
         let _ = PageLayout::new(1024, 0);
+    }
+
+    #[test]
+    fn physical_page_holds_a_full_node_of_either_kind() {
+        use crate::page::PAGE_HEADER_BYTES;
+        for (page, dim) in [(1024, 2), (512, 2), (4096, 64), (2048, 16)] {
+            let l = PageLayout::new(page, dim);
+            // Stable CF backend: 2d + 3 words per entry.
+            for cf_words in [dim + 2, 2 * dim + 3] {
+                let phys = l.physical_page_bytes(cf_words);
+                let leaf_payload = l.leaf_capacity() * cf_words * WORD;
+                let interior_payload = l.branching_factor() * (cf_words + 1) * WORD;
+                assert!(phys >= PAGE_HEADER_BYTES + leaf_payload);
+                assert!(phys >= PAGE_HEADER_BYTES + interior_payload);
+            }
+        }
     }
 
     #[test]

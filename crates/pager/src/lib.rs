@@ -18,9 +18,19 @@
 //! * [`IoStats`] — the counters the paper's evaluation section reports
 //!   (pages read/written, rebuild count, peak memory use).
 //!
-//! Everything here is pure accounting: no real device I/O is performed. The
-//! point is to reproduce the paper's *cost model* faithfully (see DESIGN.md,
-//! substitution 3) so the benchmark harness can report the same columns.
+//! Accounting ([`MemoryBudget`], [`SimDisk`], [`IoStats`]) reproduces the
+//! paper's *cost model* faithfully (see DESIGN.md, substitution 3) so the
+//! benchmark harness can report the same columns. On top of that, the crate
+//! provides real durability:
+//!
+//! * [`page`] — a versioned, checksummed little-endian page codec for
+//!   leaf/interior nodes (the bytes behind `PageLayout`'s arithmetic),
+//! * [`PageStore`] — a file of fixed-size page slots with free-list
+//!   recycling, backing out-of-core CF-trees,
+//! * [`ClockCache`] — the second-chance eviction policy choosing which
+//!   resident node to spill when the page budget is exceeded,
+//! * [`SnapshotWriter`] / [`SnapshotReader`] — an atomically-installed,
+//!   per-section-checksummed snapshot container for checkpoint/restore.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +38,20 @@
 pub mod budget;
 pub mod disk;
 pub mod layout;
+pub mod page;
+pub mod snapshot;
 pub mod stats;
+pub mod store;
 
 pub use budget::{BudgetError, MemoryBudget};
 pub use disk::{DiskError, FaultPlan, SimDisk};
 pub use layout::PageLayout;
+pub use page::{
+    crc32, decode_page, encode_page, peek_kind, DecodedPage, PageError, PageKind, NO_NEIGHBOR,
+    PAGE_FORMAT_VERSION, PAGE_HEADER_BYTES,
+};
+pub use snapshot::{
+    SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+};
 pub use stats::IoStats;
+pub use store::{ClockCache, PageStore, StoreStats};

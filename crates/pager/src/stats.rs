@@ -29,6 +29,13 @@ pub struct IoStats {
     /// rather than a genuinely full disk. Lets soak harnesses separate
     /// injected failures from organic ones.
     pub disk_faults_injected: u64,
+    /// Node accesses that went through the page cache (out-of-core mode).
+    pub page_refs: u64,
+    /// Node accesses that missed and had to fault the page in from the
+    /// spill file.
+    pub page_faults: u64,
+    /// Resident nodes evicted to the spill file under page pressure.
+    pub page_evictions: u64,
     /// Leaf-entry splits performed during insertion.
     pub splits: u64,
     /// Merging refinements performed after splits (paper §4.3).
@@ -49,6 +56,9 @@ impl IoStats {
         self.disk_bytes_read += other.disk_bytes_read;
         self.disk_write_attempts += other.disk_write_attempts;
         self.disk_faults_injected += other.disk_faults_injected;
+        self.page_refs += other.page_refs;
+        self.page_faults += other.page_faults;
+        self.page_evictions += other.page_evictions;
         self.splits += other.splits;
         self.merge_refinements += other.merge_refinements;
         self.outliers_discarded += other.outliers_discarded;
@@ -60,12 +70,16 @@ impl fmt::Display for IoStats {
         write!(
             f,
             "rebuilds={} peak_pages={} splits={} refinements={} \
+             cache(refs={},faults={},evictions={}) \
              disk(w={},r={},bytes_w={},bytes_r={},attempts={},faults={}) \
              outliers_discarded={}",
             self.rebuilds,
             self.peak_pages,
             self.splits,
             self.merge_refinements,
+            self.page_refs,
+            self.page_faults,
+            self.page_evictions,
             self.disk_writes,
             self.disk_reads,
             self.disk_bytes_written,
@@ -151,6 +165,9 @@ mod tests {
             disk_bytes_read: 224,
             disk_write_attempts: 12,
             disk_faults_injected: 2,
+            page_refs: 200,
+            page_faults: 30,
+            page_evictions: 28,
             splits: 5,
             merge_refinements: 4,
             outliers_discarded: 1,

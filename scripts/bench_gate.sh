@@ -16,6 +16,10 @@
 #     phase3_scaling rows whose baseline heap ratio is null (oracle
 #     skipped past its quadratic memory wall at 100k) skip the ratio
 #     check but still gate the work counters.
+#   * checkpoint_io holds the deterministic snapshot_bytes to the
+#     threshold (format bloat, not machine noise) and gates the
+#     checkpoint/reopen MB/s rates, loud-skipping rows whose baseline
+#     wall is sub-50ms.
 #   * cf_stability is an accuracy bench; it has no throughput gate.
 #
 # The CI job invoking this is non-blocking (continue-on-error): shared
@@ -36,10 +40,13 @@ cargo run --release -p birch-bench --bin phase1_scaling -- \
 # bin's docs) keeps this the longest but still bounded step of the gate.
 cargo run --release -p birch-bench --bin phase3_scaling -- \
     --seed 42 --reps 1 --out "$FRESH/BENCH_phase3_scaling.json"
+cargo run --release -p birch-bench --bin checkpoint_io -- \
+    --seed 42 --reps 5 --out "$FRESH/BENCH_checkpoint_io.json"
 
 echo "== diffing against committed baselines =="
 cargo run --release -p birch-bench --bin bench_gate -- \
     --threshold 1.25 \
     --baseline BENCH_insert_kernel.json --fresh "$FRESH/BENCH_insert_kernel.json" \
     --baseline BENCH_phase1_scaling.json --fresh "$FRESH/BENCH_phase1_scaling.json" \
-    --baseline BENCH_phase3_scaling.json --fresh "$FRESH/BENCH_phase3_scaling.json"
+    --baseline BENCH_phase3_scaling.json --fresh "$FRESH/BENCH_phase3_scaling.json" \
+    --baseline BENCH_checkpoint_io.json --fresh "$FRESH/BENCH_checkpoint_io.json"

@@ -14,6 +14,12 @@
 //! by `generate` carry a trailing ground-truth label column — pass
 //! `--labeled true` to skip it (and score against it).
 //!
+//! Durability: `--out-of-core` backs the CF-tree with a real page file
+//! (spill directory via `--spill-dir`), so budget M bounds residency
+//! instead of forcing threshold rebuilds; `--checkpoint <file>` writes a
+//! versioned CF-tree snapshot at the Phase-3 boundary; `--restore <file>`
+//! skips Phase 1 and resumes the pipeline from such a snapshot.
+//!
 //! Observability: `--metrics-json <path>` writes the run's telemetry
 //! (per-phase times, rebuild/split counters, threshold trajectory,
 //! insertion-depth histogram) as one line of JSON; `--metrics-prom <path>`
@@ -41,6 +47,7 @@ fn main() -> ExitCode {
                 "usage:\n  birch-cli generate --preset <ds1|ds2|ds3> --out <file> \
                  [--seed n] [--per-cluster n]\n  birch-cli cluster --input <file> --k <n> \
                  [--labeled true] [--metric D0..D4] [--memory-kb n] [--threads n] \
+                 [--out-of-core] [--spill-dir d] [--checkpoint f] [--restore f] \
                  [--labels-out f] [--summary-out f] [--metrics-json f] \
                  [--metrics-prom f] [--profile] [--trace]"
             );
@@ -50,7 +57,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value; their presence means "true".
-const BOOLEAN_FLAGS: &[&str] = &["trace", "profile"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "profile", "out-of-core"];
 
 /// Trace sink for `--trace`: keeps the last events, skipping the
 /// per-insert descend records that would otherwise evict every
@@ -183,6 +190,12 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
         }
         config = config.threads(t);
     }
+    if flags.contains_key("out-of-core") {
+        config = config.out_of_core(true);
+    }
+    if let Some(dir) = flags.get("spill-dir") {
+        config = config.spill_dir(dir.clone());
+    }
 
     let trace = flags.contains_key("trace");
     if flags.contains_key("profile") {
@@ -190,7 +203,18 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
     }
     let mut tracer = CliTrace(TraceLog::new(512));
     let clusterer = Birch::new(config);
-    let result = if trace {
+    let result = if let Some(path) = flags.get("restore") {
+        // Skip Phase 1 entirely: the CF-tree comes off the snapshot; the
+        // input points only feed Phase 4's labeling scan.
+        println!("restoring CF-tree from {path}");
+        clusterer.fit_from_snapshot(std::path::Path::new(path), &points)
+    } else if let Some(path) = flags.get("checkpoint") {
+        let r = clusterer.fit_with_checkpoint(&points, std::path::Path::new(path));
+        if r.is_ok() {
+            println!("CF-tree checkpoint written to {path}");
+        }
+        r
+    } else if trace {
         clusterer.fit_with_sink(&points, &mut tracer)
     } else {
         clusterer.fit(&points)
@@ -231,6 +255,13 @@ fn cluster(flags: HashMap<String, String>) -> ExitCode {
             "phase 1: {} shards (wall {fastest:.3}s-{slowest:.3}s), merge {:.3}s",
             stats.shards.len(),
             stats.merge_time.as_secs_f64()
+        );
+    }
+    if stats.io.page_refs > 0 {
+        let hit_rate = 100.0 * (1.0 - stats.io.page_faults as f64 / stats.io.page_refs as f64);
+        println!(
+            "page cache: {} refs, {} faults, {} evictions (hit rate {hit_rate:.1}%)",
+            stats.io.page_refs, stats.io.page_faults, stats.io.page_evictions
         );
     }
     println!(

@@ -3,7 +3,7 @@
 //! ```text
 //! birch-report [--preset ds1] [--seed 42] [--per-cluster 200] [--input pts.csv]
 //!              [--k 100] [--threads n] [--memory-kb 80] [--metric D2]
-//!              [--folded spans.folded] [--json report.json]
+//!              [--out-of-core] [--folded spans.folded] [--json report.json]
 //! ```
 //!
 //! Runs one profiled clustering (span profiler on) over a generated
@@ -86,6 +86,9 @@ fn main() -> ExitCode {
     if let Some(t) = flags.get("threads") {
         config = config.threads(t.parse().expect("--threads must be a positive integer"));
     }
+    if flags.contains_key("out-of-core") {
+        config = config.out_of_core(true);
+    }
 
     // ---- The profiled run. ----
     span::set_enabled(true);
@@ -147,6 +150,24 @@ fn main() -> ExitCode {
     println!("== memory (budget M) ==");
     print!("{}", stats.memory.render());
     println!();
+
+    // ---- Page cache (only meaningful for out-of-core runs). ----
+    if stats.io.page_refs > 0 || stats.io.page_evictions > 0 {
+        let refs = stats.io.page_refs.max(1);
+        let hit = 100.0 * (1.0 - stats.io.page_faults as f64 / refs as f64);
+        println!("== page cache (out-of-core) ==");
+        println!(
+            "refs                 {:>12}\n\
+             faults               {:>12} (hit rate {hit:.1}%)\n\
+             evictions            {:>12}\n\
+             spill peak           {:>12} bytes",
+            stats.io.page_refs,
+            stats.io.page_faults,
+            stats.io.page_evictions,
+            stats.memory.page_spill.peak_bytes,
+        );
+        println!();
+    }
 
     // ---- Tree health. ----
     let h = &stats.tree_health;
@@ -219,6 +240,9 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Flags that take no value; their presence means "true".
+const BOOLEAN_FLAGS: &[&str] = &["out-of-core"];
+
 fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
     let mut map = HashMap::new();
     let mut args = args.peekable();
@@ -227,6 +251,10 @@ fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
             eprintln!("warning: ignoring stray argument {flag:?}");
             continue;
         };
+        if BOOLEAN_FLAGS.contains(&key) {
+            map.insert(key.to_string(), String::from("true"));
+            continue;
+        }
         let value = args.next().unwrap_or_else(|| {
             eprintln!("error: flag --{key} needs a value");
             std::process::exit(2);

@@ -11,12 +11,20 @@
 //! Build with `--features strict-audit` to additionally audit after every
 //! single tree mutation (the per-operation hooks inside `birch-core`).
 //!
+//! `--recovery` switches to the crash-recovery fuzz instead: every
+//! iteration builds an *out-of-core* tree, checkpoints it at a random
+//! point mid-scan, "crashes" (reopens from the snapshot file alone),
+//! bit-compares the restored leaf CFs against the live tree, verifies a
+//! randomly corrupted copy of the snapshot is rejected with a typed
+//! error, and then continues the scan on both trees in lockstep.
+//!
 //! Exit status: 0 when every audit passed, 1 on the first violation.
-//! Usage: `birch-soak [--iters N] [--seed S]` (defaults: 20 iterations,
-//! seed 0xB1C5).
+//! Usage: `birch-soak [--iters N] [--seed S] [--recovery]` (defaults:
+//! 20 iterations, seed 0xB1C5).
 
 use birch_core::audit::Drift;
 use birch_core::phase1::Phase1Builder;
+use birch_core::tree::CfTree;
 use birch_core::{parallel, BirchConfig, Cf, DistanceMetric, Point, ThresholdKind};
 use birch_pager::FaultPlan;
 use std::process::ExitCode;
@@ -51,12 +59,14 @@ impl Rng {
 struct Args {
     iters: u64,
     seed: u64,
+    recovery: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         iters: 20,
         seed: 0xB1C5,
+        recovery: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,7 +79,12 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--iters" => args.iters = value("--iters")?,
             "--seed" => args.seed = value("--seed")?,
-            other => return Err(format!("unknown flag {other} (try --iters, --seed)")),
+            "--recovery" => args.recovery = true,
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (try --iters, --seed, --recovery)"
+                ))
+            }
         }
     }
     Ok(args)
@@ -150,7 +165,7 @@ fn soak_serial(
     b.audit().map_err(|v| format!("end-of-scan audit: {v}"))?;
     audits += 1;
     let faults = if faulted {
-        b.outliers_mut().map_or(0, |s| s.disk().faults_injected())
+        b.outliers_mut().map_or(0, |s| s.faults_injected())
     } else {
         0
     };
@@ -176,6 +191,112 @@ fn soak_parallel(
     Ok(())
 }
 
+/// One crash-recovery pass: build out-of-core, checkpoint at a random
+/// cut point, "crash" (reopen from the snapshot file alone), bit-compare
+/// the restored leaf CFs against the live tree, verify a corrupted copy
+/// of the snapshot is rejected, then resume the scan on both sides and
+/// check they stay in lockstep.
+fn soak_recovery(
+    rng: &mut Rng,
+    cfg: &BirchConfig,
+    pts: &[Point],
+    drift: &mut Drift,
+    iter: u64,
+) -> Result<(u64, u64), String> {
+    let cfg = cfg.clone().out_of_core(true);
+    let snap =
+        std::env::temp_dir().join(format!("birch-soak-rec-{}-{iter}.snap", std::process::id()));
+    let cut = 1 + rng.below(pts.len() as u64 - 1) as usize;
+
+    let mut b = Phase1Builder::new(&cfg, 2);
+    for p in &pts[..cut] {
+        b.feed(Cf::from_point(p));
+    }
+    let report = b
+        .audit()
+        .map_err(|v| format!("pre-checkpoint audit: {v}"))?;
+    fold_drift(drift, &report);
+    b.checkpoint(&snap)
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    let mut survivor = b;
+
+    let mut restored = match CfTree::reopen(&snap) {
+        Ok(t) => t,
+        Err(e) => {
+            std::fs::remove_file(&snap).ok();
+            return Err(format!("reopen: {e}"));
+        }
+    };
+    let report = restored
+        .audit()
+        .map_err(|v| format!("restored-tree audit: {v}"))?;
+    fold_drift(drift, &report);
+
+    // Bit-identity of the leaf CFs (checkpoint faulted everything in, so
+    // the live paged tree is fully resident right now).
+    let words = |tree: &CfTree| -> Vec<Vec<u64>> {
+        tree.leaf_entries()
+            .map(|cf| {
+                let mut w = Vec::new();
+                cf.to_words(&mut w);
+                w
+            })
+            .collect()
+    };
+    if words(survivor.tree()) != words(&restored) {
+        std::fs::remove_file(&snap).ok();
+        return Err(format!(
+            "restored leaf CFs differ from live tree at cut {cut}"
+        ));
+    }
+
+    // A random single-bit flip anywhere in the snapshot must be rejected
+    // with a typed error, never loaded cleanly and never a panic.
+    let mut corruptions = 0u64;
+    let bytes = std::fs::read(&snap).map_err(|e| format!("read snapshot: {e}"))?;
+    let mut evil = bytes;
+    let at = rng.below(evil.len() as u64) as usize;
+    evil[at] ^= 1 << rng.below(8);
+    std::fs::write(&snap, &evil).map_err(|e| format!("write corrupted snapshot: {e}"))?;
+    match CfTree::reopen(&snap) {
+        Err(_) => corruptions += 1,
+        Ok(t) => {
+            std::fs::remove_file(&snap).ok();
+            return Err(format!(
+                "corrupt snapshot (bit flipped at byte {at}) loaded cleanly with {} nodes",
+                t.node_count()
+            ));
+        }
+    }
+    std::fs::remove_file(&snap).ok();
+
+    // Resume the scan identically on both sides; the restored tree uses
+    // the raw insert path (no builder), so only conservation of N — not
+    // rebuild-dependent shape — is comparable.
+    for p in &pts[cut..] {
+        survivor.feed(Cf::from_point(p));
+        let _ = restored.insert_point(p);
+    }
+    let report = survivor
+        .audit()
+        .map_err(|v| format!("resumed audit: {v}"))?;
+    fold_drift(drift, &report);
+    restored
+        .check_invariants()
+        .map_err(|v| format!("resumed restored-tree invariants: {v}"))?;
+    let out = survivor.finish();
+    let report = birch_core::audit(&out.tree).map_err(|v| format!("post-finish audit: {v}"))?;
+    fold_drift(drift, &report);
+    if (out.tree.total_cf().n() - restored.total_cf().n()).abs() > 1e-9 {
+        return Err(format!(
+            "diverged after resume: control N {} vs restored N {}",
+            out.tree.total_cf().n(),
+            restored.total_cf().n()
+        ));
+    }
+    Ok((4, corruptions))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -190,11 +311,38 @@ fn main() -> ExitCode {
     let mut faults = 0u64;
     let strict = cfg!(feature = "strict-audit");
     println!(
-        "birch-soak: {} iters, seed {:#x}, strict-audit {}",
+        "birch-soak: {} iters, seed {:#x}, strict-audit {}{}",
         args.iters,
         args.seed,
-        if strict { "on" } else { "off" }
+        if strict { "on" } else { "off" },
+        if args.recovery { ", recovery fuzz" } else { "" }
     );
+
+    if args.recovery {
+        let mut corruptions = 0u64;
+        for iter in 0..args.iters {
+            let cfg = random_config(&mut rng);
+            let n = 500 + rng.below(2500) as usize;
+            let k = 2 + rng.below(4) as usize;
+            let pts = dataset(&mut rng, n, k);
+            match soak_recovery(&mut rng, &cfg, &pts, &mut drift, iter) {
+                Ok((a, c)) => {
+                    audits += a;
+                    corruptions += c;
+                }
+                Err(e) => {
+                    eprintln!("iter {iter} (recovery, n={n}): FAIL: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!(
+            "ok: {} recovery iters, {audits} explicit audits, {corruptions} corrupt \
+             snapshots rejected; worst drift n={:.3e} vec={:.3e} scalar={:.3e}",
+            args.iters, drift.n, drift.vec, drift.scalar
+        );
+        return ExitCode::SUCCESS;
+    }
 
     for iter in 0..args.iters {
         let cfg = random_config(&mut rng);
